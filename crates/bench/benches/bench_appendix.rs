@@ -1,0 +1,62 @@
+//! The Appendix A/B chain (E14/E15, F3).
+
+use aqo_bignum::BigUint;
+use aqo_optimizer::star;
+use aqo_reductions::partition::PartitionInstance;
+use aqo_reductions::sppcs::{partition_to_sppcs, Normalized, SppcsInstance};
+use aqo_reductions::sqo_reduction;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_partition_to_sppcs(c: &mut Criterion) {
+    let p = PartitionInstance::new(vec![3, 1, 4, 1, 5, 9, 2, 6, 1, 2]);
+    c.bench_function("partition_to_sppcs_10_items", |b| {
+        b.iter(|| partition_to_sppcs(black_box(&p)));
+    });
+}
+
+fn bench_sppcs_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sppcs_exhaustive_solver");
+    for m in [8usize, 12, 16] {
+        let pairs: Vec<(BigUint, BigUint)> = (0..m)
+            .map(|i| (BigUint::from(2 + (i % 5) as u64), BigUint::from(1 + (i % 7) as u64)))
+            .collect();
+        let inst = SppcsInstance { pairs, l: BigUint::from(25u64) };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(&inst).is_yes());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sqo_chain(c: &mut Criterion) {
+    c.bench_function("sppcs_to_sqo_star_dp_m4", |b| {
+        let s = SppcsInstance {
+            pairs: vec![
+                (BigUint::from(2u64), BigUint::from(3u64)),
+                (BigUint::from(3u64), BigUint::from(1u64)),
+                (BigUint::from(2u64), BigUint::from(2u64)),
+                (BigUint::from(4u64), BigUint::from(5u64)),
+            ],
+            l: BigUint::from(11u64),
+        };
+        let norm = match s.normalize() {
+            Normalized::Instance(i) => i,
+            Normalized::Trivial(_) => unreachable!(),
+        };
+        b.iter(|| {
+            let red = sqo_reduction::reduce(black_box(&norm));
+            star::optimize(&red.instance).1 <= red.budget
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_partition_to_sppcs, bench_sppcs_solver, bench_sqo_chain
+}
+criterion_main!(benches);

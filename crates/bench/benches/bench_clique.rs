@@ -1,0 +1,49 @@
+//! Exact max-clique on the instance families of the reductions (E1/E4, F3).
+
+use aqo_graph::{clique, generators};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dense_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_clique_dense_min_degree");
+    for n in [20usize, 40, 60] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let graph = generators::dense_min_degree_family(n, 13, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| clique::max_clique(black_box(&graph)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gnp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_clique_gnp_05");
+    for n in [20usize, 30, 40] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graph = generators::gnp(n, 0.5, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| clique::max_clique(black_box(&graph)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_bron_kerbosch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let graph = generators::gnp(18, 0.5, &mut rng);
+    c.bench_function("bron_kerbosch_enumerate_n18", |b| {
+        b.iter(|| clique::all_maximal_cliques(black_box(&graph)).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_dense_family, bench_gnp, bench_bron_kerbosch
+}
+criterion_main!(benches);

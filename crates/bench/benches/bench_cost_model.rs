@@ -1,0 +1,42 @@
+//! QO_N cost evaluation: exact vs log backend on reduction instances
+//! (E2/E3, F3).
+
+use aqo_bignum::{BigRational, BigUint, LogNum};
+use aqo_core::JoinSequence;
+use aqo_graph::generators;
+use aqo_reductions::fn_reduction;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qon_cost_eval");
+    for n in [16usize, 32, 64] {
+        let g = generators::dense_known_omega(n, 3 * n / 4);
+        let red = fn_reduction::reduce(&g, &BigUint::from(4u64), (n / 2) as u64);
+        let z = JoinSequence::identity(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| red.instance.total_cost::<BigRational>(black_box(&z)));
+        });
+        group.bench_with_input(BenchmarkId::new("log", n), &n, |b, _| {
+            b.iter(|| red.instance.total_cost::<LogNum>(black_box(&z)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_bound(c: &mut Criterion) {
+    c.bench_function("k_bound_a4_e64", |b| {
+        let a = BigUint::from(4u64);
+        b.iter(|| fn_reduction::k_bound(black_box(&a), 64));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cost_eval, bench_k_bound
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The full hardness chains, end to end (E6/E10, F1).
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_graph::{clique, generators};
+use aqo_optimizer::dp;
+use aqo_reductions::{clique_reduction, fh_reduction, fn_reduction};
+use aqo_sat::generators as satgen;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_qon_chain(c: &mut Criterion) {
+    c.bench_function("chain_3sat_to_qon_certificates", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (f, _) = satgen::planted_3sat(3, 3, &mut rng);
+        b.iter(|| {
+            let red_g = clique_reduction::sat_to_clique(black_box(&f));
+            let omega = clique::clique_number(&red_g.graph) as u64;
+            let a = BigUint::from(4u64);
+            let red = fn_reduction::reduce(&red_g.graph, &a, omega - 2);
+            let witness = clique::max_clique(&red_g.graph);
+            let z = fn_reduction::lemma6_sequence(&red_g.graph, &witness);
+            red.instance.total_cost::<BigRational>(&z)
+        });
+    });
+}
+
+fn bench_qon_promise_gap(c: &mut Criterion) {
+    c.bench_function("qon_promise_gap_n12_exact_dp", |b| {
+        let a = BigUint::from(4u64);
+        let g_yes = generators::dense_known_omega(12, 9);
+        let g_no = generators::dense_known_omega(12, 6);
+        let red_yes = fn_reduction::reduce(&g_yes, &a, 8);
+        let red_no = fn_reduction::reduce(&g_no, &a, 8);
+        b.iter(|| {
+            let y = dp::optimize::<BigRational>(black_box(&red_yes.instance), true).unwrap();
+            let n = dp::optimize::<BigRational>(black_box(&red_no.instance), true).unwrap();
+            (y.cost, n.cost)
+        });
+    });
+}
+
+fn bench_qoh_witness(c: &mut Criterion) {
+    c.bench_function("qoh_witness_cost_n9", |b| {
+        let n = 9usize;
+        let bb = BigUint::from(2u64).pow(2 * n as u64);
+        let g = generators::dense_known_omega(n, 2 * n / 3);
+        let red = fh_reduction::reduce(&g, &bb);
+        let cl = clique::max_clique(&g);
+        let (z, d) = fh_reduction::lemma12_witness(&red, &cl[..2 * n / 3]);
+        b.iter(|| red.instance.plan_cost_optimal_alloc(black_box(&z), &d));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_qon_chain, bench_qon_promise_gap, bench_qoh_witness
+}
+criterion_main!(benches);

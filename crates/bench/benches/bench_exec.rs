@@ -1,0 +1,63 @@
+//! The execution engine (E17, F3): data generation, tuple-level execution,
+//! calibration.
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, JoinSequence, SelectivityMatrix};
+use aqo_exec::{Database, Executor};
+use aqo_graph::Graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn chain(n: usize, t: u64, d: u64) -> QoNInstance {
+    let mut g = Graph::new(n);
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    for v in 1..n {
+        g.add_edge(v - 1, v);
+        s.set(v - 1, v, BigRational::new(BigInt::one(), BigUint::from(d)));
+        let wv = BigUint::from((t as f64 / d as f64).ceil().max(1.0) as u64);
+        w.set(v - 1, v, wv.clone());
+        w.set(v, v - 1, wv);
+    }
+    QoNInstance::new(g, vec![BigUint::from(t); n], s, w)
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_generate");
+    for t in [1_000u64, 10_000] {
+        let inst = chain(4, t, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| Database::generate(black_box(&inst), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_run_index");
+    for t in [500u64, 1_000] {
+        let inst = chain(4, t, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = Database::generate(&inst, &mut rng);
+        let ex = Executor::new(&inst, &db);
+        let z = JoinSequence::identity(4);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| ex.run(black_box(&z), true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generate, bench_execute
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Polynomial-time heuristics on adversarial instances (F2).
+
+use aqo_bignum::{BigUint, LogNum};
+use aqo_graph::generators;
+use aqo_optimizer::{genetic, greedy, local_search};
+use aqo_reductions::fn_reduction;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn adversarial(n: usize) -> aqo_core::qon::QoNInstance {
+    let g = generators::dense_known_omega(n, 3 * n / 4);
+    fn_reduction::reduce(&g, &BigUint::from(64u64), (3 * n / 4 - 1) as u64).instance
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let inst = adversarial(16);
+    c.bench_function("greedy_min_intermediate_n16", |b| {
+        b.iter(|| greedy::min_intermediate(black_box(&inst), true));
+    });
+    c.bench_function("greedy_min_cost_n16", |b| {
+        b.iter(|| greedy::min_incremental_cost(black_box(&inst), true));
+    });
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let inst = adversarial(16);
+    c.bench_function("simulated_annealing_3k_iters_n16", |b| {
+        let params = local_search::SaParams { iterations: 3000, ..Default::default() };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            local_search::simulated_annealing(black_box(&inst), &params, &mut rng)
+        });
+    });
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let inst = adversarial(16);
+    c.bench_function("genetic_24x40_n16", |b| {
+        let params = genetic::GaParams { population: 24, generations: 40, ..Default::default() };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            genetic::optimize(black_box(&inst), &params, &mut rng)
+        });
+    });
+}
+
+fn bench_cost_eval_log(c: &mut Criterion) {
+    let inst = adversarial(24);
+    let z = aqo_core::JoinSequence::identity(24);
+    c.bench_function("lognum_cost_eval_n24", |b| {
+        b.iter(|| inst.total_cost::<LogNum>(black_box(&z)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_greedy, bench_sa, bench_ga, bench_cost_eval_log
+}
+criterion_main!(benches);

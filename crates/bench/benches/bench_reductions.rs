@@ -1,0 +1,60 @@
+//! Construction cost of the reductions themselves (E1/E6, F3): all are
+//! polynomial-time, and these benches measure the polynomials.
+
+use aqo_bignum::BigUint;
+use aqo_graph::generators;
+use aqo_reductions::{clique_reduction, fh_reduction, fn_reduction, sat_to_vc};
+use aqo_sat::generators as satgen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sat_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_to_clique_chain");
+    for m in [10usize, 30, 60] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let (f, _) = satgen::planted_3sat(8, m, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sat_to_vc", m), &m, |b, _| {
+            b.iter(|| sat_to_vc::reduce(black_box(&f)));
+        });
+        group.bench_with_input(BenchmarkId::new("sat_to_clique", m), &m, |b, _| {
+            b.iter(|| clique_reduction::sat_to_clique(black_box(&f)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fn_reduction");
+    for n in [16usize, 48, 96] {
+        let g = generators::dense_known_omega(n, 3 * n / 4);
+        let a = BigUint::from(4u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fn_reduction::reduce(black_box(&g), &a, (n / 2) as u64));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fh_reduction");
+    for n in [6usize, 12, 18] {
+        let g = generators::dense_known_omega(n, 2 * n / 3);
+        let b_param = BigUint::from(2u64).pow(2 * n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fh_reduction::reduce(black_box(&g), &b_param));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sat_chain, bench_fn, bench_fh
+}
+criterion_main!(benches);

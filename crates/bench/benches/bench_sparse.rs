@@ -1,0 +1,46 @@
+//! The §6 sparse reductions (E11/E12, F3).
+
+use aqo_bignum::BigUint;
+use aqo_graph::{generators, Graph};
+use aqo_reductions::sparse;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_reduce_fn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_reduce_fn");
+    let alpha = BigUint::from(4u64).pow(64);
+    let beta = BigUint::from(4u64);
+    for (n, k) in [(3usize, 2u32), (4, 2), (3, 3)] {
+        let g = Graph::complete(n);
+        let m = n.pow(k);
+        let target = (g.m() + m - n + 1).max(m + 4);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| sparse::reduce_fn(black_box(&g), k, target, &alpha, &beta, 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_fh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_reduce_fh");
+    for n in [6usize, 9] {
+        let g = generators::dense_known_omega(n, 2 * n / 3);
+        let b_param = BigUint::from(2u64).pow((n * (n * n - n)) as u64);
+        // E₂ needs at least |V₂| − 1 = n² − n − 2 edges for connectivity.
+        let target = g.m() + n + 1 + (n * n - n) + 8;
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| sparse::reduce_fh(black_box(&g), 2, target, &b_param));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_reduce_fn, bench_reduce_fh
+}
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! `aqo` — command-line front end for the library.
+//!
+//! ```text
+//! aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]   # emit a .qon instance
+//! aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian]
+//! aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]
+//! aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]            # Lemma 3 + f_N chain
+//! aqo clique <file.dimacs>                                      # exact max clique
+//! ```
+//!
+//! Instances use the text formats of `aqo_core::textio` (`.qon`, `.qoh`),
+//! DIMACS CNF for formulas and DIMACS edge format for graphs. Everything
+//! prints to stdout; errors exit nonzero.
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::{textio, workloads, CostScalar};
+use aqo_optimizer::{branch_bound, dp, exhaustive, genetic, greedy, ikkbz, local_search, pipeline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>"
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("optimize-qoh") => cmd_optimize_qoh(&args[1..]),
+        Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
+        Some("clique") => cmd_clique(&args[1..]),
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let shape = args.first().ok_or("gen: missing shape")?;
+    let n: usize = args
+        .get(1)
+        .ok_or("gen: missing size")?
+        .parse()
+        .map_err(|_| "gen: bad size".to_string())?;
+    let seed: u64 = args.get(2).map_or(Ok(0), |s| s.parse()).map_err(|_| "gen: bad seed")?;
+    let params = workloads::WorkloadParams::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inst = match shape.as_str() {
+        "chain" => workloads::chain(n, &params, &mut rng),
+        "star" => workloads::star(n, &params, &mut rng),
+        "snowflake" => workloads::snowflake(n.max(1), 2, &params, &mut rng),
+        "cycle" => workloads::cycle(n, &params, &mut rng),
+        "clique" => workloads::clique(n, &params, &mut rng),
+        "grid" => workloads::grid(n.div_ceil(2), 2, &params, &mut rng),
+        other => return Err(format!("gen: unknown shape {other}")),
+    };
+    print!("{}", textio::qon_to_text(&inst));
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("optimize: missing file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let inst = textio::qon_from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let method = flag_value(args, "--method").unwrap_or("dp");
+    let allow_cartesian = !args.iter().any(|a| a == "--no-cartesian");
+    let mut rng = StdRng::seed_from_u64(0);
+    let (label, sequence): (&str, aqo_core::JoinSequence) = match method {
+        "dp" => {
+            let o = dp::optimize::<BigRational>(&inst, allow_cartesian)
+                .ok_or("no cartesian-free sequence exists")?;
+            ("exact (subset DP)", o.sequence)
+        }
+        "bnb" => {
+            let o = branch_bound::optimize::<BigRational>(&inst, allow_cartesian)
+                .ok_or("no cartesian-free sequence exists")?;
+            ("exact (branch & bound)", o.sequence)
+        }
+        "exhaustive" => ("exact (exhaustive)", exhaustive::optimize::<BigRational>(&inst).sequence),
+        "greedy" => (
+            "greedy min-intermediate",
+            greedy::min_intermediate(&inst, allow_cartesian).ok_or("greedy got stuck")?,
+        ),
+        "ikkbz" => ("IKKBZ (trees)", ikkbz::optimize(&inst).sequence),
+        "sa" => (
+            "simulated annealing",
+            local_search::simulated_annealing(&inst, &local_search::SaParams::default(), &mut rng),
+        ),
+        "ga" => (
+            "genetic",
+            genetic::optimize(&inst, &genetic::GaParams::default(), &mut rng),
+        ),
+        other => return Err(format!("optimize: unknown method {other}")),
+    };
+    let cost: BigRational = inst.total_cost(&sequence);
+    println!("method : {label}");
+    println!("order  : {:?}", sequence.order());
+    println!("cost   : {cost}");
+    println!("log2   : {:.3}", CostScalar::log2(&cost));
+    if args.iter().any(|a| a == "--explain") {
+        println!();
+        print!("{}", textio_explain_qon(&inst, &sequence));
+    }
+    Ok(())
+}
+
+fn textio_explain_qon(
+    inst: &aqo_core::qon::QoNInstance,
+    z: &aqo_core::JoinSequence,
+) -> String {
+    aqo_core::explain::explain_qon(inst, z)
+}
+
+fn cmd_optimize_qoh(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("optimize-qoh: missing file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let inst = textio::qoh_from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let method = flag_value(args, "--method").unwrap_or("greedy");
+    let plan = match method {
+        "exhaustive" => pipeline::optimize_exhaustive(&inst),
+        "greedy" => pipeline::optimize_greedy(&inst),
+        other => return Err(format!("optimize-qoh: unknown method {other}")),
+    }
+    .ok_or("no feasible plan under the memory budget")?;
+    println!("method        : {method}");
+    println!("order         : {:?}", plan.sequence.order());
+    println!("decomposition : {:?}", plan.decomposition.fragments());
+    println!("cost          : {}", plan.cost);
+    println!("log2          : {:.3}", plan.cost.log2());
+    if args.iter().any(|a| a == "--explain") {
+        if let Some(text) =
+            aqo_core::explain::explain_qoh(&inst, &plan.sequence, &plan.decomposition)
+        {
+            println!();
+            print!("{text}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_reduce_3sat(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("reduce-3sat: missing file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let f = aqo_sat::dimacs::from_dimacs(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    if !f.is_3cnf() {
+        return Err("formula is not 3CNF".into());
+    }
+    let a: u64 = flag_value(args, "--a").map_or(Ok(4), str::parse).map_err(|_| "bad --a")?;
+    let red_g = aqo_reductions::clique_reduction::sat_to_clique(&f);
+    eprintln!(
+        "Lemma 3: {} vars, {} clauses -> graph with {} vertices ({} when satisfiable)",
+        f.num_vars(),
+        f.num_clauses(),
+        red_g.graph.n(),
+        red_g.satisfiable_omega
+    );
+    let e: u64 = flag_value(args, "--e")
+        .map_or(Ok(red_g.satisfiable_omega as u64 - 2), str::parse)
+        .map_err(|_| "bad --e")?;
+    let red = aqo_reductions::fn_reduction::reduce(&red_g.graph, &BigUint::from(a), e);
+    eprintln!(
+        "f_N: a = {a}, e = {e}; K(a,e) has {} bits",
+        aqo_reductions::fn_reduction::k_bound(&BigUint::from(a), e).bits()
+    );
+    print!("{}", textio::qon_to_text(&red.instance));
+    Ok(())
+}
+
+fn cmd_clique(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("clique: missing file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let g = aqo_graph::io::from_dimacs(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let upper = aqo_graph::coloring::clique_upper_bound(&g);
+    let c = aqo_graph::clique::max_clique(&g);
+    println!("n      : {}", g.n());
+    println!("m      : {}", g.m());
+    println!("omega  : {}", c.len());
+    println!("bound  : {upper} (colouring/degeneracy upper bound)");
+    println!("clique : {c:?}");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Regenerates every experiment of EXPERIMENTS.md.
+//!
+//! ```text
+//! experiments              # run everything, plain text
+//! experiments E6 F1        # run selected ids
+//! experiments --markdown   # emit the EXPERIMENTS.md body
+//! experiments --list       # list experiment ids
+//! ```
+
+use aqo_bench::registry;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let list = args.iter().any(|a| a == "--list");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let experiments = registry();
+    if list {
+        for e in &experiments {
+            println!("{:4}  {}", e.id, e.paper_ref);
+        }
+        return;
+    }
+
+    if markdown {
+        println!("# EXPERIMENTS — paper vs. measured\n");
+        println!(
+            "Regenerate with `cargo run --release -p aqo-bench --bin experiments -- --markdown`."
+        );
+        println!("The paper (PODS 2002) has no numbered tables or figures; every experiment");
+        println!("below reproduces one lemma/theorem, as indexed in DESIGN.md §6. A row saying");
+        println!("`holds` is an inequality certified in exact rational arithmetic (or, where");
+        println!("noted, measured by an exact optimizer).\n");
+    }
+
+    let total = Instant::now();
+    for e in &experiments {
+        if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == e.id) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let tables = (e.run)();
+        let elapsed = t0.elapsed();
+        if markdown {
+            println!("## {} — {}\n", e.id, e.paper_ref);
+            for t in &tables {
+                print!("{}", t.render_markdown());
+            }
+            println!("*Regenerated in {elapsed:.2?}.*\n");
+        } else {
+            println!("### {} — {} ({elapsed:.2?})\n", e.id, e.paper_ref);
+            for t in &tables {
+                println!("{}", t.render_text());
+            }
+        }
+    }
+    eprintln!("total: {:.2?}", total.elapsed());
+}

@@ -1,0 +1,65 @@
+//! F1 — the headline figure: the certified gap (in bits) against `log₂ K`
+//! as the instance family scales, for both QO_N and QO_H.
+//!
+//! The paper's Theorem 9/15 shape: with `a(n) = 4^{n^{1/δ}}`,
+//! `log K = Θ(n²·log a)` while the gap is `a^{Θ(n)} = 2^{Θ(n·log a)}`, i.e.
+//! `gap = 2^{Θ((log K)^{1−δ'})}`: the gap exponent grows *sublinearly* in
+//! `log K` but polynomially — faster than any polylog. The series below
+//! print both coordinates so the curve can be plotted directly.
+
+use crate::table::{cell, Table};
+use aqo_bignum::BigUint;
+use aqo_graph::{clique, generators};
+use aqo_reductions::{fh_reduction, fn_reduction};
+
+/// Runs F1.
+pub fn run() -> Vec<Table> {
+    let mut t1 = Table::new(
+        "F1a — QO_N series: log₂ K vs certified gap bits (a = 4^⌈√n⌉, e = ⌊3n/4⌋, ω_no = ⌊n/2⌋)",
+        &["n", "log₂ a", "log₂ K", "certified gap bits", "gap / log₂K", "polylog(K) bits for comparison"],
+    );
+    for n in [16usize, 24, 32, 48, 64, 96, 128] {
+        // a(n) = 4^{n^{1/2}}: δ = 1/2 in the paper's calibration.
+        let a = BigUint::from(4u64).pow((n as f64).sqrt().ceil() as u64);
+        let e = (3 * n / 4) as u64;
+        let omega_no = (n / 2) as u64;
+        let k = fn_reduction::k_bound(&a, e);
+        let gap_exp = fn_reduction::certified_gap_exponent(e, omega_no);
+        let gap_bits = gap_exp as f64 * a.log2();
+        let log_k = k.log2();
+        // A polylog competitor: log₂²(K) bits.
+        let polylog = log_k.log2().powi(2);
+        t1.row(vec![
+            cell(n),
+            format!("{:.0}", a.log2()),
+            format!("{log_k:.0}"),
+            format!("{gap_bits:.0}"),
+            format!("{:.3}", gap_bits / log_k),
+            format!("{polylog:.1}"),
+        ]);
+    }
+    t1.note("gap bits = (e − ω − 1)·log₂ a = Θ(n·log a) while log₂ K = Θ(n²·log a): the ratio decays like 1/n, yet the gap dwarfs any polylog(K) — no polynomial-time algorithm can be 2^{log^{1−δ}K}-competitive unless P = NP.");
+
+    let mut t2 = Table::new(
+        "F1b — QO_H series: log₂ L vs certified Ω(G)/L bits (Turán ω = 3 family)",
+        &["n", "log₂ a", "log₂ L", "N-bound/L bits", "ratio"],
+    );
+    for n in [6usize, 12, 18, 24, 30] {
+        let b = BigUint::from(2u64).pow(2 * n as u64);
+        let g = generators::turan(n, 3);
+        let omega = clique::clique_number(&g) as u64;
+        let red = fh_reduction::reduce(&g, &b);
+        let l = fh_reduction::l_bound(&red);
+        let nb = fh_reduction::lemma13_n2n3_lower_bound(&red, omega);
+        let gap_bits = nb.log2() - l.log2();
+        t2.row(vec![
+            cell(n),
+            format!("{:.0}", red.a.log2()),
+            format!("{:.0}", l.log2()),
+            format!("{gap_bits:.0}"),
+            format!("{:.3}", gap_bits / l.log2()),
+        ]);
+    }
+    t2.note("G/L = a^{Θ(n)} while log L = Θ(n²·log a) — the same 2^{log^{1−δ}L} shape as QO_N (Theorem 15.3).");
+    vec![t1, t2]
+}

@@ -1,0 +1,130 @@
+//! F2 — what the theorems mean for real optimizers: polynomial-time
+//! heuristics are near-optimal on random queries and exponentially off on
+//! the reduction-produced adversarial instances.
+
+use crate::table::Table;
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, CostScalar, JoinSequence, SelectivityMatrix};
+use aqo_graph::generators;
+use aqo_optimizer::{dp, genetic, greedy, local_search};
+use aqo_reductions::fn_reduction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(n: usize, rng: &mut StdRng) -> QoNInstance {
+    let g = generators::random_connected(n, n + n / 2, rng);
+    let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(rng.gen_range(10u64..5000))).collect();
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        let sel = BigRational::new(BigInt::one(), BigUint::from(rng.gen_range(2u64..100)));
+        s.set(u, v, sel.clone());
+        for (j, k) in [(u, v), (v, u)] {
+            let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+            w.set(j, k, lower.magnitude().clone());
+        }
+    }
+    QoNInstance::new(g, sizes, s, w)
+}
+
+fn adversarial_instance(n: usize, seed: u64) -> QoNInstance {
+    // f_N on the complement of a sparse random graph: the instance is dense
+    // (as the paper's CLIQUE family demands), every join sequence has
+    // near-maximal prefix density, and the optimum hinges on packing a
+    // *maximum independent set of the sparse complement* into the prefix —
+    // each clique vertex a greedy prefix misses costs a factor of a at the
+    // peak join. Prefix-density greedoids have no handle on MIS structure.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sparse = generators::gnp(n, 4.0 / n as f64, &mut rng);
+    let g = sparse.complement();
+    let omega = aqo_graph::clique::clique_number(&g) as u64;
+    let a = BigUint::from(64u64);
+    fn_reduction::reduce(&g, &a, omega.saturating_sub(1).max(2)).instance
+}
+
+fn ratios(inst: &QoNInstance, rng: &mut StdRng) -> Vec<(&'static str, f64)> {
+    // Search in log domain, certify the winner exactly.
+    let opt = dp::optimize::<aqo_bignum::LogNum>(inst, true).expect("connected");
+    let exact: BigRational = inst.total_cost(&opt.sequence);
+    let opt_bits = CostScalar::log2(&exact);
+    let eval = |z: &JoinSequence| -> f64 {
+        let c: BigRational = inst.total_cost(z);
+        CostScalar::log2(&c) - opt_bits
+    };
+    let n = inst.n();
+    vec![
+        ("greedy-min-N", eval(&greedy::min_intermediate(inst, true).unwrap())),
+        ("greedy-min-H", eval(&greedy::min_incremental_cost(inst, true).unwrap())),
+        ("sim-annealing", {
+            let z = local_search::simulated_annealing(
+                inst,
+                &local_search::SaParams { iterations: 3000, ..Default::default() },
+                rng,
+            );
+            eval(&z)
+        }),
+        ("genetic", {
+            let z = genetic::optimize(
+                inst,
+                &genetic::GaParams { population: 24, generations: 40, ..Default::default() },
+                rng,
+            );
+            eval(&z)
+        }),
+        ("random-order", eval(&greedy::random_sequence(n, rng))),
+    ]
+}
+
+/// Runs F2.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "F2 — competitive ratio (log₂: bits above the exact optimum)",
+        &["heuristic", "random queries n=12 (avg bits)", "adversarial f_N n=14 (avg bits)", "adversarial f_N n=18 (avg bits)"],
+    );
+    let mut rng = StdRng::seed_from_u64(0xF2);
+    let trials = 3;
+    let mut acc: std::collections::BTreeMap<&'static str, [f64; 3]> = Default::default();
+    for _ in 0..trials {
+        let inst = random_instance(12, &mut rng);
+        for (name, bits) in ratios(&inst, &mut rng) {
+            acc.entry(name).or_default()[0] += bits / trials as f64;
+        }
+    }
+    for (col, n) in [(1usize, 14usize), (2, 18)] {
+        for t in 0..trials {
+            let inst = adversarial_instance(n, 1000 + t as u64);
+            for (name, bits) in ratios(&inst, &mut rng) {
+                acc.entry(name).or_default()[col] += bits / trials as f64;
+            }
+        }
+    }
+    for (name, vals) in acc {
+        t.row(vec![
+            name.into(),
+            format!("{:.1}", vals[0]),
+            format!("{:.1}", vals[1]),
+            format!("{:.1}", vals[2]),
+        ]);
+    }
+    t.note("On random catalogues the heuristics sit within a few bits of optimal; on the dense adversarial f_N family each clique vertex a heuristic prefix misses costs log2(a) = 6 bits at the peak join. At toy sizes metaheuristics can still stumble onto maximum independent sets; the theorems say no polynomial algorithm wins on the SAT-encoded instances at scale.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_instance_is_connected() {
+        let inst = adversarial_instance(12, 5);
+        assert!(inst.graph().is_connected());
+    }
+
+    #[test]
+    fn random_instance_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = random_instance(8, &mut rng);
+        assert_eq!(inst.n(), 8);
+    }
+}

@@ -1,0 +1,48 @@
+//! E3 — Lemma 6: when `ω(G) ≥ e`, the clique-first sequence of the `f_N`
+//! instance costs at most `K(a, e) = w·a^{e(e+1)/2 + 1}`, in exact
+//! arithmetic.
+
+use crate::table::{cell, log2_cell, verdict, Table};
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::CostScalar;
+use aqo_graph::{clique, generators};
+use aqo_reductions::fn_reduction;
+
+/// Runs E3.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E3 / Lemma 6 — witness cost ≤ K(a,e) whenever ω ≥ e (exact arithmetic)",
+        &["n", "ω", "e", "a", "log₂ C(witness)", "log₂ K", "C ≤ K", "verdict"],
+    );
+    for (n, k, a_val, e) in [
+        (12usize, 9usize, 4u64, 7u64),
+        (16, 12, 4, 9),
+        (24, 18, 4, 14),
+        (32, 24, 16, 18),
+        (48, 36, 16, 28),
+        (64, 48, 16, 38),
+        (96, 72, 64, 58),
+    ] {
+        let g = generators::dense_known_omega(n, k);
+        let a = BigUint::from(a_val);
+        let red = fn_reduction::reduce(&g, &a, e);
+        let witness = clique::max_clique(&g);
+        assert!(witness.len() as u64 >= e);
+        let z = fn_reduction::lemma6_sequence(&g, &witness);
+        let c: BigRational = red.instance.total_cost(&z);
+        let kb = BigRational::from(fn_reduction::k_bound(&a, e));
+        let ok = c <= kb;
+        t.row(vec![
+            cell(n),
+            cell(k),
+            cell(e),
+            cell(a_val),
+            log2_cell(CostScalar::log2(&c)),
+            log2_cell(kb.log2()),
+            cell(ok),
+            verdict(ok),
+        ]);
+    }
+    t.note("K(a,e) = w·a^{e(e+1)/2+1}: the paper's K_{c,d}(a,n) with e = (c−d/2)n. All inequalities certified with exact rational arithmetic.");
+    vec![t]
+}

@@ -1,0 +1,68 @@
+//! E12 — Theorem 17: the sparse QO_H variant `f_{H,e}`: edge-count
+//! conformance, feasibility structure (only `v₀`-first sequences), and the
+//! witness cost frame.
+
+use crate::table::{cell, log2_cell, verdict, Table};
+use aqo_bignum::BigUint;
+use aqo_core::JoinSequence;
+use aqo_graph::{clique, generators};
+use aqo_reductions::sparse;
+
+/// Runs E12.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E12 / Theorem 17 — f_{H,e}: structure, feasibility and witness frame",
+        &["n", "m = n^k", "edges", "v₀-first forced", "witness ≤ L·α", "log₂ C(witness)", "verdict"],
+    );
+    for (n, k, extra) in [(6usize, 2u32, 40usize), (6, 2, 200), (9, 2, 100)] {
+        let g1 = generators::dense_known_omega(n, 2 * n / 3);
+        let b = BigUint::from(2u64).pow((n * (n.pow(k as u32) - n)) as u64);
+        let target = g1.m() + n + 1 + extra;
+        let red = sparse::reduce_fh(&g1, k, target, &b);
+        let inst = &red.instance;
+        let m = inst.n();
+
+        // Feasibility: v0 must be first.
+        let forced = {
+            let mut bad: Vec<usize> = (0..m).collect();
+            bad.swap(0, red.v0);
+            bad.swap(0, 1);
+            let mut good = vec![red.v0];
+            good.extend((0..m).filter(|&v| v != red.v0));
+            !inst.sequence_feasible(&JoinSequence::new(bad))
+                && inst.sequence_feasible(&JoinSequence::new(good))
+        };
+
+        // Witness: v0, clique, rest of V1, V2 tail; optimal decomposition.
+        let cl = clique::max_clique(&g1);
+        let mut order = vec![red.v0];
+        order.extend_from_slice(&cl[..2 * n / 3]);
+        order.extend((0..n).filter(|v| !cl[..2 * n / 3].contains(v)));
+        order.extend((0..m).filter(|&v| v > n));
+        let z = JoinSequence::new(order);
+        // Lemma 12's five pipelines on the V₁ core, the V₂ tail as one
+        // pipeline (its relations are tiny): an explicit witness
+        // decomposition, avoiding the O(m²) DP at 80+ relations.
+        let third = n / 3;
+        let mut frags = vec![(1, 1), (2, third), (third + 1, 2 * third)];
+        if 2 * third + 1 <= n {
+            frags.push((2 * third + 1, n));
+        }
+        frags.push((n + 1, m - 1));
+        let decomp = aqo_core::qoh::PipelineDecomposition::new(m, frags);
+        let cost = inst.plan_cost_optimal_alloc(&z, &decomp).expect("feasible witness");
+        let l_bits = red.t0.log2() + (n * n) as f64 / 9.0 * red.alpha.log2();
+        let frame_ok = cost.log2() <= l_bits + red.alpha.log2();
+        t.row(vec![
+            cell(n),
+            cell(m),
+            cell(inst.graph().m()),
+            cell(forced),
+            cell(frame_ok),
+            log2_cell(cost.log2()),
+            verdict(forced && frame_ok && inst.graph().m() == target),
+        ]);
+    }
+    t.note("α = 4^{n·|V₂|} dominates the auxiliary product 2^{n·|V₂|} (the paper's α = Ω(4^{n^{2k+2}}) at full asymptotic scale); the witness stays within L·α^{O(1)} and infeasibility still pins v₀ to the front, so the §5 gap argument carries over verbatim (Theorem 17).");
+    vec![t]
+}

@@ -1,0 +1,143 @@
+//! E6 — Theorem 9: the end-to-end QO_N hardness statement.
+//!
+//! Two layers:
+//!
+//! 1. **Formula-to-instance, certified** — satisfiable vs ≤(7/8)-satisfiable
+//!    formulas run through Lemma 3 and `f_N`; the satisfiable side exhibits
+//!    a witness below `K`, the gap side is *certified* above
+//!    `K·a^{e − ω − 1}` for every join sequence, all in exact arithmetic.
+//! 2. **Synthetic promise families, exact** — graphs with planted vs
+//!    bounded cliques at DP-verifiable sizes show the measured optimum gap.
+
+use crate::table::{cell, log2_cell, verdict, Table};
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::CostScalar;
+use aqo_graph::{clique, generators};
+use aqo_optimizer::dp;
+use aqo_reductions::{clique_reduction, fn_reduction};
+use aqo_sat::{generators as satgen, maxsat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E6.
+pub fn run() -> Vec<Table> {
+    let mut t1 = Table::new(
+        "E6a / Theorem 9 — full chain 3SAT → CLIQUE → QO_N (certified bounds)",
+        &["formula", "QO_N n", "ω", "e", "log₂ K", "side", "log₂ bound", "verdict"],
+    );
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let a = BigUint::from(4u64);
+
+    // Satisfiable: witness below K with e = ω (the clique is big enough).
+    let (f_sat, _) = satgen::planted_3sat(3, 3, &mut rng);
+    {
+        let red_g = clique_reduction::sat_to_clique(&f_sat);
+        let omega = clique::clique_number(&red_g.graph) as u64;
+        assert_eq!(omega as usize, red_g.satisfiable_omega);
+        let e = omega - 2;
+        let red = fn_reduction::reduce(&red_g.graph, &a, e);
+        let witness = clique::max_clique(&red_g.graph);
+        let z = fn_reduction::lemma6_sequence(&red_g.graph, &witness);
+        let c: BigRational = red.instance.total_cost(&z);
+        let k = BigRational::from(fn_reduction::k_bound(&a, e));
+        t1.row(vec![
+            "satisfiable (planted)".into(),
+            cell(red_g.graph.n()),
+            cell(omega),
+            cell(e),
+            log2_cell(k.log2()),
+            "witness C(Z) ≤ K".into(),
+            log2_cell(CostScalar::log2(&c)),
+            verdict(c <= k),
+        ]);
+    }
+    // Gap side: one contradiction block (u = 1 exactly) drops ω by 1; the
+    // certified LB for *all* sequences sits a^{e−ω−1} above K.
+    {
+        let f_unsat = satgen::contradiction_blocks(1);
+        let u = f_unsat.num_clauses() - maxsat::max_sat(&f_unsat).max_satisfied;
+        let red_g = clique_reduction::sat_to_clique(&f_unsat);
+        let omega = clique::clique_number(&red_g.graph) as u64;
+        assert_eq!(omega as usize, red_g.predicted_omega(u));
+        // Same scale rule the satisfiable side would have used: e = ω_sat−2.
+        let e = red_g.satisfiable_omega as u64 - 2;
+        let red = fn_reduction::reduce(&red_g.graph, &a, e);
+        let lb = BigRational::from(fn_reduction::lemma8_lower_bound(
+            &a,
+            e,
+            omega,
+            red_g.graph.n() as u64,
+        ));
+        let k = BigRational::from(fn_reduction::k_bound(&a, e));
+        let gap_exp = fn_reduction::certified_gap_exponent(e, omega);
+        let _ = &red; // the instance itself exists; the bound covers all its sequences
+        // Identity check of the bound calculators: LB/K = a^{e−ω−1} exactly.
+        let identity_ok =
+            (lb.log2() - k.log2() - gap_exp as f64 * a.log2()).abs() < 1e-6;
+        t1.row(vec![
+            "≤7/8-satisfiable (u=1)".into(),
+            cell(red_g.graph.n()),
+            cell(omega),
+            cell(e),
+            log2_cell(k.log2()),
+            format!("certified LB = K·a^{gap_exp}"),
+            log2_cell(lb.log2()),
+            verdict(identity_ok),
+        ]);
+    }
+    // Micro chain, fully exact: a one-variable, one-clause formula maps to a
+    // 12-vertex graph — small enough for the subset DP to certify the true
+    // optimum of the chain's output.
+    {
+        use aqo_sat::{CnfFormula, Lit};
+        let f = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)]]);
+        let red_g = clique_reduction::sat_to_clique(&f);
+        let omega = clique::clique_number(&red_g.graph) as u64;
+        let e = omega - 2;
+        let red = fn_reduction::reduce(&red_g.graph, &a, e);
+        let opt = dp::optimize::<BigRational>(&red.instance, true).expect("connected");
+        let k = BigRational::from(fn_reduction::k_bound(&a, e));
+        t1.row(vec![
+            "micro (x): exact optimum".into(),
+            cell(red_g.graph.n()),
+            cell(omega),
+            cell(e),
+            log2_cell(k.log2()),
+            "true optimum C* ≤ K".into(),
+            log2_cell(CostScalar::log2(&opt.cost)),
+            verdict(opt.cost <= k),
+        ]);
+    }
+    t1.note("u = 1 at toy scale gives gap exponent e − ω − 1 = −3 < 0 here; the Θ(n)-wide MaxSAT gap of the PCP-powered 3SAT(13) (Theorem 1) is what makes the exponent Θ(n) at scale — see E6b for the gap regime made exact.");
+
+    // E6b: synthetic promise families where the DP certifies the measured gap.
+    let mut t2 = Table::new(
+        "E6b / Theorem 9 — promise families, exact optima (subset DP)",
+        &["n", "ω_yes", "ω_no", "e", "log₂ C*_yes", "log₂ C*_no", "measured gap (bits)", "certified gap (bits)", "verdict"],
+    );
+    for (n, k_yes, k_no) in [(10usize, 8usize, 5usize), (12, 9, 6), (14, 11, 7), (16, 12, 8)] {
+        let e = k_yes as u64 - 1;
+        let g_yes = generators::dense_known_omega(n, k_yes);
+        let g_no = generators::dense_known_omega(n, k_no);
+        let red_yes = fn_reduction::reduce(&g_yes, &a, e);
+        let red_no = fn_reduction::reduce(&g_no, &a, e);
+        let opt_yes = dp::optimize::<BigRational>(&red_yes.instance, true).unwrap();
+        let opt_no = dp::optimize::<BigRational>(&red_no.instance, true).unwrap();
+        let measured = CostScalar::log2(&opt_no.cost) - CostScalar::log2(&opt_yes.cost);
+        let certified = fn_reduction::certified_gap_exponent(e, k_no as u64) as f64 * a.log2();
+        let ok = measured >= certified - 1e-6;
+        t2.row(vec![
+            cell(n),
+            cell(k_yes),
+            cell(k_no),
+            cell(e),
+            log2_cell(CostScalar::log2(&opt_yes.cost)),
+            log2_cell(CostScalar::log2(&opt_no.cost)),
+            format!("{measured:.1}"),
+            format!("{certified:.1}"),
+            verdict(ok),
+        ]);
+    }
+    t2.note("The measured optimum gap always meets or beats the certified a^{e−ω−1}; the paper's chain supplies ω gaps of Θ(n), i.e. gaps 2^{Θ(n·log a)} = 2^{Θ(log^{1−δ} K)} after calibrating a(n) = 4^{n^{1/δ}}.");
+    vec![t1, t2]
+}

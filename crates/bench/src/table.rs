@@ -1,0 +1,131 @@
+//! Minimal result-table rendering (plain text and Markdown).
+
+use std::fmt::Display;
+
+/// A result table: title, column headers, string rows, free-form notes.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row of displayable cells.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Plain-text rendering with aligned columns.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// GitHub-flavoured Markdown rendering.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("#### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("*{note}*\n\n"));
+        }
+        out
+    }
+}
+
+/// Formats any `Display` into a cell.
+pub fn cell(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// Formats a base-2 logarithm as `2^x`.
+pub fn log2_cell(bits: f64) -> String {
+    format!("2^{bits:.1}")
+}
+
+/// Formats a boolean verdict.
+pub fn verdict(ok: bool) -> String {
+    if ok { "holds".into() } else { "VIOLATED".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_formats() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec![cell(1), cell("xyz")]);
+        t.note("a note");
+        let text = t.render_text();
+        assert!(text.contains("demo") && text.contains("xyz") && text.contains("a note"));
+        let md = t.render_markdown();
+        assert!(md.contains("| a | bb |") && md.contains("| 1 | xyz |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", &["a"]).row(vec![cell(1), cell(2)]);
+    }
+
+    #[test]
+    fn helper_cells() {
+        assert_eq!(log2_cell(12.34), "2^12.3");
+        assert_eq!(verdict(true), "holds");
+        assert_eq!(verdict(false), "VIOLATED");
+    }
+}

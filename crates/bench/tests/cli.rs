@@ -1,0 +1,80 @@
+//! End-to-end tests of the `aqo` CLI binary: generate → optimize round
+//! trips through the on-disk formats.
+
+use std::process::Command;
+
+fn aqo(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_aqo"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn gen_then_optimize_roundtrip() {
+    let (ok, instance, _) = aqo(&["gen", "chain", "5", "7"]);
+    assert!(ok);
+    assert!(instance.starts_with("qon\n"));
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chain5.qon");
+    std::fs::write(&path, &instance).unwrap();
+
+    let (ok, dp_out, _) = aqo(&["optimize", path.to_str().unwrap()]);
+    assert!(ok, "dp optimize failed");
+    assert!(dp_out.contains("cost"));
+
+    // Exhaustive must agree with the DP on the reported cost line.
+    let (ok, ex_out, _) = aqo(&["optimize", path.to_str().unwrap(), "--method", "exhaustive"]);
+    assert!(ok);
+    let cost_of = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("cost"))
+            .map(|l| l.split(':').nth(1).unwrap().trim().to_string())
+            .expect("cost line")
+    };
+    assert_eq!(cost_of(&dp_out), cost_of(&ex_out));
+
+    // IKKBZ applies (chains are trees) and may not beat the exact optimum.
+    let (ok, ik_out, _) = aqo(&["optimize", path.to_str().unwrap(), "--method", "ikkbz"]);
+    assert!(ok);
+    assert_eq!(cost_of(&ik_out), cost_of(&dp_out), "trees: IKKBZ is exact");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, err) = aqo(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn clique_subcommand_on_dimacs() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("k4.dimacs");
+    std::fs::write(&path, "p edge 5 6\ne 1 2\ne 1 3\ne 1 4\ne 2 3\ne 2 4\ne 3 4\n").unwrap();
+    let (ok, out, _) = aqo(&["clique", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("omega  : 4"), "output: {out}");
+}
+
+#[test]
+fn reduce_3sat_emits_instance() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.cnf");
+    std::fs::write(&path, "p cnf 3 2\n1 2 3 0\n-1 2 -3 0\n").unwrap();
+    let (ok, out, err) = aqo(&["reduce-3sat", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.starts_with("qon\n"));
+    assert!(err.contains("Lemma 3"));
+    // The emitted instance parses back.
+    let inst = aqo_core::textio::qon_from_text(&out).unwrap();
+    assert!(inst.n() > 0);
+}

@@ -1,0 +1,172 @@
+//! Rigorous fixed-point evaluation of `e^x`, as required by the
+//! PARTITION → SPPCS reduction of Appendix A.
+//!
+//! The reduction defines, for `q` fractional bits,
+//!
+//! * `f_q(x) = ⌈2^q·x⌉ / 2^q` — round *up* to the `q`-bit grid, and
+//! * `g_q(x) = 2^q·f_q(e^{x/2K})` — an integer.
+//!
+//! Computing `g_q` correctly requires `⌈2^q · e^{y}⌉` for rational `y`, which
+//! we obtain from a Taylor expansion with an explicit interval enclosure:
+//! the series is summed until the lower and upper bounds of `⌈2^q·e^y⌉`
+//! agree. Since `e^y` is irrational for rational `y ≠ 0`, the true value
+//! never sits exactly on the grid and the loop terminates.
+
+use crate::{BigInt, BigRational, BigUint};
+
+/// An interval `[lo, hi]` enclosing a real value.
+#[derive(Clone, Debug)]
+pub struct Enclosure {
+    /// Lower bound (inclusive).
+    pub lo: BigRational,
+    /// Upper bound (inclusive).
+    pub hi: BigRational,
+}
+
+impl Enclosure {
+    /// Width `hi - lo` of the interval.
+    pub fn width(&self) -> BigRational {
+        &self.hi - &self.lo
+    }
+}
+
+/// Encloses `e^x` for rational `x ≥ 0` with interval width at most `2^-prec_bits`.
+///
+/// Uses the Taylor series at 0 with the standard remainder bound: once the
+/// next term `t` satisfies `t · x/(k+1) < 1/2 · t` (i.e. `x < (k+1)/2`), the
+/// tail is at most `2t`, giving the enclosure `[S, S + 2t]`.
+pub fn exp_enclosure(x: &BigRational, prec_bits: u32) -> Enclosure {
+    assert!(!x.is_negative(), "exp_enclosure requires x >= 0");
+    if x.is_zero() {
+        return Enclosure { lo: BigRational::one(), hi: BigRational::one() };
+    }
+    let eps = BigRational::recip_of(BigUint::one() << prec_bits as u64);
+    let mut sum = BigRational::one();
+    let mut term = x.clone(); // x^k / k!
+    let mut k: u64 = 1;
+    loop {
+        sum = &sum + &term;
+        k += 1;
+        term = &term * x / &BigRational::from(k);
+        // Tail bound: once x/(k+1) <= 1/2 the tail is < 2*term.
+        let ratio_ok = x * &BigRational::from(2u64) < BigRational::from(k + 1);
+        if ratio_ok {
+            let tail = &term * &BigRational::from(2u64);
+            if tail < eps {
+                return Enclosure { lo: sum.clone(), hi: &sum + &tail };
+            }
+        }
+    }
+}
+
+/// `f_q(x) = ⌈2^q·x⌉ / 2^q` from the SPPCS reduction: round up to `q`
+/// fractional bits.
+pub fn f_q(x: &BigRational, q: u32) -> BigRational {
+    let scale = BigRational::from(BigUint::one() << q as u64);
+    let scaled = x * &scale;
+    BigRational::new(scaled.ceil(), BigUint::one() << q as u64)
+}
+
+/// `2^q · f_q(e^{x}) = ⌈2^q·e^x⌉` as an exact integer, for rational `x ≥ 0`.
+///
+/// Adaptively increases the working precision until the ceiling is
+/// unambiguous.
+pub fn ceil_pow2q_exp(x: &BigRational, q: u32) -> BigUint {
+    let scale = BigUint::one() << q as u64;
+    let scale_rat = BigRational::from(scale);
+    let mut prec = q + 16;
+    loop {
+        let enc = exp_enclosure(x, prec);
+        let lo = (&enc.lo * &scale_rat).ceil();
+        let hi = (&enc.hi * &scale_rat).ceil();
+        if lo == hi {
+            let v = lo;
+            assert!(!v.is_negative());
+            return v.magnitude().clone();
+        }
+        prec += 32;
+    }
+}
+
+/// `g_q` from the SPPCS reduction: `g_q(b) = 2^q·f_q(e^{b/2K})` where `K` is
+/// the instance total. Returns the exact integer value.
+pub fn g_q(b: u64, total_2k: u64, q: u32) -> BigUint {
+    assert!(total_2k > 0, "2K must be positive");
+    let x = BigRational::new(BigInt::from(b), BigUint::from(total_2k));
+    ceil_pow2q_exp(&x, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_zero_is_one() {
+        let e = exp_enclosure(&BigRational::zero(), 64);
+        assert_eq!(e.lo, BigRational::one());
+        assert_eq!(e.hi, BigRational::one());
+    }
+
+    #[test]
+    fn exp_one_matches_f64() {
+        let e = exp_enclosure(&BigRational::one(), 80);
+        let lo = e.lo.to_f64();
+        let hi = e.hi.to_f64();
+        assert!(lo <= std::f64::consts::E && std::f64::consts::E <= hi + 1e-15);
+        assert!(e.width().log2() < -79.0);
+    }
+
+    #[test]
+    fn exp_half_bounds() {
+        let half = BigRational::new(BigInt::one(), BigUint::from(2u64));
+        let e = exp_enclosure(&half, 64);
+        let v = 0.5f64.exp();
+        assert!(e.lo.to_f64() <= v && v <= e.hi.to_f64() + 1e-15);
+    }
+
+    #[test]
+    fn f_q_rounds_up() {
+        // f_2(0.3) = ceil(1.2)/4 = 2/4 = 1/2.
+        let x = BigRational::new(BigInt::from(3i64), BigUint::from(10u64));
+        assert_eq!(f_q(&x, 2), BigRational::new(BigInt::from(1i64), BigUint::from(2u64)));
+        // Exact grid points stay put.
+        let y = BigRational::new(BigInt::from(3i64), BigUint::from(4u64));
+        assert_eq!(f_q(&y, 2), y);
+    }
+
+    #[test]
+    fn ceil_pow2q_exp_small_cases() {
+        // ceil(2^4 * e^0) = 16.
+        assert_eq!(ceil_pow2q_exp(&BigRational::zero(), 4), BigUint::from(16u64));
+        // ceil(2^4 * e) = ceil(43.49) = 44.
+        assert_eq!(ceil_pow2q_exp(&BigRational::one(), 4), BigUint::from(44u64));
+        // ceil(2^10 * e^(1/2)) = ceil(1688.36...) = 1689.
+        let half = BigRational::new(BigInt::one(), BigUint::from(2u64));
+        assert_eq!(ceil_pow2q_exp(&half, 10), BigUint::from(1689u64));
+    }
+
+    #[test]
+    fn g_q_monotone_in_b() {
+        // g_q must be strictly increasing for b in [1, K] at reasonable q.
+        let q = 20;
+        let two_k = 40;
+        let mut prev = g_q(0, two_k, q);
+        for b in 1..=20 {
+            let cur = g_q(b, two_k, q);
+            assert!(cur > prev, "g_q not increasing at b={b}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn g_q_matches_f64_at_moderate_precision() {
+        let q = 30;
+        let two_k = 24;
+        for b in [1u64, 5, 12] {
+            let exact = g_q(b, two_k, q);
+            let approx = ((b as f64 / two_k as f64).exp() * (1u64 << q) as f64).ceil();
+            let diff = (exact.to_f64() - approx).abs();
+            assert!(diff <= 1.0, "b={b}: exact={exact} approx={approx}");
+        }
+    }
+}

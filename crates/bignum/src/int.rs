@@ -1,0 +1,363 @@
+//! Signed arbitrary-precision integers: a sign plus a [`BigUint`] magnitude.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+/// Sign of a [`BigInt`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Neg,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Pos,
+}
+
+impl Sign {
+    /// Product of two signs.
+    fn mul(self, other: Sign) -> Sign {
+        use Sign::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (Pos, Pos) | (Neg, Neg) => Pos,
+            _ => Neg,
+        }
+    }
+
+    /// The opposite sign.
+    fn neg(self) -> Sign {
+        match self {
+            Sign::Neg => Sign::Pos,
+            Sign::Zero => Sign::Zero,
+            Sign::Pos => Sign::Neg,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// Invariant: `sign == Sign::Zero` iff `mag.is_zero()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Pos, mag: BigUint::one() }
+    }
+
+    /// Builds from a sign and magnitude, normalizing zero.
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Neg
+    }
+
+    /// Whether this is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Pos
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(if self.is_zero() { Sign::Zero } else { Sign::Pos }, self.mag.clone())
+    }
+
+    /// `self^exp`.
+    pub fn pow(&self, exp: u64) -> BigInt {
+        let mag = self.mag.pow(exp);
+        let sign = if self.sign == Sign::Neg && exp % 2 == 1 { Sign::Neg } else if mag.is_zero() { Sign::Zero } else { Sign::Pos };
+        BigInt::from_sign_mag(if mag.is_zero() { Sign::Zero } else { sign }, mag)
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        match self.sign {
+            Sign::Zero => 0.0,
+            Sign::Pos => self.mag.to_f64(),
+            Sign::Neg => -self.mag.to_f64(),
+        }
+    }
+
+    /// Conversion to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Pos => (m <= i64::MAX as u64).then_some(m as i64),
+            Sign::Neg => {
+                if m <= i64::MAX as u64 {
+                    Some(-(m as i64))
+                } else if m == i64::MAX as u64 + 1 {
+                    Some(i64::MIN)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Pos, BigUint::from(v as u64)),
+            Ordering::Less => BigInt::from_sign_mag(Sign::Neg, BigUint::from(v.unsigned_abs())),
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(Sign::Pos, BigUint::from(v))
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        if v.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(Sign::Pos, v)
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Neg, Neg) => other.mag.cmp(&self.mag),
+            (Neg, _) => Ordering::Less,
+            (Zero, Neg) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Pos) => Ordering::Less,
+            (Pos, Pos) => self.mag.cmp(&other.mag),
+            (Pos, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.neg(), mag: self.mag.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt { sign: self.sign.neg(), mag: self.mag }
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        use Sign::*;
+        match (self.sign, rhs.sign) {
+            (Zero, _) => rhs.clone(),
+            (_, Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, &self.mag + &rhs.mag),
+            _ => match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+            },
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_mag(self.sign.mul(rhs.sign), &self.mag * &rhs.mag)
+    }
+}
+
+impl Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    /// Truncated division (rounds toward zero), matching Rust's `/` on
+    /// primitive integers.
+    fn div(self, rhs: &BigInt) -> BigInt {
+        let q = &self.mag / &rhs.mag;
+        if q.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(self.sign.mul(rhs.sign), q)
+        }
+    }
+}
+
+impl Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    /// Remainder with the sign of the dividend, matching Rust's `%`.
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        let r = &self.mag % &rhs.mag;
+        if r.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt::from_sign_mag(self.sign, r)
+        }
+    }
+}
+
+macro_rules! forward_binop_int {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop_int!(Add, add);
+forward_binop_int!(Sub, sub);
+forward_binop_int!(Mul, mul);
+forward_binop_int!(Div, div);
+forward_binop_int!(Rem, rem);
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            Sign::Neg => write!(f, "-{}", self.mag),
+            _ => write!(f, "{}", self.mag),
+        }
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_arith_matches_i64() {
+        let vals = [-7i64, -3, -1, 0, 1, 2, 5, 11];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(bi(a) + bi(b), bi(a + b), "{a}+{b}");
+                assert_eq!(bi(a) - bi(b), bi(a - b), "{a}-{b}");
+                assert_eq!(bi(a) * bi(b), bi(a * b), "{a}*{b}");
+                if b != 0 {
+                    assert_eq!(bi(a) / bi(b), bi(a / b), "{a}/{b}");
+                    assert_eq!(bi(a) % bi(b), bi(a % b), "{a}%{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        assert_eq!(-bi(5), bi(-5));
+        assert_eq!(-bi(0), bi(0));
+        assert_eq!(bi(-9).abs(), bi(9));
+        assert_eq!(bi(9).abs(), bi(9));
+    }
+
+    #[test]
+    fn pow_sign() {
+        assert_eq!(bi(-2).pow(3), bi(-8));
+        assert_eq!(bi(-2).pow(4), bi(16));
+        assert_eq!(bi(0).pow(5), bi(0));
+        assert_eq!(bi(0).pow(0), bi(1));
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![bi(3), bi(-10), bi(0), bi(-2), bi(7)];
+        v.sort();
+        assert_eq!(v, vec![bi(-10), bi(-2), bi(0), bi(3), bi(7)]);
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(bi(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(bi(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = BigInt::from(BigUint::from(u64::MAX));
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bi(-42).to_string(), "-42");
+        assert_eq!(bi(0).to_string(), "0");
+        assert_eq!(bi(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,921 @@
+//! Unsigned arbitrary-precision integers.
+//!
+//! Representation: little-endian `Vec<u64>` limbs with no trailing zero limb;
+//! the value zero is the empty limb vector. All operations are implemented
+//! from first principles: schoolbook and Karatsuba multiplication, Knuth
+//! Algorithm D division, binary GCD, square-and-multiply exponentiation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, BitAnd, Div, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Number of limbs above which multiplication switches to Karatsuba.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Invariant: `limbs` never has a trailing (most-significant) zero limb, so
+/// the representation of every value is unique and `Eq`/`Ord` can compare
+/// limb vectors directly.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrows the little-endian limbs (no trailing zero limb).
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Whether this is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits; `0` for zero.
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
+        }
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Base-2 logarithm as `f64`; `-inf` for zero.
+    ///
+    /// Accurate to roughly one ULP of `f64` for any magnitude: the top 128
+    /// bits dominate the mantissa and the rest shifts the exponent.
+    pub fn log2(&self) -> f64 {
+        let n = self.limbs.len();
+        match n {
+            0 => f64::NEG_INFINITY,
+            1 => (self.limbs[0] as f64).log2(),
+            _ => {
+                let hi = self.limbs[n - 1] as u128;
+                let lo = self.limbs[n - 2] as u128;
+                let top = (hi << 64) | lo;
+                (top as f64).log2() + ((n - 2) as f64) * 64.0
+            }
+        }
+    }
+
+    /// Lossy conversion to `f64` (`inf` on overflow).
+    pub fn to_f64(&self) -> f64 {
+        let n = self.limbs.len();
+        match n {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => ((self.limbs[1] as u128) << 64 | self.limbs[0] as u128) as f64,
+            _ => {
+                let top = ((self.limbs[n - 1] as u128) << 64 | self.limbs[n - 2] as u128) as f64;
+                top * ((n - 2) as f64 * 64.0).exp2()
+            }
+        }
+    }
+
+    /// Conversion to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// `self - other`, or `None` if it would underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, &o) in other.limbs.iter().enumerate() {
+            let (d1, b1) = out[i].overflowing_sub(o);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 || b2) as u64;
+        }
+        let mut i = other.limbs.len();
+        while borrow != 0 {
+            let (d, b) = out[i].overflowing_sub(borrow);
+            out[i] = d;
+            borrow = b as u64;
+            i += 1;
+        }
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Quotient and remainder; panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Division by a single limb.
+    fn div_rem_limb(&self, d: u64) -> (BigUint, u64) {
+        debug_assert!(d != 0);
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | l as u128;
+            q[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as u64;
+        let u = self << shift; // dividend
+        let v = divisor << shift; // divisor
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs now
+        let vn = &v.limbs;
+        let v_top = vn[n - 1];
+        let v_second = vn[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two limbs of the current remainder.
+            let num = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut q_hat = num / v_top as u128;
+            let mut r_hat = num % v_top as u128;
+            while q_hat >> 64 != 0
+                || q_hat * v_second as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_top as u128;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: un[j..j+n+1] -= q_hat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (un[j + i] as i128) - ((p as u64) as i128) - borrow;
+                un[j + i] = sub as u64;
+                borrow = if sub < 0 { 1 } else { 0 };
+            }
+            let sub = (un[j + n] as i128) - (carry as i128) - borrow;
+            un[j + n] = sub as u64;
+
+            if sub < 0 {
+                // q_hat was one too large: add the divisor back.
+                q_hat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = q_hat as u64;
+        }
+        un.truncate(n);
+        let rem = BigUint::from_limbs(un) >> shift;
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// `self^exp` by square-and-multiply.
+    pub fn pow(&self, mut exp: u64) -> BigUint {
+        if exp == 0 {
+            return BigUint::one();
+        }
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 1 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        &acc * &base
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = a >> az;
+        b = b >> bz;
+        loop {
+            debug_assert!(!a.is_even() && !b.is_even());
+            // Fast path: gcd(1, x) = 1. Crucial for the reduction instances,
+            // whose denominators are pure powers of two — without this the
+            // subtract-shift loop degenerates to O(bits²).
+            if a.is_one() || b.is_one() {
+                return BigUint::one() << common;
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a");
+            if b.is_zero() {
+                return a << common;
+            }
+            b = {
+                let tz = b.trailing_zeros();
+                b >> tz
+            };
+        }
+    }
+
+    /// Number of trailing zero bits; `0` for zero.
+    pub fn trailing_zeros(&self) -> u64 {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i as u64 * 64 + l.trailing_zeros() as u64;
+            }
+        }
+        0
+    }
+
+    /// Integer square root (floor).
+    pub fn isqrt(&self) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        if let Some(v) = self.to_u128() {
+            return BigUint::from(u128_isqrt(v));
+        }
+        // Newton iteration starting above the root.
+        let mut x = BigUint::one() << (self.bits().div_ceil(2));
+        loop {
+            // y = (x + self/x) / 2
+            let y = (&x + &(self / &x)) >> 1u64;
+            if y >= x {
+                return x;
+            }
+            x = y;
+        }
+    }
+
+    /// Ceiling of `self^(num/den)` for small rational exponents with
+    /// `num <= den` (used for `hjmin(b) = ceil(b^η)`).
+    ///
+    /// Computed by binary search over candidates `c` with the exact test
+    /// `c^den >= self^num`.
+    pub fn root_pow_ceil(&self, num: u32, den: u32) -> BigUint {
+        assert!(den > 0 && num <= den, "exponent must be in (0, 1]");
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let target = self.pow(num as u64);
+        // c is in [1, 2^(ceil(bits(target)/den))]
+        let mut lo = BigUint::one();
+        let mut hi = BigUint::one() << target.bits().div_ceil(den as u64);
+        // Invariant: lo^den < target <= hi^den or lo == 1.
+        if lo.pow(den as u64) >= target {
+            return lo;
+        }
+        while &hi - &lo > BigUint::one() {
+            let mid = (&lo + &hi) >> 1u64;
+            if mid.pow(den as u64) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Parses a decimal string (no sign, no separators).
+    pub fn from_decimal(s: &str) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let mut acc = BigUint::zero();
+        // Consume 19 digits at a time (10^19 < 2^64).
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(19);
+            let chunk = &s[i..i + take];
+            let v: u64 = chunk.parse().map_err(|_| ParseBigUintError)?;
+            acc = acc * BigUint::from(10u64.pow(take as u32)) + BigUint::from(v);
+            i += take;
+        }
+        Ok(acc)
+    }
+}
+
+/// Error parsing a [`BigUint`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal BigUint literal")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::from_decimal(s)
+    }
+}
+
+fn u128_isqrt(v: u128) -> u128 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = 1u128 << ((128 - v.leading_zeros()).div_ceil(2));
+    loop {
+        let y = (x + v / x) >> 1;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            o => o,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Addition / subtraction
+// ---------------------------------------------------------------------------
+
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u128;
+    for i in 0..long.len() {
+        let s = long[i] as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+        out.push(s as u64);
+        carry = s >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(add_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multiplication
+// ---------------------------------------------------------------------------
+
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return mul_schoolbook(a, b);
+    }
+    // Karatsuba: split at half of the shorter length.
+    let split = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+    let a0 = BigUint::from_limbs(a0.to_vec());
+    let a1 = BigUint::from_limbs(a1.to_vec());
+    let b0 = BigUint::from_limbs(b0.to_vec());
+    let b1 = BigUint::from_limbs(b1.to_vec());
+
+    let z0 = BigUint::from_limbs(mul_limbs(&a0.limbs, &b0.limbs));
+    let z2 = BigUint::from_limbs(mul_limbs(&a1.limbs, &b1.limbs));
+    let sa = &a0 + &a1;
+    let sb = &b0 + &b1;
+    let z1 = BigUint::from_limbs(mul_limbs(&sa.limbs, &sb.limbs));
+    let z1 = &(&z1 - &z0) - &z2;
+
+    let shift = (split * 64) as u64;
+    let r = &(&z2 << (2 * shift)) + &(&z1 << shift);
+    (&r + &z0).limbs
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(mul_limbs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl BitAnd<u64> for &BigUint {
+    type Output = u64;
+    fn bitand(self, rhs: u64) -> u64 {
+        self.limbs.first().copied().unwrap_or(0) & rhs
+    }
+}
+
+// Shifts ---------------------------------------------------------------------
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, rhs: u64) -> BigUint {
+        if self.is_zero() || rhs == 0 {
+            return self.clone();
+        }
+        let limb_shift = (rhs / 64) as usize;
+        let bit_shift = rhs % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, rhs: u64) -> BigUint {
+        if self.is_zero() || rhs == 0 {
+            return self.clone();
+        }
+        let limb_shift = (rhs / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = rhs % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+// Owned-operand forwarding ----------------------------------------------------
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl Shl<u64> for BigUint {
+    type Output = BigUint;
+    fn shl(self, rhs: u64) -> BigUint {
+        (&self) << rhs
+    }
+}
+
+impl Shr<u64> for BigUint {
+    type Output = BigUint;
+    fn shr(self, rhs: u64) -> BigUint {
+        (&self) >> rhs
+    }
+}
+
+impl Shr<u32> for BigUint {
+    type Output = BigUint;
+    fn shr(self, rhs: u32) -> BigUint {
+        (&self) >> rhs as u64
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut rest = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !rest.is_zero() {
+            let (q, r) = rest.div_rem_limb(CHUNK);
+            parts.push(r);
+            rest = q;
+        }
+        let mut s = parts.pop().unwrap().to_string();
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{p:019}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits() <= 256 {
+            write!(f, "BigUint({self})")
+        } else {
+            write!(f, "BigUint(~2^{:.2})", self.log2())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from(0u64), BigUint::zero());
+    }
+
+    #[test]
+    fn add_small() {
+        assert_eq!(big(2) + big(3), big(5));
+        assert_eq!(big(u64::MAX as u128) + big(1), big(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_small() {
+        assert_eq!(big(5) - big(3), big(2));
+        assert_eq!(big(1u128 << 64) - big(1), big(u64::MAX as u128));
+        assert_eq!(big(7).checked_sub(&big(8)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1) - big(2);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(big(7) * big(6), big(42));
+        assert_eq!(big(u64::MAX as u128) * big(u64::MAX as u128), big(u64::MAX as u128 * u64::MAX as u128));
+        assert_eq!(big(123) * BigUint::zero(), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_basics() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!((q, r), (big(14), big(2)));
+        let (q, r) = big(5).div_rem(&big(7));
+        assert_eq!((q, r), (BigUint::zero(), big(5)));
+        let (q, r) = big(7).div_rem(&big(7));
+        assert_eq!((q, r), (BigUint::one(), BigUint::zero()));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from(3u64).pow(300);
+        let b = BigUint::from(7u64).pow(100);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Exercise a dividend/divisor pair shaped to force q_hat corrections.
+        let a = (BigUint::one() << 192) - BigUint::one();
+        let b = (BigUint::one() << 128) - (BigUint::one() << 64);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let mut acc = BigUint::one();
+        let base = big(97);
+        for e in 0..20u64 {
+            assert_eq!(base.pow(e), acc);
+            acc = &acc * &base;
+        }
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let v = BigUint::from(0xDEAD_BEEF_u64);
+        assert_eq!((&v << 67) >> 67u64, v);
+        assert_eq!(&v << 0, v);
+        assert_eq!((&v >> 200), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_small() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        let a = big(2 * 3 * 5 * 7) * big(1_000_003);
+        let b = big(3 * 5 * 11) * big(1_000_003);
+        assert_eq!(a.gcd(&b), big(15) * big(1_000_003));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let v: BigUint = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        let huge = BigUint::from(10u64).pow(100);
+        let s = huge.to_string();
+        assert_eq!(s.len(), 101);
+        assert!(s.starts_with('1') && s[1..].bytes().all(|b| b == b'0'));
+        assert_eq!(BigUint::from_decimal(&s).unwrap(), huge);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigUint::from_decimal("").is_err());
+        assert!(BigUint::from_decimal("12a").is_err());
+        assert!(BigUint::from_decimal("-5").is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(BigUint::from(3u64).pow(100) > BigUint::from(2u64).pow(150));
+        assert!(BigUint::from(2u64).pow(151) > BigUint::from(2u64).pow(150));
+    }
+
+    #[test]
+    fn bits_and_log2() {
+        assert_eq!(big(1).bits(), 1);
+        assert_eq!(big(255).bits(), 8);
+        assert_eq!(big(256).bits(), 9);
+        let v = BigUint::from(2u64).pow(777);
+        assert_eq!(v.bits(), 778);
+        assert!((v.log2() - 777.0).abs() < 1e-9);
+        let w = BigUint::from(3u64).pow(100);
+        assert!((w.log2() - 100.0 * 3f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_f64_magnitudes() {
+        assert_eq!(big(12345).to_f64(), 12345.0);
+        let v = BigUint::from(2u64).pow(200);
+        let rel = (v.to_f64() - 2f64.powi(200)).abs() / 2f64.powi(200);
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        assert_eq!(big(0).isqrt(), big(0));
+        assert_eq!(big(1).isqrt(), big(1));
+        assert_eq!(big(15).isqrt(), big(3));
+        assert_eq!(big(16).isqrt(), big(4));
+        let n = BigUint::from(12345u64).pow(10);
+        let r = n.isqrt();
+        assert!(r.pow(2) <= n);
+        assert!((&r + BigUint::one()).pow(2) > n);
+    }
+
+    #[test]
+    fn root_pow_ceil_matches_f64_small() {
+        for v in [1u64, 2, 3, 10, 100, 1000, 65536] {
+            let got = BigUint::from(v).root_pow_ceil(1, 2);
+            let want = (v as f64).sqrt().ceil() as u64;
+            assert_eq!(got.to_u64().unwrap(), want, "sqrt ceil of {v}");
+        }
+        // b^(2/3) for perfect cubes is exact.
+        assert_eq!(BigUint::from(8u64).root_pow_ceil(2, 3), big(4));
+        assert_eq!(BigUint::from(27u64).root_pow_ceil(2, 3), big(9));
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Construct operands big enough to trigger Karatsuba.
+        let a = BigUint::from_limbs((0..80u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
+        let b = BigUint::from_limbs((0..70u64).map(|i| (i + 3).wrapping_mul(0xC2B2AE3D27D4EB4F)).collect());
+        let fast = &a * &b;
+        let slow = BigUint::from_limbs(mul_schoolbook(a.limbs(), b.limbs()));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(big(8).trailing_zeros(), 3);
+        assert_eq!((BigUint::one() << 130).trailing_zeros(), 130);
+    }
+}

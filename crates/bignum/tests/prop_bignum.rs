@@ -1,0 +1,182 @@
+//! Property-based tests for the bignum substrate: ring axioms, division
+//! invariants, radix round-trips, and agreement between the exact types and
+//! the log-domain companion.
+
+use aqo_bignum::{BigInt, BigRational, BigUint, LogNum};
+use proptest::prelude::*;
+
+fn biguint() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..8).prop_map(BigUint::from_limbs)
+}
+
+fn bigint() -> impl Strategy<Value = BigInt> {
+    (biguint(), any::<bool>()).prop_map(|(m, neg)| {
+        let b = BigInt::from(m);
+        if neg {
+            -b
+        } else {
+            b
+        }
+    })
+}
+
+fn bigrational() -> impl Strategy<Value = BigRational> {
+    (bigint(), prop::collection::vec(any::<u64>(), 1..4))
+        .prop_map(|(n, d)| {
+            let den = BigUint::from_limbs(d);
+            let den = if den.is_zero() { BigUint::one() } else { den };
+            BigRational::new(n, den)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributive(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_add_roundtrip(a in biguint(), b in biguint()) {
+        let s = &a + &b;
+        prop_assert_eq!(&s - &a, b.clone());
+        prop_assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn div_rem_invariant(a in biguint(), b in biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&q * &b + &r, a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in biguint()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigUint::from_decimal(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in biguint(), k in 0u64..200) {
+        prop_assert_eq!(&a << k, &a * &BigUint::from(2u64).pow(k));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint(), b in biguint()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt(a in biguint()) {
+        let r = a.isqrt();
+        prop_assert!(r.pow(2) <= a);
+        prop_assert!((&r + BigUint::one()).pow(2) > a);
+    }
+
+    #[test]
+    fn log2_vs_bits(a in biguint()) {
+        prop_assume!(!a.is_zero());
+        let l = a.log2();
+        let bits = a.bits() as f64;
+        prop_assert!(l <= bits);
+        prop_assert!(l >= bits - 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn bigint_add_neg_cancels(a in bigint()) {
+        prop_assert_eq!(&a + &(-&a), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_mul_sign(a in bigint(), b in bigint()) {
+        let p = &a * &b;
+        if a.is_zero() || b.is_zero() {
+            prop_assert!(p.is_zero());
+        } else {
+            prop_assert_eq!(p.is_negative(), a.is_negative() != b.is_negative());
+        }
+    }
+
+    #[test]
+    fn rational_field_axioms(a in bigrational(), b in bigrational(), c in bigrational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn rational_reduced_invariant(a in bigrational()) {
+        prop_assume!(!a.is_zero());
+        let g = a.numer().magnitude().gcd(a.denom());
+        prop_assert!(g.is_one());
+    }
+
+    #[test]
+    fn rational_recip_involution(a in bigrational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(a in bigrational()) {
+        let f = BigRational::from(a.floor());
+        let c = BigRational::from(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(&c - &f <= BigRational::one());
+    }
+
+    #[test]
+    fn lognum_tracks_rational_products(xs in prop::collection::vec(1u64..1_000_000, 1..12)) {
+        let exact: BigRational = xs.iter().map(|&v| BigRational::from(v)).product();
+        let log: LogNum = xs.iter().map(|&v| LogNum::from(v)).product();
+        prop_assert!((exact.log2() - log.log2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lognum_tracks_rational_sums(xs in prop::collection::vec(1u64..1_000_000, 1..12)) {
+        let exact: BigRational = xs.iter().map(|&v| BigRational::from(v)).sum();
+        let log: LogNum = xs.iter().map(|&v| LogNum::from(v)).sum();
+        prop_assert!((exact.log2() - log.log2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn root_pow_ceil_definition(a in biguint(), num in 1u32..4, den in 1u32..5) {
+        prop_assume!(!a.is_zero());
+        prop_assume!(num <= den);
+        let c = a.root_pow_ceil(num, den);
+        // c is the least integer with c^den >= a^num.
+        prop_assert!(c.pow(den as u64) >= a.pow(num as u64));
+        if !c.is_one() {
+            let below = &c - &BigUint::one();
+            prop_assert!(below.pow(den as u64) < a.pow(num as u64));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! **SQO−CP** — star query optimization without cartesian products
+//! (paper Appendix A).
+//!
+//! A star query joins a central relation `R_0` with satellites
+//! `R_1 … R_m`; the only predicates are between `R_0` and each `R_i`. Joins
+//! may be computed by nested loops or by sort-merge, and cartesian products
+//! are forbidden, so a feasible sequence has `R_0` in the first or second
+//! position. The cost of a feasible sequence is the inductive function `D`
+//! of §A.2:
+//!
+//! ```text
+//! D(φ, R_0 M_i Y)   = b_0 + w_i·n_0 + D(R_0 M_i, Y)          (M = N)
+//! D(φ, R_r M_0 Y)   = b_r + w_{0,r}·n_r + D(R_r M_0, Y)      (M = N, r ≠ 0)
+//! D(φ, R_r S_i Y)   = C_sm(R_r, R_i) + D(R_r S_i, Y) = A_r + A_i + …
+//! D(W, S_i Y)       = b(W)·(k_s − 1) + A_i + D(W S_i, Y)
+//! D(W, N_i Y)       = n(W)·w_i + D(W N_i, Y)
+//! D(W, φ)           = 0
+//! ```
+//!
+//! with `b(X) = n(X)` once `X` holds at least two relations (output tuples
+//! occupy one page each) and
+//! `n(X) = n_0 · ∏_{i ∈ X∖{0}} n_i·s_i`.
+
+use aqo_bignum::{BigRational, BigUint};
+use std::fmt;
+
+/// Join method for one position of a star plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinMethod {
+    /// Nested-loops join (`N_i`).
+    NestedLoops,
+    /// Two-pass sort-merge join (`S_i`).
+    SortMerge,
+}
+
+/// An instance of SQO−CP: `m + 1` relations with `R_0` central.
+#[derive(Clone, Debug)]
+pub struct SqoCpInstance {
+    ks: u64,
+    tuples: Vec<BigUint>,
+    pages: Vec<BigUint>,
+    sort_cost: Vec<BigUint>,
+    selectivity: Vec<BigRational>,
+    w: Vec<BigUint>,
+    w0: Vec<BigUint>,
+}
+
+impl SqoCpInstance {
+    /// Builds and validates an instance.
+    ///
+    /// * `ks` — passes constant of the 2-pass sort (`sort-cost = b·k_s` from
+    ///   disk, `b·(k_s − 1)` when streaming);
+    /// * `tuples[i] = n_i`, `pages[i] = b_i`, `sort_cost[i] = A_i` for
+    ///   `0 ≤ i ≤ m` — all vectors of length `m + 1`;
+    /// * `selectivity[i] = s_i` (predicate `R_0 ⋈ R_i`), `w[i] = w_i`,
+    ///   `w0[i] = w_{0,i}` for `1 ≤ i ≤ m` — vectors of length `m + 1` whose
+    ///   index-0 slot is ignored (kept for direct paper-style indexing).
+    pub fn new(
+        ks: u64,
+        tuples: Vec<BigUint>,
+        pages: Vec<BigUint>,
+        sort_cost: Vec<BigUint>,
+        selectivity: Vec<BigRational>,
+        w: Vec<BigUint>,
+        w0: Vec<BigUint>,
+    ) -> Self {
+        let len = tuples.len();
+        assert!(len >= 2, "a star query needs the centre and one satellite");
+        assert!(ks >= 2, "a 2-pass sort reads+writes at least twice");
+        assert_eq!(pages.len(), len, "pages length mismatch");
+        assert_eq!(sort_cost.len(), len, "sort_cost length mismatch");
+        assert_eq!(selectivity.len(), len, "selectivity length mismatch");
+        assert_eq!(w.len(), len, "w length mismatch");
+        assert_eq!(w0.len(), len, "w0 length mismatch");
+        for i in 1..len {
+            assert!(
+                selectivity[i].is_positive() && selectivity[i] <= BigRational::one(),
+                "selectivity s_{i} out of (0,1]"
+            );
+        }
+        SqoCpInstance { ks, tuples, pages, sort_cost, selectivity, w, w0 }
+    }
+
+    /// Number of satellites `m`.
+    pub fn m(&self) -> usize {
+        self.tuples.len() - 1
+    }
+
+    /// The sort-pass constant `k_s`.
+    pub fn ks(&self) -> u64 {
+        self.ks
+    }
+
+    /// `n_i`.
+    pub fn tuples(&self, i: usize) -> &BigUint {
+        &self.tuples[i]
+    }
+
+    /// `b_i`.
+    pub fn pages(&self, i: usize) -> &BigUint {
+        &self.pages[i]
+    }
+
+    /// `A_i` (cost of sorting the disk-resident `R_i`).
+    pub fn sort_cost(&self, i: usize) -> &BigUint {
+        &self.sort_cost[i]
+    }
+
+    /// `s_i` for a satellite `i ≥ 1`.
+    pub fn selectivity(&self, i: usize) -> &BigRational {
+        assert!(i >= 1, "selectivity indexed from 1");
+        &self.selectivity[i]
+    }
+
+    /// `w_i` for a satellite `i ≥ 1`.
+    pub fn w(&self, i: usize) -> &BigUint {
+        assert!(i >= 1);
+        &self.w[i]
+    }
+
+    /// `w_{0,i}` for a satellite `i ≥ 1`.
+    pub fn w0(&self, i: usize) -> &BigUint {
+        assert!(i >= 1);
+        &self.w0[i]
+    }
+
+    /// `n(X)` for the relation set containing `R_0` and the satellites in
+    /// `sats`: `n_0 · ∏ n_i s_i`.
+    pub fn intermediate_tuples(&self, sats: &[usize]) -> BigRational {
+        let mut nx = BigRational::from(self.tuples[0].clone());
+        for &i in sats {
+            assert!(i >= 1, "satellite indices start at 1");
+            nx = nx * BigRational::from(self.tuples[i].clone()) * &self.selectivity[i];
+        }
+        nx
+    }
+}
+
+/// A star plan: a feasible join order plus a method per join.
+#[derive(Clone, PartialEq, Eq)]
+pub struct StarPlan {
+    /// Permutation of `0..=m`; `R_0` must be at index 0 or 1.
+    pub order: Vec<usize>,
+    /// `methods[p]` is the method of the join at position `p + 1` (the join
+    /// that brings in `order[p + 1]`); length `m`.
+    pub methods: Vec<JoinMethod>,
+}
+
+impl fmt::Debug for StarPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StarPlan(order={:?}, methods={:?})", self.order, self.methods)
+    }
+}
+
+impl StarPlan {
+    /// Validates shape and the no-cartesian-product constraint.
+    pub fn new(order: Vec<usize>, methods: Vec<JoinMethod>) -> Self {
+        let n = order.len();
+        assert!(n >= 2, "plan needs at least two relations");
+        assert_eq!(methods.len(), n - 1, "one method per join");
+        let mut seen = vec![false; n];
+        for &v in &order {
+            assert!(v < n, "relation {v} out of range");
+            assert!(!seen[v], "relation {v} repeated");
+            seen[v] = true;
+        }
+        assert!(order[0] == 0 || order[1] == 0, "cartesian product: R_0 must come first or second");
+        StarPlan { order, methods }
+    }
+}
+
+impl SqoCpInstance {
+    /// `C(Z)`: the cost of a feasible plan under the inductive `D` of §A.2.
+    pub fn plan_cost(&self, plan: &StarPlan) -> BigRational {
+        let mlen = self.m() + 1;
+        assert_eq!(plan.order.len(), mlen, "plan relation count mismatch");
+        let r = plan.order[0];
+        let t = plan.order[1];
+        // First join: D(φ, R_r M_t Y).
+        let mut cost = match plan.methods[0] {
+            JoinMethod::NestedLoops => {
+                if r == 0 {
+                    // b_0 + w_t·n_0
+                    BigRational::from(self.pages[0].clone())
+                        + BigRational::from(self.w[t].clone())
+                            * BigRational::from(self.tuples[0].clone())
+                } else {
+                    // b_r + w_{0,r}·n_r   (t == 0 by feasibility)
+                    debug_assert_eq!(t, 0);
+                    BigRational::from(self.pages[r].clone())
+                        + BigRational::from(self.w0[r].clone())
+                            * BigRational::from(self.tuples[r].clone())
+                }
+            }
+            JoinMethod::SortMerge => {
+                // C_sm(R_r, R_t) = A_r + A_t.
+                BigRational::from(self.sort_cost[r].clone())
+                    + BigRational::from(self.sort_cost[t].clone())
+            }
+        };
+        // Running intermediate n(W) after the first join.
+        let sat_of_pair = if r == 0 { t } else { r };
+        let mut nx = self.intermediate_tuples(&[sat_of_pair]);
+        let ks_minus_1 = BigRational::from(self.ks - 1);
+        for p in 2..mlen {
+            let i = plan.order[p];
+            debug_assert!(i >= 1, "R_0 already joined");
+            match plan.methods[p - 1] {
+                JoinMethod::NestedLoops => {
+                    // n(W)·w_i
+                    cost = cost + &nx * &BigRational::from(self.w[i].clone());
+                }
+                JoinMethod::SortMerge => {
+                    // b(W)(k_s−1) + A_i, with b(W) = n(W).
+                    cost = cost
+                        + &nx * &ks_minus_1
+                        + BigRational::from(self.sort_cost[i].clone());
+                }
+            }
+            nx = nx
+                * BigRational::from(self.tuples[i].clone())
+                * &self.selectivity[i];
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_bignum::BigInt;
+
+    /// Hand-checkable instance: m = 2 satellites.
+    ///
+    /// k_s = 4. n = (10, 6, 4); b = (10, 6, 4); A_i = b_i·k_s = (40, 24, 16).
+    /// s_1 = 1/2, s_2 = 1/4. w = (−, 3, 2); w0 = (−, 5, 5).
+    fn tiny() -> SqoCpInstance {
+        SqoCpInstance::new(
+            4,
+            vec![BigUint::from(10u64), BigUint::from(6u64), BigUint::from(4u64)],
+            vec![BigUint::from(10u64), BigUint::from(6u64), BigUint::from(4u64)],
+            vec![BigUint::from(40u64), BigUint::from(24u64), BigUint::from(16u64)],
+            vec![
+                BigRational::one(), // unused slot 0
+                BigRational::new(BigInt::one(), BigUint::from(2u64)),
+                BigRational::new(BigInt::one(), BigUint::from(4u64)),
+            ],
+            vec![BigUint::zero(), BigUint::from(3u64), BigUint::from(2u64)],
+            vec![BigUint::zero(), BigUint::from(5u64), BigUint::from(5u64)],
+        )
+    }
+
+    #[test]
+    fn intermediate_tuples_product() {
+        let inst = tiny();
+        // n({0}) = 10; n({0,1}) = 10·6/2 = 30; n({0,1,2}) = 30·4/4 = 30.
+        assert_eq!(inst.intermediate_tuples(&[]), BigRational::from(10u64));
+        assert_eq!(inst.intermediate_tuples(&[1]), BigRational::from(30u64));
+        assert_eq!(inst.intermediate_tuples(&[1, 2]), BigRational::from(30u64));
+    }
+
+    #[test]
+    fn nested_loops_all_the_way() {
+        let inst = tiny();
+        // Z = R0 N_1 N_2:
+        //   b_0 + w_1·n_0 = 10 + 3·10 = 40
+        //   n({0,1})·w_2 = 30·2 = 60   → total 100.
+        let plan = StarPlan::new(
+            vec![0, 1, 2],
+            vec![JoinMethod::NestedLoops, JoinMethod::NestedLoops],
+        );
+        assert_eq!(inst.plan_cost(&plan), BigRational::from(100u64));
+    }
+
+    #[test]
+    fn satellite_first_nested_loops() {
+        let inst = tiny();
+        // Z = R1 N_0 N_2:
+        //   b_1 + w_{0,1}·n_1 = 6 + 5·6 = 36
+        //   n({0,1})·w_2 = 30·2 = 60  → total 96.
+        let plan = StarPlan::new(
+            vec![1, 0, 2],
+            vec![JoinMethod::NestedLoops, JoinMethod::NestedLoops],
+        );
+        assert_eq!(inst.plan_cost(&plan), BigRational::from(96u64));
+    }
+
+    #[test]
+    fn sort_merge_costs() {
+        let inst = tiny();
+        // Z = R0 S_1 S_2:
+        //   C_sm(R0, R1) = A_0 + A_1 = 64
+        //   b(W)(k_s−1) + A_2 = 30·3 + 16 = 106  → total 170.
+        let plan =
+            StarPlan::new(vec![0, 1, 2], vec![JoinMethod::SortMerge, JoinMethod::SortMerge]);
+        assert_eq!(inst.plan_cost(&plan), BigRational::from(170u64));
+    }
+
+    #[test]
+    fn mixed_methods() {
+        let inst = tiny();
+        // Z = R0 S_2 N_1:
+        //   C_sm(R0, R2) = 40 + 16 = 56
+        //   n({0,2})·w_1 = 10·w_1 = 30  (n({0,2}) = 10·4/4 = 10) → 86.
+        let plan =
+            StarPlan::new(vec![0, 2, 1], vec![JoinMethod::SortMerge, JoinMethod::NestedLoops]);
+        assert_eq!(inst.plan_cost(&plan), BigRational::from(86u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "cartesian product")]
+    fn satellites_first_two_rejected() {
+        StarPlan::new(vec![1, 2, 0], vec![JoinMethod::NestedLoops, JoinMethod::NestedLoops]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn duplicate_relation_rejected() {
+        StarPlan::new(vec![0, 1, 1], vec![JoinMethod::NestedLoops, JoinMethod::NestedLoops]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Robustness and round-trip property tests for the text instance format.
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{textio, AccessCostMatrix, JoinSequence, SelectivityMatrix};
+use aqo_graph::Graph;
+use proptest::prelude::*;
+
+fn instance() -> impl Strategy<Value = QoNInstance> {
+    (2usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge((next() % v as u64) as usize, v);
+        }
+        let sizes: Vec<BigUint> =
+            (0..n).map(|_| BigUint::from(2u64).pow(1 + next() % 90)).collect();
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 1000));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone().max(BigUint::one()));
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qon_text_roundtrip_exact(inst in instance()) {
+        let text = textio::qon_to_text(&inst);
+        let back = textio::qon_from_text(&text).unwrap();
+        prop_assert_eq!(back.n(), inst.n());
+        prop_assert_eq!(back.graph().m(), inst.graph().m());
+        // Costs agree on an arbitrary sequence.
+        let z = JoinSequence::identity(inst.n());
+        let a: BigRational = inst.total_cost(&z);
+        let b: BigRational = back.total_cost(&z);
+        prop_assert_eq!(a, b);
+        // And the serialization is stable (idempotent).
+        prop_assert_eq!(textio::qon_to_text(&back), text);
+    }
+
+    #[test]
+    fn qon_parser_never_panics(garbage in "[a-z0-9 /\n#]{0,200}") {
+        // Arbitrary text must produce Ok or Err, never a panic.
+        let _ = textio::qon_from_text(&garbage);
+        let _ = textio::qoh_from_text(&garbage);
+    }
+}

@@ -1,0 +1,177 @@
+//! A hybrid hash-join spill simulator for the QO_H cost shape (§2.2).
+//!
+//! The paper abstracts one hash join's I/O as
+//! `h(m, b_R, b_S) = (b_R + b_S)·Θ(g(m, b_S)) + b_S` with `g` linear
+//! decreasing, `g(b_S) = 0`, `g(hjmin) = Θ(1)`. This module *simulates* the
+//! mechanism behind that abstraction — hybrid hash partitioning where the
+//! buckets that don't fit in memory spill to disk and force both build and
+//! probe tuples through extra I/O — and measures the spilled fraction, so
+//! the model's structural constraints on `g` can be checked against an
+//! operational account rather than taken on faith:
+//!
+//! * below some minimum memory the join cannot run (too many buckets);
+//! * between the minimum and `b_S` the spilled I/O decreases (essentially
+//!   linearly) in `m`;
+//! * at `m ≥ b_S` nothing spills.
+
+use rand::Rng;
+
+/// Result of simulating one hybrid hash join.
+#[derive(Clone, Debug)]
+pub struct SpillReport {
+    /// Pages of build-side input (`b_S`).
+    pub build_pages: usize,
+    /// Pages of probe-side input (`b_R`).
+    pub probe_pages: usize,
+    /// Pages written to + read back from disk because their bucket spilled
+    /// (both sides).
+    pub spilled_io: usize,
+    /// The fraction of input that spilled: `spilled_io / (b_R + b_S)`.
+    pub spilled_fraction: f64,
+}
+
+/// Simulates a hybrid hash join of a build side with `build_pages` pages
+/// and a probe side with `probe_pages` pages under `memory` pages of
+/// budget, using `buckets` hash partitions.
+///
+/// Mechanism: build tuples hash uniformly into `buckets` partitions; the
+/// simulator keeps the largest prefix of partitions that fits in
+/// `memory − buckets` pages (one page per bucket is reserved as an output
+/// buffer — this is what makes very small memory infeasible) and spills the
+/// rest. A spilled page costs one write and one read on each side.
+///
+/// Returns `None` when the join is infeasible (`memory ≤ buckets`: no room
+/// for even the output buffers plus one resident page).
+pub fn simulate(
+    build_pages: usize,
+    probe_pages: usize,
+    memory: usize,
+    buckets: usize,
+    rng: &mut impl Rng,
+) -> Option<SpillReport> {
+    assert!(buckets >= 1 && build_pages >= 1);
+    if memory <= buckets {
+        return None;
+    }
+    // Distribute build pages over buckets (uniform hashing).
+    let mut bucket_build = vec![0usize; buckets];
+    for _ in 0..build_pages {
+        bucket_build[rng.gen_range(0..buckets)] += 1;
+    }
+    let mut bucket_probe = vec![0usize; buckets];
+    for _ in 0..probe_pages {
+        bucket_probe[rng.gen_range(0..buckets)] += 1;
+    }
+    // Keep buckets resident greedily (largest first) within the budget.
+    let mut order: Vec<usize> = (0..buckets).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(bucket_build[b]));
+    let mut free = memory - buckets; // one output-buffer page per bucket
+    let mut resident = vec![false; buckets];
+    for &b in &order {
+        if bucket_build[b] <= free {
+            resident[b] = true;
+            free -= bucket_build[b];
+        }
+    }
+    let spilled_io: usize = (0..buckets)
+        .filter(|&b| !resident[b])
+        .map(|b| 2 * (bucket_build[b] + bucket_probe[b]))
+        .sum();
+    let total = build_pages + probe_pages;
+    Some(SpillReport {
+        build_pages,
+        probe_pages,
+        spilled_io,
+        spilled_fraction: spilled_io as f64 / (2 * total) as f64,
+    })
+}
+
+/// Sweeps memory from the infeasibility threshold to `b_S` and reports
+/// `(memory, average spilled fraction)` — the empirical counterpart of
+/// the model's `g(m, b_S)` curve.
+pub fn g_curve(
+    build_pages: usize,
+    probe_pages: usize,
+    buckets: usize,
+    points: usize,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Vec<(usize, f64)> {
+    assert!(points >= 2);
+    let min_m = buckets + 1;
+    let max_m = build_pages + buckets;
+    (0..points)
+        .map(|i| {
+            let m = min_m + (max_m - min_m) * i / (points - 1);
+            let avg: f64 = (0..trials)
+                .map(|_| {
+                    simulate(build_pages, probe_pages, m, buckets, rng)
+                        .expect("m above threshold")
+                        .spilled_fraction
+                })
+                .sum::<f64>()
+                / trials as f64;
+            (m, avg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn infeasible_below_bucket_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(simulate(100, 100, 16, 16, &mut rng).is_none());
+        assert!(simulate(100, 100, 17, 16, &mut rng).is_some());
+    }
+
+    #[test]
+    fn no_spill_with_full_memory() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = simulate(200, 500, 200 + 32, 32, &mut rng).unwrap();
+        assert_eq!(r.spilled_io, 0);
+        assert_eq!(r.spilled_fraction, 0.0);
+    }
+
+    #[test]
+    fn everything_spills_near_threshold() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Memory only one page above the output buffers: almost every
+        // bucket spills.
+        let r = simulate(1000, 1000, 33, 32, &mut rng).unwrap();
+        assert!(r.spilled_fraction > 0.9, "fraction {}", r.spilled_fraction);
+    }
+
+    #[test]
+    fn g_curve_is_monotone_and_anchored() {
+        // The empirical curve respects the model's constraints on g:
+        // decreasing in m, ~1 at the minimum, 0 at b_S.
+        let mut rng = StdRng::seed_from_u64(4);
+        let curve = g_curve(512, 2048, 16, 9, 8, &mut rng);
+        assert!(curve.first().unwrap().1 > 0.85);
+        assert_eq!(curve.last().unwrap().1, 0.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 0.03, "non-monotone: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn g_curve_is_roughly_linear_mid_range() {
+        // Linear-shape check: the midpoint of the curve is within 0.15 of
+        // the straight line between its endpoints (the paper requires g
+        // linear; uniform hashing gives it up to bucket granularity).
+        let mut rng = StdRng::seed_from_u64(5);
+        let curve = g_curve(1024, 1024, 16, 11, 10, &mut rng);
+        let (x0, y0) = curve[0];
+        let (x1, y1) = *curve.last().unwrap();
+        for &(x, y) in &curve[1..curve.len() - 1] {
+            let t = (x - x0) as f64 / (x1 - x0) as f64;
+            let line = y0 + t * (y1 - y0);
+            assert!((y - line).abs() < 0.15, "deviation at m={x}: {y} vs {line}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! A micro join-execution engine that *runs* the queries the cost model
+//! prices.
+//!
+//! The paper's QO_N cost model (§2.1) is analytic: `N(X)` estimates
+//! intermediate cardinalities as independence products, and
+//! `H_i = N(X)·min_k w_{jk}` charges the cheapest per-outer-tuple access
+//! path. This crate closes the loop: it synthesizes relations whose join
+//! columns *actually have* the declared selectivities (in expectation),
+//! executes left-deep nested-loops plans tuple by tuple, counts real work,
+//! and compares against the model — the calibration a downstream adopter
+//! would demand before trusting any of the optimizers.
+//!
+//! * [`data`] — synthetic relation generation matched to a
+//!   [`QoNInstance`](aqo_core::qon::QoNInstance)'s selectivity matrix;
+//! * [`engine`] — left-deep nested-loops / index-probe execution with work
+//!   counters;
+//! * [`validate`] — model-vs-measured comparison over repeated trials;
+//! * [`hashjoin`] — a hybrid-hash spill simulator checking the §2.2 `g`
+//!   shape (linear, anchored at `hjmin` and `b_S`) operationally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod engine;
+pub mod hashjoin;
+pub mod validate;
+
+pub use data::Database;
+pub use engine::{ExecutionReport, Executor};

@@ -1,0 +1,148 @@
+//! Model-vs-measured calibration: run a plan repeatedly on fresh synthetic
+//! data and compare average measured cardinalities/work against the
+//! analytic `N(X)` / `H_i` / `C(Z)`.
+
+use crate::{Database, Executor};
+use aqo_bignum::BigRational;
+use aqo_core::{qon::QoNInstance, CostScalar, JoinSequence};
+use rand::Rng;
+
+/// Outcome of a calibration run.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// Predicted intermediate cardinalities `N_0 … N_{n−1}` (as `f64`).
+    pub predicted_intermediates: Vec<f64>,
+    /// Average measured intermediate cardinalities.
+    pub measured_intermediates: Vec<f64>,
+    /// Predicted total cost `C(Z)` under the instance's `w` entries.
+    pub predicted_cost: f64,
+    /// Average measured total work (index mode).
+    pub measured_work: f64,
+    /// Trials averaged.
+    pub trials: usize,
+}
+
+impl Calibration {
+    /// Worst relative error between predicted and measured intermediates
+    /// (skipping predictions below `floor` where sampling noise dominates).
+    pub fn worst_intermediate_error(&self, floor: f64) -> f64 {
+        self.predicted_intermediates
+            .iter()
+            .zip(&self.measured_intermediates)
+            .filter(|(p, _)| **p >= floor)
+            .map(|(p, m)| ((m - p) / p).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Relative error of total work against the model cost.
+    pub fn cost_error(&self) -> f64 {
+        ((self.measured_work - self.predicted_cost) / self.predicted_cost).abs()
+    }
+}
+
+/// Runs `trials` executions of `z` on independently generated databases and
+/// aggregates the comparison.
+pub fn calibrate(
+    inst: &QoNInstance,
+    z: &JoinSequence,
+    trials: usize,
+    rng: &mut impl Rng,
+) -> Calibration {
+    assert!(trials >= 1);
+    let report = inst.cost::<BigRational>(z);
+    let predicted_intermediates: Vec<f64> =
+        report.intermediates.iter().map(|v| CostScalar::log2(v).exp2()).collect();
+    let predicted_cost = CostScalar::log2(&report.total).exp2();
+    let n = inst.n();
+    let mut measured = vec![0.0f64; n];
+    let mut work = 0.0f64;
+    for _ in 0..trials {
+        let db = Database::generate(inst, rng);
+        let ex = Executor::new(inst, &db);
+        let rep = ex.run(z, true);
+        for (i, &m) in rep.intermediates.iter().enumerate() {
+            measured[i] += m as f64 / trials as f64;
+        }
+        work += rep.total_work as f64 / trials as f64;
+    }
+    Calibration {
+        predicted_intermediates,
+        measured_intermediates: measured,
+        predicted_cost,
+        measured_work: work,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_bignum::{BigInt, BigUint};
+    use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+    use aqo_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Chain with sizes/selectivities chosen so every expected intermediate
+    /// stays ≥ ~500 (sampling noise small) and w = t·s exactly.
+    fn calibration_chain() -> QoNInstance {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let sizes =
+            vec![BigUint::from(500u64), BigUint::from(400u64), BigUint::from(300u64), BigUint::from(200u64)];
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for ((u, v), d) in [((0usize, 1usize), 100u64), ((1, 2), 150), ((2, 3), 100)] {
+            s.set(u, v, BigRational::new(BigInt::one(), BigUint::from(d)));
+            let t = |i: usize| [500u64, 400, 300, 200][i];
+            w.set(u, v, BigUint::from((t(u) as f64 / d as f64).ceil().max(1.0) as u64));
+            w.set(v, u, BigUint::from((t(v) as f64 / d as f64).ceil().max(1.0) as u64));
+        }
+        QoNInstance::new(g, sizes, s, w)
+    }
+
+    #[test]
+    fn intermediates_track_the_model() {
+        let inst = calibration_chain();
+        let mut rng = StdRng::seed_from_u64(42);
+        let z = JoinSequence::identity(4);
+        let cal = calibrate(&inst, &z, 6, &mut rng);
+        // Expected intermediates: 500, 500·400/100=2000, 2000·300/150=4000,
+        // 4000·200/100=8000 — all large; demand ≤ 15% average error.
+        assert!(
+            cal.worst_intermediate_error(100.0) < 0.15,
+            "intermediates off by {:.1}%: {:?} vs {:?}",
+            cal.worst_intermediate_error(100.0) * 100.0,
+            cal.measured_intermediates,
+            cal.predicted_intermediates
+        );
+    }
+
+    #[test]
+    fn work_tracks_the_cost_model() {
+        let inst = calibration_chain();
+        let mut rng = StdRng::seed_from_u64(43);
+        let z = JoinSequence::identity(4);
+        let cal = calibrate(&inst, &z, 6, &mut rng);
+        // w entries are ceil(t·s): the measured probe counts match within
+        // sampling noise + ceiling slack.
+        assert!(
+            cal.cost_error() < 0.2,
+            "cost off by {:.1}%: measured {} vs predicted {}",
+            cal.cost_error() * 100.0,
+            cal.measured_work,
+            cal.predicted_cost
+        );
+    }
+
+    #[test]
+    fn better_plans_really_are_better() {
+        // The model's plan ranking must be reflected in measured work.
+        let inst = calibration_chain();
+        let mut rng = StdRng::seed_from_u64(44);
+        let good = JoinSequence::identity(4);
+        let bad = JoinSequence::new(vec![0, 3, 1, 2]); // cartesian product inside
+        let cal_good = calibrate(&inst, &good, 3, &mut rng);
+        let cal_bad = calibrate(&inst, &bad, 3, &mut rng);
+        assert!(cal_bad.measured_work > cal_good.measured_work * 2.0);
+    }
+}

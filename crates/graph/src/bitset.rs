@@ -1,0 +1,238 @@
+//! A fixed-capacity bitset over `usize` indices.
+//!
+//! Used as the adjacency-row representation of [`Graph`](crate::Graph) and as
+//! the candidate-set representation inside the clique branch-and-bound, where
+//! word-parallel intersection is the inner loop.
+
+use std::fmt;
+
+/// A set of `usize` values drawn from `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Empty set with room for values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Full set `{0, …, capacity−1}`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for i in 0..capacity.div_ceil(64) {
+            s.words[i] = u64::MAX;
+        }
+        if capacity % 64 != 0 && !s.words.is_empty() {
+            let last = s.words.len() - 1;
+            s.words[last] = (1u64 << (capacity % 64)) - 1;
+        }
+        s
+    }
+
+    /// Capacity (exclusive upper bound on members).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `v`. Panics if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: usize) {
+        assert!(v < self.capacity, "BitSet index {v} out of capacity {}", self.capacity);
+        self.words[v / 64] |= 1 << (v % 64);
+    }
+
+    /// Removes `v` if present.
+    #[inline]
+    pub fn remove(&mut self, v: usize) {
+        if v < self.capacity {
+            self.words[v / 64] &= !(1 << (v % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        v < self.capacity && self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection with `other` (capacities must match).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference `self \ other` (capacities must match).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Any member of the set, if nonempty.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterator over members in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter { set: self, word_idx: 0, word: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Collects members into a `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over the members of a [`BitSet`].
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    word: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.word == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.word = self.set.words[self.word_idx];
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = BitSetIter<'a>;
+    fn into_iter(self) -> BitSetIter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one past the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in items {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert_eq!(s.len(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_has_exact_members() {
+        for cap in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "cap={cap}");
+            assert_eq!(s.to_vec(), (0..cap).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 3, 5, 64, 100].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        for v in [3usize, 5, 64, 99] {
+            b.insert(v);
+        }
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![3, 5, 64]);
+        assert_eq!(a.intersection_len(&b), 3);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 3, 5, 64, 99, 100]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 100]);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [99usize, 0, 64, 63, 65].into_iter().collect();
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 65, 99]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(8).insert(8);
+    }
+}

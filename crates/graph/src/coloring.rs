@@ -1,0 +1,147 @@
+//! Greedy graph colouring and degeneracy orderings.
+//!
+//! A proper colouring with `k` colours certifies `ω(G) ≤ k` — the upper
+//! bound that drives the clique branch-and-bound — and the degeneracy
+//! ordering both sharpens greedy colourings and bounds the clique number by
+//! `degeneracy + 1`.
+
+use crate::{BitSet, Graph};
+
+/// Greedy colouring along the given vertex order; returns `colors[v]`
+/// (0-based) — a proper colouring whatever the order.
+pub fn greedy_coloring(g: &Graph, order: &[usize]) -> Vec<usize> {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    let mut colors = vec![usize::MAX; n];
+    let mut forbidden = vec![false; n + 1];
+    for &v in order {
+        for u in g.neighbors(v).iter() {
+            if colors[u] != usize::MAX {
+                forbidden[colors[u]] = true;
+            }
+        }
+        // At most n neighbours, so some colour in 0..=n is free.
+        let c = (0..=n).find(|&c| !forbidden[c]).expect("some colour free");
+        colors[v] = c;
+        for u in g.neighbors(v).iter() {
+            if colors[u] != usize::MAX {
+                forbidden[colors[u]] = false;
+            }
+        }
+    }
+    colors
+}
+
+/// Number of colours used by a colouring.
+pub fn color_count(colors: &[usize]) -> usize {
+    colors.iter().map(|&c| c + 1).max().unwrap_or(0)
+}
+
+/// Whether `colors` is a proper colouring of `g`.
+pub fn is_proper(g: &Graph, colors: &[usize]) -> bool {
+    g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// The degeneracy ordering (repeatedly remove a minimum-degree vertex) and
+/// the degeneracy `d` — every subgraph has a vertex of degree ≤ `d`, so
+/// `ω(G) ≤ d + 1` and greedy colouring along the *reverse* ordering uses at
+/// most `d + 1` colours.
+pub fn degeneracy_ordering(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = BitSet::new(n);
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed.contains(v))
+            .min_by_key(|&v| degree[v])
+            .expect("vertices remain");
+        degeneracy = degeneracy.max(degree[v]);
+        removed.insert(v);
+        order.push(v);
+        for u in g.neighbors(v).iter() {
+            if !removed.contains(u) {
+                degree[u] -= 1;
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// A cheap upper bound on the clique number:
+/// `min(colour count of the degeneracy-greedy colouring, degeneracy + 1)`.
+pub fn clique_upper_bound(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    let (mut order, degeneracy) = degeneracy_ordering(g);
+    order.reverse();
+    let colors = greedy_coloring(g, &order);
+    color_count(&colors).min(degeneracy + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clique, generators};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn colorings_are_proper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let g = generators::gnp(20, 0.4, &mut rng);
+            let order: Vec<usize> = (0..20).collect();
+            let colors = greedy_coloring(&g, &order);
+            assert!(is_proper(&g, &colors));
+        }
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let g = crate::Graph::complete(6);
+        let colors = greedy_coloring(&g, &(0..6).collect::<Vec<_>>());
+        assert_eq!(color_count(&colors), 6);
+        assert_eq!(clique_upper_bound(&g), 6);
+    }
+
+    #[test]
+    fn bipartite_two_colors() {
+        // A path is 2-colourable with degeneracy 1.
+        let mut g = crate::Graph::new(6);
+        for v in 1..6 {
+            g.add_edge(v - 1, v);
+        }
+        let (order, d) = degeneracy_ordering(&g);
+        assert_eq!(d, 1);
+        assert_eq!(order.len(), 6);
+        assert_eq!(clique_upper_bound(&g), 2);
+    }
+
+    #[test]
+    fn upper_bound_dominates_clique_number() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = generators::gnp(16, 0.5, &mut rng);
+            let omega = clique::clique_number(&g);
+            let ub = clique_upper_bound(&g);
+            assert!(ub >= omega, "bound {ub} below ω {omega}");
+        }
+    }
+
+    #[test]
+    fn turan_bound_quality() {
+        // T(12, 4) has ω = 4; the colouring bound should land exactly there
+        // (complete multipartite graphs colour perfectly).
+        let g = generators::turan(12, 4);
+        assert_eq!(clique_upper_bound(&g), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(clique_upper_bound(&crate::Graph::new(0)), 0);
+        assert_eq!(clique_upper_bound(&crate::Graph::new(5)), 1);
+    }
+}

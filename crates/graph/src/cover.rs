@@ -1,0 +1,147 @@
+//! Vertex cover: exact minimum (via the clique/independent-set duality) and
+//! the classical matching-based 2-approximation.
+//!
+//! The Garey–Johnson 3SAT → VERTEX COVER reduction (used by Lemma 3 of the
+//! paper) produces graphs whose cover size certifies satisfiability; tests
+//! check those certificates with the exact solver here.
+
+use crate::{clique, Graph};
+
+/// Whether `verts` covers every edge of `g`.
+pub fn is_vertex_cover(g: &Graph, verts: &[usize]) -> bool {
+    let mut in_cover = vec![false; g.n()];
+    for &v in verts {
+        if v < g.n() {
+            in_cover[v] = true;
+        }
+    }
+    g.edges().all(|(u, v)| in_cover[u] || in_cover[v])
+}
+
+/// An exact minimum vertex cover.
+///
+/// Uses the duality `min-VC(G) = n − max-IS(G) = n − ω(Ḡ)`: a maximum clique
+/// of the complement is a maximum independent set, and its complement set is
+/// a minimum cover.
+pub fn min_vertex_cover(g: &Graph) -> Vec<usize> {
+    let comp = g.complement();
+    let is: Vec<usize> = clique::max_clique(&comp);
+    let in_is: Vec<bool> = {
+        let mut v = vec![false; g.n()];
+        for &u in &is {
+            v[u] = true;
+        }
+        v
+    };
+    (0..g.n()).filter(|&v| !in_is[v]).collect()
+}
+
+/// The minimum vertex cover size.
+pub fn vertex_cover_number(g: &Graph) -> usize {
+    g.n() - clique::clique_number(&g.complement())
+}
+
+/// Matching-based 2-approximation: repeatedly pick an uncovered edge and add
+/// both endpoints. Guaranteed `|cover| ≤ 2·OPT`.
+pub fn approx_vertex_cover(g: &Graph) -> Vec<usize> {
+    let mut in_cover = vec![false; g.n()];
+    let mut cover = Vec::new();
+    for (u, v) in g.edges() {
+        if !in_cover[u] && !in_cover[v] {
+            in_cover[u] = true;
+            in_cover[v] = true;
+            cover.push(u);
+            cover.push(v);
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_min_vc(g: &Graph) -> usize {
+        let n = g.n();
+        (0u32..1 << n)
+            .filter(|mask| {
+                let verts: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                is_vertex_cover(g, &verts)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn star_cover_is_center() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(vertex_cover_number(&g), 1);
+        let c = min_vertex_cover(&g);
+        assert!(is_vertex_cover(&g, &c));
+        assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn cycle_cover() {
+        // C5 needs ceil(5/2) = 3 vertices.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(vertex_cover_number(&g), 3);
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for n in [6usize, 8, 10] {
+            for _ in 0..5 {
+                let mut g = Graph::new(n);
+                for u in 0..n {
+                    for v in u + 1..n {
+                        if next() % 10 < 4 {
+                            g.add_edge(u, v);
+                        }
+                    }
+                }
+                let exact = min_vertex_cover(&g);
+                assert!(is_vertex_cover(&g, &exact));
+                assert_eq!(exact.len(), brute_min_vc(&g), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_within_factor_two() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state >> 33
+        };
+        for _ in 0..10 {
+            let n = 12;
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if next() % 10 < 3 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let approx = approx_vertex_cover(&g);
+            assert!(is_vertex_cover(&g, &approx));
+            let opt = vertex_cover_number(&g);
+            assert!(approx.len() <= 2 * opt, "approx {} > 2*{}", approx.len(), opt);
+        }
+    }
+
+    #[test]
+    fn empty_graph_empty_cover() {
+        let g = Graph::new(4);
+        assert_eq!(vertex_cover_number(&g), 0);
+        assert!(min_vertex_cover(&g).is_empty());
+        assert!(approx_vertex_cover(&g).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Graph instance families used by the experiments.
+
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// `G(n, p)` with a planted clique on `k` random vertices. Returns the graph
+/// and the (sorted) planted vertex set.
+pub fn planted_clique(n: usize, p: f64, k: usize, rng: &mut impl Rng) -> (Graph, Vec<usize>) {
+    assert!(k <= n);
+    let mut g = gnp(n, p, rng);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(rng);
+    verts.truncate(k);
+    verts.sort_unstable();
+    for i in 0..k {
+        for j in i + 1..k {
+            g.add_edge(verts[i], verts[j]);
+        }
+    }
+    (g, verts)
+}
+
+/// The Turán graph `T(n, r)`: the complete `r`-partite graph with balanced
+/// parts. Its clique number is exactly `r` (for `r ≤ n`), and it maximizes
+/// edges subject to containing no `K_{r+1}` — a sharp stress test for the
+/// Lemma 7 edge bound.
+pub fn turan(n: usize, r: usize) -> Graph {
+    assert!(r >= 1);
+    let mut g = Graph::new(n);
+    let part = |v: usize| v % r;
+    for u in 0..n {
+        for v in u + 1..n {
+            if part(u) != part(v) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A uniform random labelled tree on `n` vertices (via a Prüfer sequence).
+pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(0, 1);
+        return g;
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = heap.pop().expect("tree invariant");
+        g.add_edge(leaf, v);
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            heap.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = heap.pop().unwrap();
+    let std::cmp::Reverse(b) = heap.pop().unwrap();
+    g.add_edge(a, b);
+    g
+}
+
+/// A connected graph with exactly `m` edges: a random tree plus `m − (n−1)`
+/// random extra edges. Panics unless `n−1 ≤ m ≤ n(n−1)/2`.
+pub fn random_connected(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 1);
+    let max = n * (n - 1) / 2;
+    assert!((n.saturating_sub(1)..=max).contains(&m), "m={m} out of range for n={n}");
+    let mut g = random_tree(n, rng);
+    while g.m() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The paper's dense CLIQUE family: every vertex has degree `≥ n − 14`.
+/// Construction: start from `K_n` and delete, per vertex, at most
+/// `missing ≤ 13` random incident edges.
+pub fn dense_min_degree_family(n: usize, missing: usize, rng: &mut impl Rng) -> Graph {
+    assert!(missing <= 13, "paper family allows at most 13 missing edges per vertex");
+    let mut g = Graph::complete(n);
+    let mut removed = vec![0usize; n];
+    let mut all_pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+        .collect();
+    all_pairs.shuffle(rng);
+    for (u, v) in all_pairs {
+        if removed[u] < missing && removed[v] < missing && rng.gen_bool(0.5) {
+            g.remove_edge(u, v);
+            removed[u] += 1;
+            removed[v] += 1;
+        }
+    }
+    g
+}
+
+/// A dense graph with precisely known clique number `k`: start from `K_n`
+/// and detach each of the `n − k` tail vertices from exactly one head vertex
+/// (round-robin).
+///
+/// Requires `n/2 ≤ k ≤ n`. Any clique then contains at most
+/// `(n−k) + (k − d)` vertices where `d` is the number of distinct head
+/// vertices excluded by its tail members; with `n − k ≤ k` the round-robin
+/// assignment makes every tail vertex exclude a distinct head, so
+/// `ω = max(k, (n−k) + k − (n−k)) = k`, witnessed by the head `K_k`.
+pub fn dense_known_omega(n: usize, k: usize) -> Graph {
+    assert!(2 <= k && k <= n && n - k <= k, "need n/2 <= k <= n");
+    let mut g = Graph::complete(n);
+    for v in k..n {
+        // Detach v from exactly one clique vertex, chosen round-robin.
+        g.remove_edge(v, v % k);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).m(), 45);
+    }
+
+    #[test]
+    fn planted_clique_is_clique() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, verts) = planted_clique(30, 0.3, 8, &mut rng);
+        assert_eq!(verts.len(), 8);
+        assert!(g.is_clique(&verts));
+        assert!(clique::clique_number(&g) >= 8);
+    }
+
+    #[test]
+    fn turan_clique_number() {
+        for (n, r) in [(9, 3), (10, 4), (12, 2)] {
+            let g = turan(n, r);
+            assert_eq!(clique::clique_number(&g), r, "T({n},{r})");
+        }
+    }
+
+    #[test]
+    fn turan_is_lemma7_tight_for_r_eq_n_minus_1() {
+        // T(n, n−1) is K_n minus a single edge: m = n(n−1)/2 − 1 and
+        // ω = n−1, meeting Lemma 7's bound exactly.
+        let n = 8;
+        let g = turan(n, n - 1);
+        let omega = clique::clique_number(&g);
+        assert_eq!(omega, n - 1);
+        assert_eq!(g.m(), crate::lemma7_edge_bound(n, omega));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 3, 10, 50] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.m(), n.saturating_sub(1));
+            assert!(g.is_connected(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_connected_edge_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_connected(12, 20, &mut rng);
+        assert_eq!(g.m(), 20);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn dense_family_min_degree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = dense_min_degree_family(40, 13, &mut rng);
+        assert!(g.min_degree() >= 40 - 14);
+    }
+
+    #[test]
+    fn dense_known_omega_exact() {
+        for (n, k) in [(10, 5), (12, 8), (20, 10)] {
+            let g = dense_known_omega(n, k);
+            assert_eq!(clique::clique_number(&g), k, "n={n} k={k}");
+            assert!(g.min_degree() >= n - 1 - n.div_ceil(k));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The undirected graph type shared by every reduction.
+
+use crate::BitSet;
+use std::fmt;
+
+/// A simple undirected graph on vertices `0..n`, stored as adjacency bitsets.
+///
+/// Self-loops are rejected; parallel edges are impossible by construction.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<BitSet>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: (0..n).map(|_| BitSet::new(n)).collect(), edges: 0 }
+    }
+
+    /// Complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the edge `{u, v}`. Panics on self-loops or out-of-range vertices;
+    /// adding an existing edge is a no-op.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.n() && v < self.n(), "edge ({u},{v}) out of range");
+        if !self.adj[u].contains(v) {
+            self.adj[u].insert(v);
+            self.adj[v].insert(u);
+            self.edges += 1;
+        }
+    }
+
+    /// Removes the edge `{u, v}` if present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        if u < self.n() && v < self.n() && self.adj[u].contains(v) {
+            self.adj[u].remove(v);
+            self.adj[v].remove(u);
+            self.edges -= 1;
+        }
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && u < self.n() && self.adj[u].contains(v)
+    }
+
+    /// Neighbourhood of `v` as a bitset.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &BitSet {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Minimum degree over all vertices (`0` for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Iterator over edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n()).flat_map(move |u| self.adj[u].iter().filter(move |&v| v > u).map(move |v| (u, v)))
+    }
+
+    /// The complement graph (no self-loops).
+    pub fn complement(&self) -> Graph {
+        let n = self.n();
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The subgraph induced by `verts`; vertex `i` of the result corresponds
+    /// to `verts[i]`.
+    pub fn induced(&self, verts: &[usize]) -> Graph {
+        let mut g = Graph::new(verts.len());
+        for (i, &u) in verts.iter().enumerate() {
+            for (j, &v) in verts.iter().enumerate().skip(i + 1) {
+                if self.has_edge(u, v) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of edges of the subgraph induced by `verts` (without
+    /// materializing it).
+    pub fn induced_edge_count(&self, verts: &[usize]) -> usize {
+        let mut set = BitSet::new(self.n());
+        for &v in verts {
+            set.insert(v);
+        }
+        verts.iter().map(|&v| self.adj[v].intersection_len(&set)).sum::<usize>() / 2
+    }
+
+    /// Whether `verts` forms a clique.
+    pub fn is_clique(&self, verts: &[usize]) -> bool {
+        verts
+            .iter()
+            .enumerate()
+            .all(|(i, &u)| verts[i + 1..].iter().all(|&v| self.has_edge(u, v)))
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = BitSet::new(n);
+        let mut stack = vec![0usize];
+        seen.insert(0);
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in self.adj[u].iter() {
+                if !seen.contains(v) {
+                    seen.insert(v);
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Disjoint union: the vertices of `other` are appended after `self`'s,
+    /// with no edges between the two parts. Returns the offset at which
+    /// `other`'s vertices begin.
+    pub fn disjoint_union(&mut self, other: &Graph) -> usize {
+        let offset = self.n();
+        let n = offset + other.n();
+        let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for u in 0..offset {
+            for v in self.adj[u].iter() {
+                adj[u].insert(v);
+            }
+        }
+        for u in 0..other.n() {
+            for v in other.adj[u].iter() {
+                adj[offset + u].insert(offset + v);
+            }
+        }
+        self.adj = adj;
+        self.edges += other.edges;
+        offset
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 1); // duplicate is a no-op
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        g.remove_edge(0, 1);
+        assert_eq!(g.m(), 1);
+        assert!(!g.has_edge(0, 1));
+        g.remove_edge(0, 1); // removing a non-edge is a no-op
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        Graph::new(3).add_edge(1, 1);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 5);
+        assert!(g.is_clique(&[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        assert_eq!(g.complement().complement(), g);
+        assert_eq!(g.m() + g.complement().m(), 10);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let sub = g.induced(&[1, 2, 4]);
+        // Edges among {1,2,4}: (1,2) and (1,4).
+        assert_eq!(sub.m(), 2);
+        assert!(sub.has_edge(0, 1)); // 1-2
+        assert!(sub.has_edge(0, 2)); // 1-4
+        assert!(!sub.has_edge(1, 2)); // 2-4 absent
+        assert_eq!(g.induced_edge_count(&[1, 2, 4]), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+        assert!(!Graph::new(2).is_connected());
+        let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(path.is_connected());
+        let split = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!split.is_connected());
+    }
+
+    #[test]
+    fn edges_iterator_sorted_unique() {
+        let g = Graph::from_edges(4, &[(2, 1), (0, 3), (1, 0)]);
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let mut a = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let b = Graph::from_edges(2, &[(0, 1)]);
+        let off = a.disjoint_union(&b);
+        assert_eq!(off, 3);
+        assert_eq!(a.n(), 5);
+        assert_eq!(a.m(), 3);
+        assert!(a.has_edge(3, 4));
+        assert!(!a.has_edge(2, 3));
+        assert!(a.has_edge(0, 1));
+    }
+}

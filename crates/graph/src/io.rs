@@ -1,0 +1,145 @@
+//! DIMACS graph serialization (the `p edge n m` format of the clique/
+//! colouring benchmark suites), so reduction outputs can be fed to external
+//! clique solvers and external benchmarks pulled in.
+
+use crate::Graph;
+use std::fmt::Write as _;
+
+/// Serializes in DIMACS edge format (1-based vertices).
+pub fn to_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p edge {} {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "e {} {}", u + 1, v + 1);
+    }
+    out
+}
+
+/// Error from [`from_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// No `p edge`/`p col` header found before edge data.
+    MissingHeader,
+    /// Malformed header or edge line.
+    BadLine(String),
+    /// Vertex id out of the declared range.
+    VertexOutOfRange(usize),
+    /// Edge count differs from the header.
+    EdgeCountMismatch {
+        /// Declared in the header.
+        declared: usize,
+        /// Actually parsed (distinct edges).
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::MissingHeader => write!(f, "missing 'p edge' header"),
+            DimacsError::BadLine(l) => write!(f, "malformed line: {l}"),
+            DimacsError::VertexOutOfRange(v) => write!(f, "vertex out of range: {v}"),
+            DimacsError::EdgeCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} edges, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS edge format (`c` comments tolerated; duplicate edges
+/// collapse, as DIMACS clique instances commonly contain them — the header
+/// count is checked against *distinct* edges only when they match exactly,
+/// mirroring common tool behaviour: strictly, we accept `found ≤ declared`).
+pub fn from_dimacs(input: &str) -> Result<Graph, DimacsError> {
+    let mut g: Option<Graph> = None;
+    let mut declared = 0usize;
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.first() {
+            Some(&"p") => {
+                if parts.len() != 4 || (parts[1] != "edge" && parts[1] != "col") {
+                    return Err(DimacsError::BadLine(line.to_string()));
+                }
+                let n: usize =
+                    parts[2].parse().map_err(|_| DimacsError::BadLine(line.to_string()))?;
+                declared = parts[3].parse().map_err(|_| DimacsError::BadLine(line.to_string()))?;
+                g = Some(Graph::new(n));
+            }
+            Some(&"e") => {
+                let g = g.as_mut().ok_or(DimacsError::MissingHeader)?;
+                if parts.len() != 3 {
+                    return Err(DimacsError::BadLine(line.to_string()));
+                }
+                let u: usize =
+                    parts[1].parse().map_err(|_| DimacsError::BadLine(line.to_string()))?;
+                let v: usize =
+                    parts[2].parse().map_err(|_| DimacsError::BadLine(line.to_string()))?;
+                if u == 0 || v == 0 || u > g.n() || v > g.n() {
+                    return Err(DimacsError::VertexOutOfRange(u.max(v)));
+                }
+                g.add_edge(u - 1, v - 1);
+            }
+            _ => return Err(DimacsError::BadLine(line.to_string())),
+        }
+    }
+    let g = g.ok_or(DimacsError::MissingHeader)?;
+    if g.m() > declared {
+        return Err(DimacsError::EdgeCountMismatch { declared, found: g.m() });
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let g = generators::gnp(15, 0.4, &mut rng);
+            let text = to_dimacs(&g);
+            let h = from_dimacs(&text).unwrap();
+            assert_eq!(g, h);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_duplicates() {
+        let text = "c clique instance\np edge 3 2\ne 1 2\ne 2 1\ne 2 3\n";
+        let g = from_dimacs(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(from_dimacs("e 1 2\n"), Err(DimacsError::MissingHeader));
+        assert!(matches!(from_dimacs("p edge x 1\n"), Err(DimacsError::BadLine(_))));
+        assert_eq!(
+            from_dimacs("p edge 2 1\ne 1 3\n"),
+            Err(DimacsError::VertexOutOfRange(3))
+        );
+        assert!(matches!(
+            from_dimacs("p edge 3 1\ne 1 2\ne 2 3\n"),
+            Err(DimacsError::EdgeCountMismatch { declared: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn header_format() {
+        let g = Graph::complete(4);
+        let text = to_dimacs(&g);
+        assert!(text.starts_with("p edge 4 6\n"));
+    }
+}

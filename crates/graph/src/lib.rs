@@ -1,0 +1,54 @@
+//! Undirected graphs and the exact combinatorial algorithms the paper's
+//! reductions lean on.
+//!
+//! The reductions of PODS 2002 *Approximate Query Optimization* move through
+//! CLIQUE and ⅔-CLIQUE; verifying them mechanically requires *exact* clique
+//! numbers and vertex covers on instances of nontrivial size. This crate
+//! provides:
+//!
+//! * [`Graph`] — an adjacency-bitset undirected graph;
+//! * [`BitSet`] — the fixed-capacity bitset underlying it;
+//! * [`clique`] — exact maximum clique (Tomita-style branch-and-bound with a
+//!   greedy-colouring bound) and Bron–Kerbosch maximal-clique enumeration;
+//! * [`cover`] — exact and 2-approximate vertex cover;
+//! * [`generators`] — instance families (G(n,p), planted cliques, Turán
+//!   graphs, trees, the paper's "degree ≥ n − 14" dense family).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod graph;
+
+pub mod clique;
+pub mod coloring;
+pub mod io;
+pub mod cover;
+pub mod generators;
+
+pub use bitset::BitSet;
+pub use graph::Graph;
+
+/// Lemma 7 of the paper: a graph with `n ≥ 1` vertices and clique number `ω`
+/// has at most `n(n−1)/2 − n + ω` edges. Returns that bound.
+pub fn lemma7_edge_bound(n: usize, omega: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    assert!(omega >= 1 && omega <= n, "clique number must be in [1, n]");
+    n * (n - 1) / 2 + omega - n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma7_bound_examples() {
+        // A complete graph: ω = n, bound = n(n−1)/2 exactly.
+        assert_eq!(lemma7_edge_bound(5, 5), 10);
+        // An edgeless graph has ω = 1.
+        assert_eq!(lemma7_edge_bound(4, 1), 3);
+        assert_eq!(lemma7_edge_bound(0, 0), 0);
+    }
+}

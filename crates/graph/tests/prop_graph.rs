@@ -1,0 +1,136 @@
+//! Property tests for the graph substrate: structural invariants, clique
+//! oracle agreement, and the paper's Lemma 7 edge bound.
+
+use aqo_graph::{clique, cover, generators, lemma7_edge_bound, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random graph on 1..=10 vertices given by an edge mask.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=10, any::<u64>()).prop_map(|(n, mask)| {
+        let mut g = Graph::new(n);
+        let mut bit = 0;
+        for u in 0..n {
+            for v in u + 1..n {
+                if mask >> (bit % 64) & 1 == 1 {
+                    g.add_edge(u, v);
+                }
+                bit += 7; // stride to decorrelate
+            }
+        }
+        g
+    })
+}
+
+fn brute_omega(g: &Graph) -> usize {
+    let n = g.n();
+    let mut best = 0;
+    for mask in 0u32..(1 << n) {
+        let verts: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        if verts.len() > best && g.is_clique(&verts) {
+            best = verts.len();
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn complement_involution(g in small_graph()) {
+        prop_assert_eq!(&g.complement().complement(), &g);
+    }
+
+    #[test]
+    fn complement_edge_counts(g in small_graph()) {
+        let n = g.n();
+        prop_assert_eq!(g.m() + g.complement().m(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges(g in small_graph()) {
+        let sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.m());
+    }
+
+    #[test]
+    fn clique_bnb_matches_brute_force(g in small_graph()) {
+        let c = clique::max_clique(&g);
+        prop_assert!(g.is_clique(&c));
+        prop_assert_eq!(c.len(), brute_omega(&g));
+    }
+
+    #[test]
+    fn bron_kerbosch_max_agrees(g in small_graph()) {
+        let cliques = clique::all_maximal_cliques(&g);
+        let bk_max = cliques.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert_eq!(bk_max, clique::clique_number(&g));
+        // Every enumerated set must actually be a clique and maximal.
+        for c in &cliques {
+            prop_assert!(g.is_clique(c));
+            let extendable = (0..g.n())
+                .filter(|v| !c.contains(v))
+                .any(|v| c.iter().all(|&u| g.has_edge(u, v)));
+            prop_assert!(!extendable, "clique {c:?} is not maximal");
+        }
+    }
+
+    #[test]
+    fn lemma7_edge_bound_holds(g in small_graph()) {
+        // Lemma 7: |E| <= n(n−1)/2 − n + ω(G).
+        let omega = clique::clique_number(&g);
+        prop_assert!(g.m() <= lemma7_edge_bound(g.n(), omega));
+    }
+
+    #[test]
+    fn vc_clique_duality(g in small_graph()) {
+        // min-VC + max-IS = n, and max-IS(G) = ω(complement).
+        let vc = cover::vertex_cover_number(&g);
+        let is = clique::clique_number(&g.complement());
+        prop_assert_eq!(vc + is, g.n());
+        let cover_set = cover::min_vertex_cover(&g);
+        prop_assert!(cover::is_vertex_cover(&g, &cover_set));
+        prop_assert_eq!(cover_set.len(), vc);
+    }
+
+    #[test]
+    fn induced_subgraph_edge_count_consistent(g in small_graph(), sel in any::<u16>()) {
+        let verts: Vec<usize> = (0..g.n()).filter(|&i| sel >> i & 1 == 1).collect();
+        let sub = g.induced(&verts);
+        prop_assert_eq!(sub.m(), g.induced_edge_count(&verts));
+        prop_assert_eq!(sub.n(), verts.len());
+    }
+
+    #[test]
+    fn dimacs_parser_never_panics(garbage in "[a-z0-9 pe\n]{0,200}") {
+        let _ = aqo_graph::io::from_dimacs(&garbage);
+    }
+
+    #[test]
+    fn dimacs_roundtrip(g in small_graph()) {
+        let text = aqo_graph::io::to_dimacs(&g);
+        prop_assert_eq!(&aqo_graph::io::from_dimacs(&text).unwrap(), &g);
+    }
+
+    #[test]
+    fn coloring_bound_dominates_omega(g in small_graph()) {
+        let ub = aqo_graph::coloring::clique_upper_bound(&g);
+        prop_assert!(ub >= clique::clique_number(&g));
+    }
+
+    #[test]
+    fn generators_respect_contracts(seed in any::<u64>(), n in 2usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = generators::random_tree(n, &mut rng);
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.m(), n - 1);
+
+        let k = n / 2 + 1;
+        if k >= 2 && k <= n {
+            let d = generators::dense_known_omega(n, k);
+            prop_assert_eq!(clique::clique_number(&d), k);
+        }
+    }
+}

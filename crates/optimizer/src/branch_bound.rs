@@ -1,0 +1,162 @@
+//! Exact QO_N optimization by depth-first branch-and-bound.
+//!
+//! Costs are sums of non-negative join costs, so the accumulated prefix cost
+//! is an admissible lower bound on any completion; the search prunes a
+//! prefix as soon as it meets the incumbent. A greedy warm start makes the
+//! incumbent strong from the first node. On the paper's reduction instances,
+//! where costs explode by `α` factors per misstep, pruning is ferocious.
+
+use crate::{greedy, Optimum};
+use aqo_bignum::BigUint;
+use aqo_core::qon::QoNInstance;
+use aqo_core::{CostScalar, JoinSequence};
+use aqo_graph::BitSet;
+
+/// Exact optimum by branch-and-bound. `allow_cartesian = false` searches
+/// only cartesian-product-free sequences (returns `None` when none exists).
+pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Option<Optimum<S>> {
+    let n = inst.n();
+    if n == 1 {
+        return Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() });
+    }
+    // Warm start.
+    let warm = greedy::min_intermediate(inst, allow_cartesian);
+    let mut best: Option<(Vec<usize>, S)> =
+        warm.map(|z| (z.order().to_vec(), inst.total_cost(&z)));
+
+    let mut prefix = Vec::with_capacity(n);
+    let mut in_prefix = BitSet::new(n);
+    for start in 0..n {
+        prefix.push(start);
+        in_prefix.insert(start);
+        dfs(
+            inst,
+            allow_cartesian,
+            &mut prefix,
+            &mut in_prefix,
+            S::from_count(&inst.sizes()[start]),
+            S::zero(),
+            &mut best,
+        );
+        in_prefix.remove(start);
+        prefix.pop();
+    }
+    best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<S: CostScalar>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    prefix: &mut Vec<usize>,
+    in_prefix: &mut BitSet,
+    n_x: S,
+    cost: S,
+    best: &mut Option<(Vec<usize>, S)>,
+) {
+    let n = inst.n();
+    if let Some((_, b)) = best {
+        if cost >= *b {
+            return;
+        }
+    }
+    if prefix.len() == n {
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            *best = Some((prefix.clone(), cost));
+        }
+        return;
+    }
+    for j in 0..n {
+        if in_prefix.contains(j) {
+            continue;
+        }
+        let mut w_min: Option<BigUint> = None;
+        let mut nbr_count = 0usize;
+        let mut new_n = n_x.mul(&S::from_count(&inst.sizes()[j]));
+        for k in inst.graph().neighbors(j).iter() {
+            if in_prefix.contains(k) {
+                nbr_count += 1;
+                let w = inst.w(j, k);
+                w_min = Some(match w_min {
+                    None => w,
+                    Some(cur) => cur.min(w),
+                });
+                new_n = new_n.mul(&S::from_ratio(&inst.selectivity().get(j, k)));
+            }
+        }
+        if nbr_count == 0 && !allow_cartesian {
+            continue;
+        }
+        if nbr_count < prefix.len() {
+            let tj = inst.sizes()[j].clone();
+            w_min = Some(match w_min {
+                None => tj,
+                Some(cur) => cur.min(tj),
+            });
+        }
+        let new_cost = cost.add(&n_x.mul(&S::from_count(&w_min.expect("prefix nonempty"))));
+        prefix.push(j);
+        in_prefix.insert(j);
+        dfs(inst, allow_cartesian, prefix, in_prefix, new_n, new_cost, best);
+        in_prefix.remove(j);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dp, exhaustive};
+    use aqo_bignum::{BigInt, BigRational};
+    use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+    use aqo_graph::Graph;
+
+    fn cycle(n: usize) -> QoNInstance {
+        let mut g = Graph::new(n);
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        let sizes: Vec<BigUint> = (0..n).map(|i| BigUint::from(3 + i as u64)).collect();
+        for v in 0..n {
+            let u = (v + 1) % n;
+            g.add_edge(u.min(v), u.max(v));
+            let sel = BigRational::new(BigInt::one(), BigUint::from(3u64));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    }
+
+    #[test]
+    fn bnb_matches_exhaustive() {
+        let inst = cycle(6);
+        let bb = optimize::<BigRational>(&inst, true).unwrap();
+        let ex: Optimum<BigRational> = exhaustive::optimize(&inst);
+        assert_eq!(bb.cost, ex.cost);
+        let recost: BigRational = inst.total_cost(&bb.sequence);
+        assert_eq!(recost, bb.cost);
+    }
+
+    #[test]
+    fn bnb_matches_dp_no_cartesian() {
+        let inst = cycle(7);
+        let bb = optimize::<BigRational>(&inst, false).unwrap();
+        let d = dp::optimize::<BigRational>(&inst, false).unwrap();
+        assert_eq!(bb.cost, d.cost);
+        assert!(!inst.has_cartesian_product(&bb.sequence));
+    }
+
+    #[test]
+    fn disconnected_no_cartesian_none() {
+        let inst = QoNInstance::new(
+            Graph::new(3),
+            vec![BigUint::from(2u64); 3],
+            SelectivityMatrix::new(),
+            AccessCostMatrix::new(),
+        );
+        assert!(optimize::<BigRational>(&inst, false).is_none());
+        assert!(optimize::<BigRational>(&inst, true).is_some());
+    }
+}

@@ -1,0 +1,200 @@
+//! Selinger-style dynamic programming over vertex subsets for QO_N.
+//!
+//! The QO_N cost model is *prefix-set determined*: both the intermediate
+//! size `N(X)` and the access cost `min_{v_k ∈ X} w_{jk}` depend on the
+//! prefix `X` only through its set of vertices, never their order. Hence the
+//! optimal left-deep sequence satisfies Bellman's principle over subsets and
+//! the DP below is exact:
+//!
+//! ```text
+//! dp[{v}]      = 0
+//! dp[S ∪ {j}]  = min_{j ∉ S} dp[S] + N(S)·min_{k ∈ S} w_{jk}
+//! ```
+
+use crate::Optimum;
+use aqo_bignum::BigUint;
+use aqo_core::qon::QoNInstance;
+use aqo_core::{CostScalar, JoinSequence};
+
+/// Hard cap on `n` (a `2^n` table is allocated).
+pub const MAX_N: usize = 24;
+
+/// Exact optimum by subset DP.
+///
+/// With `allow_cartesian = false`, only sequences whose every join has a
+/// query-graph edge into the prefix are considered; returns `None` when no
+/// such sequence exists (disconnected query graph).
+pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Option<Optimum<S>> {
+    let n = inst.n();
+    assert!(n >= 1 && n <= MAX_N, "subset DP is for n in 1..={MAX_N}");
+    if n == 1 {
+        return Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() });
+    }
+    let full: usize = (1usize << n) - 1;
+    // dp cost, intermediate size N(S), and the last vertex added.
+    let mut dp: Vec<Option<S>> = vec![None; full + 1];
+    let mut nsize: Vec<Option<S>> = vec![None; full + 1];
+    let mut parent: Vec<u8> = vec![u8::MAX; full + 1];
+    for v in 0..n {
+        let m = 1usize << v;
+        dp[m] = Some(S::zero());
+        nsize[m] = Some(S::from_count(&inst.sizes()[v]));
+    }
+    for mask in 1..=full {
+        let Some(cost_s) = dp[mask].clone() else { continue };
+        let n_s = nsize[mask].clone().expect("N(S) set with dp");
+        for j in 0..n {
+            if mask >> j & 1 == 1 {
+                continue;
+            }
+            // Neighbours of j inside S.
+            let mut w_min: Option<BigUint> = None;
+            let mut nbr_count = 0usize;
+            let mut new_n = n_s.mul(&S::from_count(&inst.sizes()[j]));
+            for k in inst.graph().neighbors(j).iter() {
+                if mask >> k & 1 == 1 {
+                    nbr_count += 1;
+                    let w = inst.w(j, k);
+                    w_min = Some(match w_min {
+                        None => w,
+                        Some(cur) => cur.min(w),
+                    });
+                    new_n = new_n.mul(&S::from_ratio(&inst.selectivity().get(j, k)));
+                }
+            }
+            let prefix_len = mask.count_ones() as usize;
+            if nbr_count == 0 && !allow_cartesian {
+                continue;
+            }
+            if nbr_count < prefix_len {
+                // Some non-neighbour in S: the default w = t_j competes.
+                let tj = inst.sizes()[j].clone();
+                w_min = Some(match w_min {
+                    None => tj,
+                    Some(cur) => cur.min(tj),
+                });
+            }
+            let step = n_s.mul(&S::from_count(&w_min.expect("prefix nonempty")));
+            let cand = cost_s.add(&step);
+            let nm = mask | 1 << j;
+            if dp[nm].as_ref().is_none_or(|cur| cand < *cur) {
+                dp[nm] = Some(cand);
+                nsize[nm] = Some(new_n);
+                parent[nm] = j as u8;
+            }
+        }
+    }
+    let cost = dp[full].clone()?;
+    // Reconstruct the sequence.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask.count_ones() > 1 {
+        let j = parent[mask] as usize;
+        order.push(j);
+        mask &= !(1 << j);
+    }
+    order.push(mask.trailing_zeros() as usize);
+    order.reverse();
+    Some(Optimum { sequence: JoinSequence::new(order), cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+    use aqo_bignum::{BigInt, BigRational, LogNum};
+    use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+    use aqo_graph::Graph;
+
+    fn random_instance(seed: u64, n: usize) -> QoNInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge((next() % v as u64) as usize, v);
+        }
+        for _ in 0..n {
+            let u = (next() % n as u64) as usize;
+            let v = (next() % n as u64) as usize;
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(2 + next() % 40)).collect();
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 9));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_small() {
+        for seed in 0..8u64 {
+            let inst = random_instance(seed, 6);
+            let dp_opt = optimize::<BigRational>(&inst, true).unwrap();
+            let ex_opt: Optimum<BigRational> = exhaustive::optimize(&inst);
+            assert_eq!(dp_opt.cost, ex_opt.cost, "seed {seed}");
+            // The DP's sequence must achieve its claimed cost.
+            let recost: BigRational = inst.total_cost(&dp_opt.sequence);
+            assert_eq!(recost, dp_opt.cost);
+        }
+    }
+
+    #[test]
+    fn dp_no_cartesian_matches_exhaustive() {
+        for seed in 0..6u64 {
+            let inst = random_instance(seed + 100, 6);
+            let dp_opt = optimize::<BigRational>(&inst, false).unwrap();
+            let ex_opt = exhaustive::optimize_no_cartesian::<BigRational>(&inst).unwrap();
+            assert_eq!(dp_opt.cost, ex_opt.cost, "seed {seed}");
+            assert!(!inst.has_cartesian_product(&dp_opt.sequence));
+        }
+    }
+
+    #[test]
+    fn log_backend_finds_same_optimum_on_wellseparated_instances() {
+        let inst = random_instance(7, 7);
+        let exact = optimize::<BigRational>(&inst, true).unwrap();
+        let log = optimize::<LogNum>(&inst, true).unwrap();
+        let log_recost: BigRational = inst.total_cost(&log.sequence);
+        // The log optimum might differ by a float hair; costs must agree to
+        // float precision.
+        let d = (CostScalar::log2(&exact.cost) - CostScalar::log2(&log_recost)).abs();
+        assert!(d < 1e-6, "log-domain DP diverged: {d}");
+    }
+
+    #[test]
+    fn disconnected_no_cartesian_is_none() {
+        let g = Graph::new(4);
+        let inst = QoNInstance::new(
+            g,
+            vec![BigUint::from(3u64); 4],
+            SelectivityMatrix::new(),
+            AccessCostMatrix::new(),
+        );
+        assert!(optimize::<BigRational>(&inst, false).is_none());
+        assert!(optimize::<BigRational>(&inst, true).is_some());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let inst = QoNInstance::new(
+            Graph::new(1),
+            vec![BigUint::from(9u64)],
+            SelectivityMatrix::new(),
+            AccessCostMatrix::new(),
+        );
+        let opt = optimize::<BigRational>(&inst, false).unwrap();
+        assert!(opt.cost.is_zero());
+    }
+}

@@ -1,0 +1,314 @@
+//! QO_H plan optimization: optimal pipeline decomposition of a given join
+//! sequence, and exhaustive search over sequences at small `n`.
+//!
+//! For a fixed sequence the decomposition problem is an interval partition:
+//! `dp[k]` = cheapest way to execute joins `J_1 … J_k` with a fragment
+//! ending at `k`, where each candidate fragment is costed under its optimal
+//! memory allocation ([`aqo_core::qoh::QoHInstance::optimal_allocation`]).
+//! Fragment costs are independent of the decomposition around them, so the
+//! DP is exact.
+
+use aqo_bignum::BigRational;
+use aqo_core::qoh::{PipelineDecomposition, QoHInstance};
+use aqo_core::JoinSequence;
+
+/// A fully resolved QO_H plan.
+#[derive(Clone, Debug)]
+pub struct QohPlan {
+    /// The join sequence.
+    pub sequence: JoinSequence,
+    /// Its optimal pipeline decomposition.
+    pub decomposition: PipelineDecomposition,
+    /// Exact cost under per-fragment optimal memory allocation.
+    pub cost: BigRational,
+}
+
+/// Optimal pipeline decomposition of `z`; `None` if some join is infeasible
+/// under any decomposition (inner relation too big for `M`).
+pub fn best_decomposition(
+    inst: &QoHInstance,
+    z: &JoinSequence,
+) -> Option<(PipelineDecomposition, BigRational)> {
+    let n = z.len();
+    assert!(n >= 2, "need at least one join");
+    let inter: Vec<BigRational> = inst.intermediates(z);
+    // dp[k] (1-based join index): best cost for J_1..J_k; back[k] = fragment
+    // start of the last fragment.
+    let mut dp: Vec<Option<BigRational>> = vec![None; n];
+    let mut back: Vec<usize> = vec![0; n];
+    dp[0] = Some(BigRational::zero());
+    for k in 1..n {
+        for i in 1..=k {
+            let Some(prev) = dp[i - 1].clone() else { continue };
+            let Some(alloc) = inst.optimal_allocation(z, (i, k), &inter) else { continue };
+            let frag_cost = inst
+                .fragment_cost(z, (i, k), &alloc, &inter)
+                .expect("optimal allocation is feasible");
+            let cand = &prev + &frag_cost;
+            if dp[k].as_ref().is_none_or(|cur| cand < *cur) {
+                dp[k] = Some(cand);
+                back[k] = i;
+            }
+        }
+    }
+    let cost = dp[n - 1].clone()?;
+    let mut fragments = Vec::new();
+    let mut k = n - 1;
+    while k >= 1 {
+        let i = back[k];
+        fragments.push((i, k));
+        k = i - 1;
+    }
+    fragments.reverse();
+    Some((PipelineDecomposition::new(n, fragments), cost))
+}
+
+/// Exhaustive QO_H optimum: every sequence (`n ≤ 9`), each with its optimal
+/// decomposition. Returns `None` when no sequence is feasible.
+pub fn optimize_exhaustive(inst: &QoHInstance) -> Option<QohPlan> {
+    let n = inst.n();
+    assert!((2..=9).contains(&n), "exhaustive QO_H search is for n in 2..=9");
+    let mut best: Option<QohPlan> = None;
+    for perm in aqo_core::join::permutations(n) {
+        let z = JoinSequence::new(perm);
+        if !inst.sequence_feasible(&z) {
+            continue;
+        }
+        if let Some((decomp, cost)) = best_decomposition(inst, &z) {
+            if best.as_ref().is_none_or(|b| cost < b.cost) {
+                best = Some(QohPlan { sequence: z, decomposition: decomp, cost });
+            }
+        }
+    }
+    best
+}
+
+/// Polynomial-time QO_H heuristic: a greedy min-intermediate sequence
+/// (respecting feasibility — relations whose `hjmin` exceeds `M` must come
+/// first) followed by the exact decomposition DP, then improved by 2-opt
+/// position swaps until a local optimum.
+///
+/// Returns `None` when no feasible sequence exists at all.
+pub fn optimize_greedy(inst: &QoHInstance) -> Option<QohPlan> {
+    let n = inst.n();
+    assert!(n >= 2);
+    // Unbuildable relations (hjmin > M) can only ever be the outermost; more
+    // than one of them means no feasible sequence.
+    let unbuildable: Vec<usize> =
+        (0..n).filter(|&v| inst.hjmin(&inst.sizes()[v]) > *inst.memory()).collect();
+    if unbuildable.len() > 1 {
+        return None;
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let start = unbuildable.first().copied().unwrap_or_else(|| {
+        (0..n).min_by(|&a, &b| inst.sizes()[a].cmp(&inst.sizes()[b])).expect("n >= 2")
+    });
+    order.push(start);
+    let mut used = vec![false; n];
+    used[start] = true;
+    // Greedy: append the relation minimizing the resulting intermediate
+    // (log-domain), among adjacency-connected candidates when any exist.
+    let mut log_n = inst.sizes()[start].log2();
+    while order.len() < n {
+        let mut best: Option<(f64, usize)> = None;
+        let connected_exists = (0..n).any(|j| {
+            !used[j] && inst.graph().neighbors(j).iter().any(|k| used[k])
+        });
+        for j in 0..n {
+            if used[j] || (unbuildable.contains(&j)) {
+                continue;
+            }
+            let adjacent = inst.graph().neighbors(j).iter().any(|k| used[k]);
+            if connected_exists && !adjacent {
+                continue;
+            }
+            let mut cand = log_n + inst.sizes()[j].log2();
+            for k in inst.graph().neighbors(j).iter() {
+                if used[k] {
+                    cand += inst.selectivity().get(j, k).log2();
+                }
+            }
+            if best.is_none_or(|(b, _)| cand < b) {
+                best = Some((cand, j));
+            }
+        }
+        let (new_log, j) = best?;
+        order.push(j);
+        used[j] = true;
+        log_n = new_log;
+    }
+    let mut z = JoinSequence::new(order);
+    let (mut decomp, mut cost) = best_decomposition(inst, &z)?;
+    // 2-opt improvement over position swaps (never moves an unbuildable
+    // relation out of front position).
+    let first_pinned = !unbuildable.is_empty();
+    let lo = if first_pinned { 1 } else { 0 };
+    loop {
+        let mut improved = false;
+        for i in lo..n {
+            for j in i + 1..n {
+                let mut cand_order = z.order().to_vec();
+                cand_order.swap(i, j);
+                let cand = JoinSequence::new(cand_order);
+                if !inst.sequence_feasible(&cand) {
+                    continue;
+                }
+                if let Some((d, c)) = best_decomposition(inst, &cand) {
+                    if c < cost {
+                        z = cand;
+                        decomp = d;
+                        cost = c;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(QohPlan { sequence: z, decomposition: decomp, cost })
+}
+
+/// Brute-force check helper: the best decomposition found by trying *every*
+/// interval partition (exponential; test oracle only, `n ≤ 12`).
+pub fn best_decomposition_bruteforce(
+    inst: &QoHInstance,
+    z: &JoinSequence,
+) -> Option<(PipelineDecomposition, BigRational)> {
+    let n = z.len();
+    let joins = n - 1;
+    let mut best: Option<(PipelineDecomposition, BigRational)> = None;
+    // Each bit of `mask` decides whether a fragment boundary follows join i.
+    for mask in 0u32..(1 << (joins.saturating_sub(1))) {
+        let mut fragments = Vec::new();
+        let mut start = 1usize;
+        for j in 1..joins {
+            if mask >> (j - 1) & 1 == 1 {
+                fragments.push((start, j));
+                start = j + 1;
+            }
+        }
+        fragments.push((start, joins));
+        let decomp = PipelineDecomposition::new(n, fragments);
+        if let Some(cost) = inst.plan_cost_optimal_alloc(z, &decomp) {
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((decomp, cost));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_bignum::{BigInt, BigUint};
+    use aqo_core::SelectivityMatrix;
+    use aqo_graph::Graph;
+
+    fn path(n: usize, mem: u64) -> QoHInstance {
+        let mut g = Graph::new(n);
+        let mut s = SelectivityMatrix::new();
+        for v in 1..n {
+            g.add_edge(v - 1, v);
+            s.set(v - 1, v, BigRational::new(BigInt::one(), BigUint::from(8u64)));
+        }
+        QoHInstance::new(g, vec![BigUint::from(256u64); n], s, BigUint::from(mem))
+    }
+
+    #[test]
+    fn dp_matches_bruteforce() {
+        for mem in [40u64, 100, 300, 600] {
+            let inst = path(5, mem);
+            let z = JoinSequence::identity(5);
+            let dp = best_decomposition(&inst, &z);
+            let brute = best_decomposition_bruteforce(&inst, &z);
+            match (dp, brute) {
+                (Some((_, c1)), Some((_, c2))) => assert_eq!(c1, c2, "mem={mem}"),
+                (None, None) => {}
+                other => panic!("feasibility mismatch at mem={mem}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tight_memory_forces_materialization() {
+        // With memory for only one inner relation's hjmin at a time plus a
+        // little, long pipelines become infeasible and the DP must split.
+        let inst = path(5, 17); // hjmin(256) = 16
+        let z = JoinSequence::identity(5);
+        let (decomp, _) = best_decomposition(&inst, &z).unwrap();
+        assert_eq!(decomp.fragments().len(), 4, "every join in its own fragment");
+    }
+
+    #[test]
+    fn ample_memory_prefers_single_pipeline() {
+        let inst = path(5, 4 * 256);
+        let z = JoinSequence::identity(5);
+        let (decomp, cost) = best_decomposition(&inst, &z).unwrap();
+        assert_eq!(decomp.fragments().len(), 1);
+        let single = inst
+            .plan_cost_optimal_alloc(&z, &PipelineDecomposition::single_pipeline(5))
+            .unwrap();
+        assert_eq!(cost, single);
+    }
+
+    #[test]
+    fn exhaustive_finds_feasible_optimum() {
+        let inst = path(4, 200);
+        let plan = optimize_exhaustive(&inst).unwrap();
+        // Every other sequence/decomposition must cost at least as much.
+        for perm in aqo_core::join::permutations(4) {
+            let z = JoinSequence::new(perm);
+            if let Some((_, c)) = best_decomposition(&inst, &z) {
+                assert!(plan.cost <= c);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_instance_returns_none() {
+        // Memory below hjmin of every relation: no join can ever run.
+        let inst = path(3, 2);
+        assert!(optimize_exhaustive(&inst).is_none());
+        assert!(optimize_greedy(&inst).is_none());
+    }
+
+    #[test]
+    fn greedy_matches_or_trails_exhaustive() {
+        for mem in [60u64, 200, 700] {
+            let inst = path(5, mem);
+            let greedy = optimize_greedy(&inst);
+            let exact = optimize_exhaustive(&inst);
+            match (greedy, exact) {
+                (Some(g), Some(e)) => {
+                    assert!(g.cost >= e.cost, "greedy beat the exhaustive optimum?!");
+                    // On a symmetric path with uniform sizes it should tie.
+                    assert_eq!(g.cost, e.cost, "mem={mem}");
+                }
+                (None, None) => {}
+                other => panic!("feasibility disagreement at mem={mem}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_respects_unbuildable_front() {
+        // One giant relation that cannot be built: it must lead.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let mut s = SelectivityMatrix::new();
+        s.set(0, 1, BigRational::new(BigInt::one(), BigUint::from(4u64)));
+        s.set(1, 2, BigRational::new(BigInt::one(), BigUint::from(4u64)));
+        let inst = QoHInstance::new(
+            g,
+            vec![BigUint::from(1_000_000u64), BigUint::from(100u64), BigUint::from(100u64)],
+            s,
+            BigUint::from(50u64), // hjmin(10^6) = 1000 > 50
+        );
+        let plan = optimize_greedy(&inst).expect("feasible with big relation first");
+        assert_eq!(plan.sequence.at(0), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the optimizer crate: optimizer agreement, plan
+//! validity, and dominance relations, over randomized instances.
+
+use aqo_bignum::{BigInt, BigRational, BigUint, LogNum};
+use aqo_core::qoh::QoHInstance;
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, CostScalar, JoinSequence, SelectivityMatrix};
+use aqo_graph::Graph;
+use aqo_optimizer::{branch_bound, dp, exhaustive, greedy, pipeline, star};
+use proptest::prelude::*;
+
+/// Strategy: a connected QO_N instance on 3..=7 vertices.
+fn qon_instance() -> impl Strategy<Value = QoNInstance> {
+    (3usize..=7, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge((next() % v as u64) as usize, v);
+        }
+        for _ in 0..n / 2 {
+            let u = (next() % n as u64) as usize;
+            let v = (next() % n as u64) as usize;
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(2 + next() % 60)).collect();
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 12));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    })
+}
+
+/// Strategy: a path QO_H instance with random memory.
+fn qoh_instance() -> impl Strategy<Value = QoHInstance> {
+    (3usize..=6, 2u64..12, 30u64..3000).prop_map(|(n, den, mem)| {
+        let mut g = Graph::new(n);
+        let mut s = SelectivityMatrix::new();
+        for v in 1..n {
+            g.add_edge(v - 1, v);
+            s.set(v - 1, v, BigRational::new(BigInt::one(), BigUint::from(den)));
+        }
+        QoHInstance::new(g, vec![BigUint::from(256u64); n], s, BigUint::from(mem))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn dp_equals_exhaustive_equals_bnb(inst in qon_instance()) {
+        let ex = exhaustive::optimize::<BigRational>(&inst);
+        let d = dp::optimize::<BigRational>(&inst, true).unwrap();
+        let bb = branch_bound::optimize::<BigRational>(&inst, true).unwrap();
+        prop_assert_eq!(&ex.cost, &d.cost);
+        prop_assert_eq!(&ex.cost, &bb.cost);
+        // The reported sequences achieve the reported costs.
+        let d_recost: BigRational = inst.total_cost(&d.sequence);
+        prop_assert_eq!(&d_recost, &d.cost);
+    }
+
+    #[test]
+    fn no_cartesian_optimum_dominates(inst in qon_instance()) {
+        let free = dp::optimize::<BigRational>(&inst, true).unwrap();
+        let restricted = dp::optimize::<BigRational>(&inst, false).unwrap();
+        prop_assert!(free.cost <= restricted.cost);
+        prop_assert!(!inst.has_cartesian_product(&restricted.sequence));
+    }
+
+    #[test]
+    fn greedy_and_random_never_beat_optimum(inst in qon_instance(), seed in any::<u64>()) {
+        let opt = dp::optimize::<BigRational>(&inst, true).unwrap();
+        if let Some(z) = greedy::min_intermediate(&inst, true) {
+            let c: BigRational = inst.total_cost(&z);
+            prop_assert!(c >= opt.cost);
+        }
+        if let Some(z) = greedy::min_incremental_cost(&inst, true) {
+            let c: BigRational = inst.total_cost(&z);
+            prop_assert!(c >= opt.cost);
+        }
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let z = greedy::random_sequence(inst.n(), &mut rng);
+        let c: BigRational = inst.total_cost(&z);
+        prop_assert!(c >= opt.cost);
+    }
+
+    #[test]
+    fn log_dp_tracks_exact_dp(inst in qon_instance()) {
+        let exact = dp::optimize::<BigRational>(&inst, true).unwrap();
+        let log = dp::optimize::<LogNum>(&inst, true).unwrap();
+        let recost: BigRational = inst.total_cost(&log.sequence);
+        let diff = CostScalar::log2(&recost) - CostScalar::log2(&exact.cost);
+        prop_assert!(diff.abs() < 1e-6, "diverged by {diff} bits");
+    }
+
+    #[test]
+    fn qoh_decomposition_dp_is_exact(inst in qoh_instance()) {
+        let z = JoinSequence::identity(inst.n());
+        let dp_res = pipeline::best_decomposition(&inst, &z);
+        let brute = pipeline::best_decomposition_bruteforce(&inst, &z);
+        match (dp_res, brute) {
+            (Some((_, a)), Some((_, b))) => prop_assert_eq!(a, b),
+            (None, None) => {}
+            other => prop_assert!(false, "feasibility mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qoh_greedy_never_beats_exhaustive(inst in qoh_instance()) {
+        let greedy = pipeline::optimize_greedy(&inst);
+        let exact = pipeline::optimize_exhaustive(&inst);
+        match (greedy, exact) {
+            (Some(g), Some(e)) => prop_assert!(g.cost >= e.cost),
+            (None, Some(_)) => {} // heuristic may give up where search succeeds
+            (Some(_), None) => prop_assert!(false, "greedy found a plan the search missed"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn star_dp_plan_prices_correctly(seed in any::<u64>(), m in 1usize..5) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let len = m + 1;
+        let tuples: Vec<BigUint> = (0..len).map(|_| BigUint::from(4 + next() % 60)).collect();
+        let pages = tuples.clone();
+        let ks = 4u64;
+        let sort_cost: Vec<BigUint> = pages.iter().map(|b| b * &BigUint::from(ks)).collect();
+        let mut selectivity = vec![BigRational::one()];
+        for i in 1..len {
+            let p = 1 + next() % 3;
+            selectivity.push(BigRational::new(
+                BigInt::from(p.min(tuples[i].to_u64().unwrap())),
+                tuples[i].clone(),
+            ));
+        }
+        let w: Vec<BigUint> = (0..len).map(|_| BigUint::from(1 + next() % 15)).collect();
+        let w0: Vec<BigUint> = (0..len).map(|_| BigUint::from(1 + next() % 15)).collect();
+        let inst = aqo_core::sqo::SqoCpInstance::new(ks, tuples, pages, sort_cost, selectivity, w, w0);
+        let (plan, cost) = star::optimize(&inst);
+        prop_assert_eq!(inst.plan_cost(&plan), cost);
+        if m <= 4 {
+            let (_, ex) = star::optimize_exhaustive(&inst);
+            prop_assert_eq!(ex, star::optimize(&inst).1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Lemma 3 and Lemma 4: 3SAT → CLIQUE and 3SAT → ⅔CLIQUE.
+//!
+//! Both start from the Garey–Johnson VERTEX COVER graph `G` on
+//! `n_G = 2v + 3m` vertices ([`crate::sat_to_vc`]):
+//!
+//! * **Lemma 3 (CLIQUE)** — take the complement `Ḡ` (whose cliques are
+//!   `G`'s independent sets) and append a complete graph on `4v + 3m` fresh
+//!   vertices, each connected to every old vertex. Cliques of the result
+//!   are `IS(G) + (4v + 3m)`, so
+//!   `ω = (n_G − vc(G)) + 4v + 3m = 5v + 4m − u`, where `u` is the minimum
+//!   number of unsatisfied clauses: the gap in MaxSAT becomes a gap in ω.
+//! * **Lemma 4 (⅔CLIQUE)** — append instead `n₁ = v + 3m` universal
+//!   vertices, sized so that satisfiable formulas give
+//!   `ω = 2v + 4m = (2/3)·N` with `N = 3v + 6m` total vertices, and `u`
+//!   unsatisfied clauses give `ω = (2/3)N − u`.
+//!
+//! (The Lemma 4 padding count is derived from the same computation the
+//! paper performs with its `γ` from Theorem 2: the padding makes the
+//! satisfiable clique hit exactly two-thirds.)
+
+use crate::sat_to_vc;
+use aqo_graph::Graph;
+use aqo_sat::CnfFormula;
+
+/// Output of the Lemma 3 / Lemma 4 constructions.
+#[derive(Clone, Debug)]
+pub struct CliqueReduction {
+    /// The produced graph.
+    pub graph: Graph,
+    /// Number of source-formula variables `v`.
+    pub num_vars: usize,
+    /// Number of source-formula clauses `m`.
+    pub num_clauses: usize,
+    /// Index at which the padding (complete/universal) vertices begin.
+    pub padding_start: usize,
+    /// Clique size achieved when the formula is satisfiable.
+    pub satisfiable_omega: usize,
+}
+
+impl CliqueReduction {
+    /// The predicted clique number given the exact minimum number of
+    /// unsatisfied clauses `u` (0 when satisfiable): `satisfiable_omega − u`.
+    pub fn predicted_omega(&self, min_unsatisfied: usize) -> usize {
+        self.satisfiable_omega - min_unsatisfied
+    }
+}
+
+fn complement_plus_universal(f: &CnfFormula, padding: usize, satisfiable_omega: usize) -> CliqueReduction {
+    let vc = sat_to_vc::reduce(f);
+    let base = vc.graph.complement();
+    let n_old = base.n();
+    let n = n_old + padding;
+    let mut g = Graph::new(n);
+    for (a, b) in base.edges() {
+        g.add_edge(a, b);
+    }
+    for p in n_old..n {
+        for q in 0..n {
+            if q != p {
+                g.add_edge(p.min(q), p.max(q));
+            }
+        }
+    }
+    CliqueReduction {
+        graph: g,
+        num_vars: f.num_vars(),
+        num_clauses: f.num_clauses(),
+        padding_start: n_old,
+        satisfiable_omega,
+    }
+}
+
+/// Lemma 3: 3SAT → CLIQUE. Satisfiable formulas map to graphs with
+/// `ω = 5v + 4m`; a formula whose best assignment leaves `u` clauses
+/// unsatisfied maps to `ω = 5v + 4m − u`.
+pub fn sat_to_clique(f: &CnfFormula) -> CliqueReduction {
+    assert!(f.is_3cnf());
+    let v = f.num_vars();
+    let m = f.num_clauses();
+    complement_plus_universal(f, 4 * v + 3 * m, 5 * v + 4 * m)
+}
+
+/// Lemma 4: 3SAT → ⅔CLIQUE. The output graph has `N = 3v + 6m` vertices;
+/// satisfiable formulas give `ω = (2/3)·N`, and `u` unsatisfied clauses give
+/// `ω = (2/3)·N − u`.
+pub fn sat_to_two_thirds_clique(f: &CnfFormula) -> CliqueReduction {
+    assert!(f.is_3cnf());
+    let v = f.num_vars();
+    let m = f.num_clauses();
+    complement_plus_universal(f, v + 3 * m, 2 * v + 4 * m)
+}
+
+/// The ⅔CLIQUE question for a reduction output: does the graph contain a
+/// clique on two-thirds of its vertices? (Total vertex count is always a
+/// multiple of 3 by construction.)
+pub fn two_thirds_target(red: &CliqueReduction) -> usize {
+    debug_assert_eq!(red.graph.n() % 3, 0);
+    2 * red.graph.n() / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_graph::clique;
+    use aqo_sat::{generators, maxsat, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn min_unsat(f: &CnfFormula) -> usize {
+        f.num_clauses() - maxsat::max_sat(f).max_satisfied
+    }
+
+    #[test]
+    fn lemma3_omega_formula_satisfiable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (f, _) = generators::planted_3sat(3, 3, &mut rng);
+        let r = sat_to_clique(&f);
+        let omega = clique::clique_number(&r.graph);
+        assert_eq!(omega, r.satisfiable_omega);
+        assert_eq!(omega, r.predicted_omega(0));
+    }
+
+    #[test]
+    fn lemma3_omega_formula_unsatisfiable() {
+        let f = generators::contradiction_blocks(1); // u = 1 exactly
+        let r = sat_to_clique(&f);
+        let omega = clique::clique_number(&r.graph);
+        assert_eq!(min_unsat(&f), 1);
+        assert_eq!(omega, r.predicted_omega(1));
+        assert!(omega < r.satisfiable_omega);
+    }
+
+    #[test]
+    fn lemma4_hits_exactly_two_thirds_when_satisfiable() {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            ],
+        );
+        let r = sat_to_two_thirds_clique(&f);
+        assert_eq!(r.graph.n() % 3, 0);
+        let omega = clique::clique_number(&r.graph);
+        assert_eq!(omega, two_thirds_target(&r));
+        assert_eq!(omega, r.satisfiable_omega);
+    }
+
+    #[test]
+    fn lemma4_falls_short_when_unsatisfiable() {
+        let f = generators::contradiction_blocks(1);
+        let r = sat_to_two_thirds_clique(&f);
+        let omega = clique::clique_number(&r.graph);
+        assert_eq!(omega, two_thirds_target(&r) - 1);
+        assert_eq!(omega, r.predicted_omega(1));
+    }
+
+    #[test]
+    fn omega_tracks_maxsat_exactly_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let f = generators::random_3sat(3, 4, &mut rng);
+            let u = min_unsat(&f);
+            for r in [sat_to_clique(&f), sat_to_two_thirds_clique(&f)] {
+                let omega = clique::clique_number(&r.graph);
+                assert_eq!(omega, r.predicted_omega(u), "u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_is_universal_and_complete() {
+        let f = CnfFormula::from_clauses(2, vec![vec![Lit::pos(0), Lit::neg(1)]]);
+        let r = sat_to_clique(&f);
+        let n = r.graph.n();
+        for p in r.padding_start..n {
+            assert_eq!(r.graph.degree(p), n - 1, "padding vertex {p} must be universal");
+        }
+    }
+
+    #[test]
+    fn dense_degree_property_with_bounded_occurrences() {
+        // With occurrence-bounded formulas the output graph has bounded
+        // complement degree: each vertex misses at most
+        // 1 + occurrences + a constant others (the paper's "degree ≥ |V|−14"
+        // family, up to its constant bookkeeping).
+        let f = generators::contradiction_blocks(2);
+        assert!(f.max_occurrences() <= 13);
+        let r = sat_to_clique(&f);
+        let n = r.graph.n();
+        let min_deg = r.graph.min_degree();
+        // Every vertex of the VC graph has degree ≤ 1 + 13 + 2 = 16 there,
+        // so it misses at most 16 neighbours here.
+        assert!(min_deg >= n - 1 - 16, "min degree {min_deg} vs n {n}");
+    }
+}

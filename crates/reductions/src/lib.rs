@@ -1,0 +1,33 @@
+//! Every reduction of *On the Complexity of Approximate Query Optimization*
+//! (PODS 2002), as executable, mechanically testable code.
+//!
+//! The hardness chain:
+//!
+//! ```text
+//! 3SAT ──(Garey–Johnson)──▶ VERTEX COVER ──(complement + padding)──▶ CLIQUE      (Lemma 3)
+//!                                        └─(complement + universal)─▶ ⅔CLIQUE    (Lemma 4)
+//! CLIQUE  ──f_N──▶ QO_N                                                          (§4, Thm 9)
+//! ⅔CLIQUE ──f_H──▶ QO_H                                                          (§5, Thm 15)
+//! CLIQUE  ──f_{N,e}──▶ sparse QO_N;   ⅔CLIQUE ──f_{H,e}──▶ sparse QO_H           (§6, Thms 16/17)
+//! PARTITION ──▶ SPPCS ──▶ SQO−CP                                                 (Appendix A/B)
+//! ```
+//!
+//! Each module provides (a) the instance constructor, (b) the witness the
+//! paper's upper-bound lemma exhibits (clique-first join sequences, the
+//! five-pipeline decomposition, …), and (c) exact evaluators for the bound
+//! expressions (`K_{c,d}(a,n)`, `L(a,n)`, `G(a,n)`, the Lemma 8 lower
+//! bound), so the experiments can certify every inequality in exact
+//! arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clique_reduction;
+pub mod decode;
+pub mod fh_reduction;
+pub mod fn_reduction;
+pub mod partition;
+pub mod sat_to_vc;
+pub mod sparse;
+pub mod sppcs;
+pub mod sqo_reduction;

@@ -1,0 +1,156 @@
+//! The PARTITION problem (source of the Appendix A chain) and its exact
+//! solver.
+//!
+//! The paper uses the variant with an *even* total: given non-negative
+//! integers `b₁ … b_n` with `Σ bᵢ = 2K`, is there a subset summing to `K`?
+
+/// A PARTITION instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionInstance {
+    items: Vec<u64>,
+}
+
+impl PartitionInstance {
+    /// Builds an instance; panics if the total is odd (the paper's variant
+    /// presupposes an even total — double the items to convert).
+    pub fn new(items: Vec<u64>) -> Self {
+        let total: u64 = items.iter().sum();
+        assert!(total % 2 == 0, "PARTITION variant requires an even total");
+        PartitionInstance { items }
+    }
+
+    /// Converts an arbitrary multiset into the even-total variant by
+    /// doubling every element (the paper's own trick).
+    pub fn from_arbitrary(items: Vec<u64>) -> Self {
+        PartitionInstance { items: items.into_iter().map(|b| 2 * b).collect() }
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// `K = (Σ bᵢ)/2`, the target subset sum.
+    pub fn half_sum(&self) -> u64 {
+        self.items.iter().sum::<u64>() / 2
+    }
+
+    /// Exact decision by subset-sum dynamic programming (pseudo-polynomial,
+    /// bitset-packed): is there `A` with `Σ_{i∈A} bᵢ = K`?
+    pub fn is_yes(&self) -> bool {
+        self.witness().is_some()
+    }
+
+    /// A witness subset (indices) summing to `K`, if one exists.
+    pub fn witness(&self) -> Option<Vec<usize>> {
+        let k = self.half_sum() as usize;
+        // reach[s] = Some(last item index used to reach sum s).
+        let mut reach: Vec<Option<usize>> = vec![None; k + 1];
+        let mut reachable = vec![false; k + 1];
+        reachable[0] = true;
+        for (idx, &b) in self.items.iter().enumerate() {
+            let b = b as usize;
+            if b > k {
+                continue;
+            }
+            for s in (b..=k).rev() {
+                if !reachable[s] && reachable[s - b] {
+                    reachable[s] = true;
+                    reach[s] = Some(idx);
+                }
+            }
+        }
+        if !reachable[k] {
+            return None;
+        }
+        // Walk back. Zero items never change sums, so the walk uses only
+        // positive items; k = 0 returns the empty set.
+        let mut out = Vec::new();
+        let mut s = k;
+        while s > 0 {
+            let idx = reach[s].expect("reachable sum has provenance");
+            out.push(idx);
+            s -= self.items[idx] as usize;
+        }
+        out.reverse();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_yes_instance() {
+        let p = PartitionInstance::new(vec![3, 1, 1, 2, 2, 1]);
+        assert_eq!(p.half_sum(), 5);
+        assert!(p.is_yes());
+        let w = p.witness().unwrap();
+        let sum: u64 = w.iter().map(|&i| p.items()[i]).sum();
+        assert_eq!(sum, 5);
+    }
+
+    #[test]
+    fn classic_no_instance() {
+        let p = PartitionInstance::new(vec![2, 2, 2, 5, 5]); // total 16, K=8
+        assert!(!p.is_yes());
+        assert!(p.witness().is_none());
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        assert!(PartitionInstance::new(vec![]).is_yes());
+        assert!(PartitionInstance::new(vec![0, 0]).is_yes());
+        let p = PartitionInstance::new(vec![0, 4, 4]);
+        assert!(p.is_yes());
+    }
+
+    #[test]
+    fn doubling_preserves_answer() {
+        for items in [vec![1u64, 2, 3], vec![1, 1, 1], vec![7, 3, 2, 1, 1]] {
+            let doubled = PartitionInstance::from_arbitrary(items.clone());
+            // Brute-force the original "split into equal halves" question.
+            let total: u64 = items.iter().sum();
+            let brute = total % 2 == 0
+                && (0u32..1 << items.len()).any(|mask| {
+                    let s: u64 = items
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask >> i & 1 == 1)
+                        .map(|(_, &b)| b)
+                        .sum();
+                    2 * s == total
+                });
+            assert_eq!(doubled.is_yes(), brute, "items {items:?}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_bruteforce_random() {
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..30 {
+            let n = 2 + (next() % 8) as usize;
+            let items: Vec<u64> = (0..n).map(|_| next() % 12).collect();
+            let total: u64 = items.iter().sum();
+            if total % 2 != 0 {
+                continue;
+            }
+            let p = PartitionInstance::new(items.clone());
+            let brute = (0u32..1 << n).any(|mask| {
+                let s: u64 = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &b)| b)
+                    .sum();
+                s == total / 2
+            });
+            assert_eq!(p.is_yes(), brute, "items {items:?}");
+        }
+    }
+}

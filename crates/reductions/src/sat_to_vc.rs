@@ -1,0 +1,203 @@
+//! The classical Garey–Johnson reduction 3SAT → VERTEX COVER, the first
+//! hop of the paper's Lemma 3 (and, with different padding, Lemma 4).
+//!
+//! For a 3CNF formula with `v` variables and `m` clauses (each clause here
+//! is padded/treated as exactly 3 literal slots):
+//!
+//! * one *variable gadget* per variable: vertices `x`, `¬x` joined by an
+//!   edge (a cover must pick at least one);
+//! * one *clause gadget* per clause: a triangle (a cover must pick at least
+//!   two);
+//! * each triangle corner is wired to the literal vertex it represents.
+//!
+//! A cover of size `v + 2m` exists iff the formula is satisfiable; more
+//! precisely `vc(G) = v + 2m + (m − maxsat(F))`-ish is *not* exact in
+//! general, but the two directions the paper uses are:
+//!
+//! * satisfiable ⟹ `vc(G) = v + 2m`;
+//! * at most `m − u` clauses satisfiable ⟹ `vc(G) ≥ v + 2m + u`
+//!   (each unsatisfied clause forces a third triangle pick or an extra
+//!   literal pick).
+//!
+//! Both directions are verified mechanically in tests against the exact
+//! solvers.
+
+use aqo_graph::Graph;
+use aqo_sat::CnfFormula;
+
+/// Output of the reduction: the graph plus the vertex bookkeeping needed to
+/// translate certificates.
+#[derive(Clone, Debug)]
+pub struct VcReduction {
+    /// The produced graph.
+    pub graph: Graph,
+    /// Number of variables `v` of the source formula.
+    pub num_vars: usize,
+    /// Number of clauses `m` of the source formula.
+    pub num_clauses: usize,
+    /// The satisfiable-case cover size `v + 2m`.
+    pub target_cover: usize,
+}
+
+impl VcReduction {
+    /// Vertex id of the positive literal of variable `i`.
+    pub fn pos_vertex(&self, i: usize) -> usize {
+        2 * i
+    }
+
+    /// Vertex id of the negative literal of variable `i`.
+    pub fn neg_vertex(&self, i: usize) -> usize {
+        2 * i + 1
+    }
+
+    /// Vertex id of corner `slot ∈ {0,1,2}` of clause `c`'s triangle.
+    pub fn triangle_vertex(&self, c: usize, slot: usize) -> usize {
+        assert!(slot < 3);
+        2 * self.num_vars + 3 * c + slot
+    }
+
+    /// Builds the size-`v + 2m` cover corresponding to a satisfying
+    /// assignment: the true literal of each variable, plus, per clause, the
+    /// two triangle corners whose literals are *not* the chosen satisfied
+    /// one.
+    pub fn cover_from_assignment(&self, f: &CnfFormula, assignment: &[bool]) -> Vec<usize> {
+        assert!(f.is_satisfied_by(assignment), "assignment must satisfy the formula");
+        let mut cover = Vec::with_capacity(self.target_cover);
+        for (i, &val) in assignment.iter().enumerate() {
+            cover.push(if val { self.pos_vertex(i) } else { self.neg_vertex(i) });
+        }
+        for (c, clause) in f.clauses().iter().enumerate() {
+            let slots = clause_slots(clause);
+            let sat_slot = slots
+                .iter()
+                .position(|l| l.eval(assignment))
+                .expect("satisfied clause has a true literal");
+            for slot in 0..3 {
+                if slot != sat_slot {
+                    cover.push(self.triangle_vertex(c, slot));
+                }
+            }
+        }
+        cover
+    }
+}
+
+/// A clause viewed as exactly three literal slots (a 1- or 2-literal clause
+/// repeats its last literal — the gadget still behaves correctly).
+fn clause_slots(clause: &[aqo_sat::Lit]) -> [aqo_sat::Lit; 3] {
+    assert!(!clause.is_empty() && clause.len() <= 3, "3CNF expected");
+    let last = *clause.last().expect("nonempty");
+    [
+        clause.first().copied().unwrap_or(last),
+        clause.get(1).copied().unwrap_or(last),
+        last,
+    ]
+}
+
+/// Runs the reduction.
+pub fn reduce(f: &CnfFormula) -> VcReduction {
+    assert!(f.is_3cnf(), "reduction requires 3CNF");
+    let v = f.num_vars();
+    let m = f.num_clauses();
+    let n = 2 * v + 3 * m;
+    let mut g = Graph::new(n);
+    // Variable gadgets.
+    for i in 0..v {
+        g.add_edge(2 * i, 2 * i + 1);
+    }
+    // Clause triangles + wiring.
+    for (c, clause) in f.clauses().iter().enumerate() {
+        let base = 2 * v + 3 * c;
+        g.add_edge(base, base + 1);
+        g.add_edge(base + 1, base + 2);
+        g.add_edge(base, base + 2);
+        for (slot, lit) in clause_slots(clause).iter().enumerate() {
+            let lit_vertex = if lit.positive { 2 * lit.var } else { 2 * lit.var + 1 };
+            g.add_edge(base + slot, lit_vertex);
+        }
+    }
+    VcReduction { graph: g, num_vars: v, num_clauses: m, target_cover: v + 2 * m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_graph::cover;
+    use aqo_sat::{dpll, generators, maxsat, Lit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn satisfiable_formula_hits_target_cover() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..4 {
+            let (f, w) = generators::planted_3sat(4, 5, &mut rng);
+            let r = reduce(&f);
+            let vc = cover::vertex_cover_number(&r.graph);
+            assert_eq!(vc, r.target_cover, "satisfiable ⟹ vc = v + 2m");
+            // The constructive cover is valid and tight.
+            let c = r.cover_from_assignment(&f, &w);
+            assert!(cover::is_vertex_cover(&r.graph, &c));
+            assert_eq!(c.len(), r.target_cover);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula_needs_more() {
+        // One contradiction block: exactly one clause unsatisfied.
+        let f = generators::contradiction_blocks(1);
+        assert!(!dpll::is_satisfiable(&f));
+        let r = reduce(&f);
+        let vc = cover::vertex_cover_number(&r.graph);
+        assert!(vc > r.target_cover, "unsat ⟹ vc > v + 2m");
+    }
+
+    #[test]
+    fn cover_deficit_lower_bounded_by_unsatisfied_clauses() {
+        // vc(G) ≥ v + 2m + (m − maxsat): the Lemma 3 direction.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..4 {
+            let f = generators::random_3sat(4, 10, &mut rng);
+            let r = reduce(&f);
+            let vc = cover::vertex_cover_number(&r.graph);
+            let unsat = f.num_clauses() - maxsat::max_sat(&f).max_satisfied;
+            assert!(
+                vc >= r.target_cover + unsat,
+                "vc {} < v+2m {} + unsat {}",
+                vc,
+                r.target_cover,
+                unsat
+            );
+        }
+    }
+
+    #[test]
+    fn short_clauses_handled() {
+        // Unit and binary clauses exercise the slot-padding path.
+        let f = aqo_sat::CnfFormula::from_clauses(
+            2,
+            vec![vec![Lit::pos(0)], vec![Lit::neg(0), Lit::pos(1)]],
+        );
+        let r = reduce(&f);
+        assert_eq!(r.graph.n(), 2 * 2 + 3 * 2);
+        let vc = cover::vertex_cover_number(&r.graph);
+        assert_eq!(vc, r.target_cover, "formula is satisfiable");
+    }
+
+    #[test]
+    fn gadget_structure() {
+        let f = aqo_sat::CnfFormula::from_clauses(
+            3,
+            vec![vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]],
+        );
+        let r = reduce(&f);
+        // 6 literal vertices + 3 triangle vertices.
+        assert_eq!(r.graph.n(), 9);
+        // 3 variable edges + 3 triangle edges + 3 wires.
+        assert_eq!(r.graph.m(), 9);
+        assert!(r.graph.has_edge(r.pos_vertex(0), r.neg_vertex(0)));
+        assert!(r.graph.has_edge(r.triangle_vertex(0, 0), r.pos_vertex(0)));
+        assert!(r.graph.has_edge(r.triangle_vertex(0, 1), r.neg_vertex(1)));
+        assert!(r.graph.has_edge(r.triangle_vertex(0, 2), r.pos_vertex(2)));
+    }
+}

@@ -1,0 +1,364 @@
+//! §6 — sparse-query-graph variants `f_{N,e}` and `f_{H,e}`.
+//!
+//! The §4/§5 reductions emit *dense* query graphs (`n²/2 − Θ(n)` edges).
+//! §6 shows the gap survives when the edge count is pinned to any function
+//! `e(m)` with `m + Θ(m^τ) ≤ e(m) ≤ m(m−1)/2 − Θ(m^τ)`: blow the vertex
+//! count up to `m = n^k` (`k = Θ(2/τ)`) by attaching an *auxiliary
+//! connected graph* `G₂` that carries the surplus edges but, thanks to tiny
+//! relation sizes (`u = βⁿ`) and mild selectivities (`1/β`), contributes
+//! only an `α^{o(1)}`… `α^{O(1)}` factor to any join sequence's cost.
+//!
+//! Two fidelity notes:
+//!
+//! 1. The paper sets the bridge-edge access cost from the `V₁` side to
+//!    `t/α`, which would violate the §2.1.1 constraint
+//!    `w_{jk} ≥ t_j·s_{jk}` (the bridge selectivity is `1/β`). We use
+//!    `t/β`, the least value the constraint admits — the change inflates
+//!    one join's cost by at most `α/β`, absorbed by the `α^{O(1)}` slop
+//!    the theorem already carries.
+//! 2. The paper states the reachable window's upper end as
+//!    `m(m−1)/2 − Θ(m^τ)`, but the construction as written (all surplus
+//!    edges inside `G₂` on `m − n` vertices, plus one bridge) tops out at
+//!    `|E₁| + (m−n)(m−n−1)/2 + 1 = m(m−1)/2 − Θ(m^{1+1/k})`. We implement
+//!    the construction as written and document the achievable ceiling; the
+//!    hardness claim is unaffected (it only needs *some* target in the
+//!    window to be realizable for each τ, which the sparse end provides).
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::qoh::QoHInstance;
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+use aqo_graph::Graph;
+
+/// Builds the auxiliary connected graph `G₂` on `verts` vertices with
+/// exactly `edges` edges (path + lexicographic fill).
+fn auxiliary_graph(verts: usize, edges: usize) -> Graph {
+    assert!(verts >= 1);
+    let max = verts * (verts - 1) / 2;
+    assert!(
+        (verts.saturating_sub(1)..=max).contains(&edges),
+        "auxiliary graph needs between {} and {max} edges, got {edges}",
+        verts.saturating_sub(1)
+    );
+    let mut g = Graph::new(verts);
+    for v in 1..verts {
+        g.add_edge(v - 1, v);
+    }
+    'outer: for u in 0..verts {
+        for v in u + 1..verts {
+            if g.m() >= edges {
+                break 'outer;
+            }
+            g.add_edge(u, v);
+        }
+    }
+    debug_assert_eq!(g.m(), edges);
+    g
+}
+
+/// Output of `f_{N,e}`.
+#[derive(Clone, Debug)]
+pub struct SparseFnReduction {
+    /// The QO_N instance on `m = n^k` vertices.
+    pub instance: QoNInstance,
+    /// Source-graph vertex count `n`.
+    pub n: usize,
+    /// Blow-up exponent `k` (`m = n^k`).
+    pub k: u32,
+    /// `α` (selectivity denominator on original edges).
+    pub alpha: BigUint,
+    /// `β` (selectivity denominator on auxiliary edges).
+    pub beta: BigUint,
+    /// `t = α^e` (sizes of the `V₁` relations).
+    pub t: BigUint,
+    /// `u = βⁿ` (sizes of the `V₂` relations).
+    pub u: BigUint,
+    /// The size exponent `e` of `t = α^e`.
+    pub e: u64,
+}
+
+/// Runs `f_{N,e}`: `g1` is the CLIQUE instance on `n` vertices; the output
+/// query graph has `n^k` vertices and exactly `target_edges` edges
+/// (`V₁ = 0..n`, `V₂ = n..n^k`, bridge `{0, n}`).
+///
+/// `alpha` and the size exponent `e` play the roles they do in
+/// [`crate::fn_reduction`]; `beta` defaults to the paper's 4 when you pass
+/// `BigUint::from(4u64)`. The paper's own scale is `α = β^{n^{2k+2}}`.
+pub fn reduce_fn(
+    g1: &Graph,
+    k: u32,
+    target_edges: usize,
+    alpha: &BigUint,
+    beta: &BigUint,
+    e: u64,
+) -> SparseFnReduction {
+    let n = g1.n();
+    assert!(n >= 2, "need at least two vertices");
+    assert!(k >= 2, "blow-up exponent must be at least 2");
+    let m = n.checked_pow(k).expect("m = n^k overflows usize");
+    let v2 = m - n;
+    assert!(v2 >= 1, "blow-up must add vertices");
+    let e2 = target_edges
+        .checked_sub(g1.m() + 1)
+        .expect("target edge count must exceed |E1| + 1");
+    let g2 = auxiliary_graph(v2, e2);
+
+    let mut q = Graph::new(m);
+    for (a, b) in g1.edges() {
+        q.add_edge(a, b);
+    }
+    for (a, b) in g2.edges() {
+        q.add_edge(n + a, n + b);
+    }
+    q.add_edge(0, n); // bridge v1–v2
+    assert_eq!(q.m(), target_edges);
+
+    let t = alpha.pow(e);
+    let u = beta.pow(n as u64);
+    let mut sizes = vec![t.clone(); n];
+    sizes.extend(std::iter::repeat_with(|| u.clone()).take(v2));
+
+    let mut s = SelectivityMatrix::new();
+    let mut wm = AccessCostMatrix::new();
+    let inv_alpha = BigRational::recip_of(alpha.clone());
+    let inv_beta = BigRational::recip_of(beta.clone());
+    let w_v1 = &t / alpha; // t/α on E1 edges
+    let w_v1_bridge = &t / beta; // t/β on the bridge (see module docs)
+    let w_v2 = &u / beta; // u/β on E2 + bridge (V2 side)
+    for (a, b) in g1.edges() {
+        s.set(a, b, inv_alpha.clone());
+        wm.set(a, b, w_v1.clone());
+        wm.set(b, a, w_v1.clone());
+    }
+    for (a, b) in g2.edges() {
+        s.set(n + a, n + b, inv_beta.clone());
+        wm.set(n + a, n + b, w_v2.clone());
+        wm.set(n + b, n + a, w_v2.clone());
+    }
+    s.set(0, n, inv_beta.clone());
+    wm.set(0, n, w_v1_bridge);
+    wm.set(n, 0, w_v2.clone());
+
+    let instance = QoNInstance::new(q, sizes, s, wm);
+    SparseFnReduction { instance, n, k, alpha: alpha.clone(), beta: beta.clone(), t, u, e }
+}
+
+/// Output of `f_{H,e}`.
+#[derive(Clone, Debug)]
+pub struct SparseFhReduction {
+    /// The QO_H instance on `n^k` vertices (`V₁ = 0..n`, `v₀ = n`,
+    /// `V₂ = n+1..n^k`).
+    pub instance: QoHInstance,
+    /// Index of `v₀`.
+    pub v0: usize,
+    /// Source-graph vertex count `n`.
+    pub n: usize,
+    /// `b` with `α = b²`.
+    pub b: BigUint,
+    /// `α = b²`.
+    pub alpha: BigUint,
+    /// `t = b^{n−1}`.
+    pub t: BigUint,
+    /// `t₀` (the un-buildable centre relation).
+    pub t0: BigUint,
+}
+
+/// Runs `f_{H,e}`: `g1` is the ⅔CLIQUE instance on `n` vertices
+/// (`3 | n`, `n ≥ 6`); the query graph has `m = n^k` vertices and exactly
+/// `target_edges` edges: `E₁ ∪ E₂ ∪ {bridge} ∪ {v₀–V₁ star}`.
+pub fn reduce_fh(g1: &Graph, k: u32, target_edges: usize, b: &BigUint) -> SparseFhReduction {
+    let n = g1.n();
+    assert!(n >= 6 && n % 3 == 0, "f_{{H,e}} requires n >= 6 divisible by 3");
+    let m = n.checked_pow(k).expect("m = n^k overflows usize");
+    let v2 = m - n - 1;
+    assert!(v2 >= 1, "blow-up must add vertices beyond v0");
+    let e2 = target_edges
+        .checked_sub(g1.m() + n + 1)
+        .expect("target edge count must exceed |E1| + n + 1");
+    let g2 = auxiliary_graph(v2, e2);
+
+    // Vertex layout: V1 = 0..n, v0 = n, V2 = n+1..m.
+    let v0 = n;
+    let mut q = Graph::new(m);
+    for (a, b) in g1.edges() {
+        q.add_edge(a, b);
+    }
+    for v in 0..n {
+        q.add_edge(v, v0);
+    }
+    for (a, b) in g2.edges() {
+        q.add_edge(n + 1 + a, n + 1 + b);
+    }
+    q.add_edge(0, n + 1); // bridge v1–v2
+    assert_eq!(q.m(), target_edges);
+
+    let alpha = b * b;
+    let t = b.pow(n as u64 - 1);
+    let two_n = BigUint::from(2u64).pow(n as u64);
+
+    let eta = (1u32, 2u32);
+    let hjmin_t = t.root_pow_ceil(eta.0, eta.1);
+    let m_mem = BigUint::from((n / 3 - 1) as u64) * &t + BigUint::from(2u64) * &hjmin_t;
+    let t0 = (&m_mem + BigUint::one()).pow(eta.1.div_ceil(eta.0) as u64);
+
+    let mut sizes = vec![t.clone(); n];
+    sizes.push(t0.clone());
+    sizes.extend(std::iter::repeat_with(|| two_n.clone()).take(v2));
+
+    let mut s = SelectivityMatrix::new();
+    let inv_alpha = BigRational::recip_of(alpha.clone());
+    let inv_two_n = BigRational::recip_of(two_n.clone());
+    let half = BigRational::recip_of(2u64);
+    for (a, b2) in g1.edges() {
+        s.set(a, b2, inv_alpha.clone());
+    }
+    for v in 0..n {
+        s.set(v, v0, inv_two_n.clone());
+    }
+    for (a, b2) in g2.edges() {
+        s.set(n + 1 + a, n + 1 + b2, half.clone());
+    }
+    s.set(0, n + 1, half);
+
+    let instance = QoHInstance::with_eta(q, sizes, s, m_mem, eta);
+    SparseFhReduction { instance, v0, n, b: b.clone(), alpha, t, t0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_bignum::LogNum;
+    use aqo_core::{CostScalar, JoinSequence};
+    use aqo_graph::generators;
+    use aqo_optimizer::dp;
+
+    #[test]
+    fn auxiliary_graph_contract() {
+        for (v, e) in [(1, 0), (2, 1), (5, 4), (5, 7), (6, 15)] {
+            let g = auxiliary_graph(v, e);
+            assert_eq!(g.n(), v);
+            assert_eq!(g.m(), e);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "auxiliary graph needs")]
+    fn auxiliary_graph_too_few_edges() {
+        auxiliary_graph(5, 3);
+    }
+
+    #[test]
+    fn fn_sparse_shape() {
+        let g1 = Graph::complete(3);
+        let alpha = BigUint::from(4u64).pow(16);
+        let beta = BigUint::from(4u64);
+        let red = reduce_fn(&g1, 2, 12, &alpha, &beta, 2);
+        let inst = &red.instance;
+        assert_eq!(inst.n(), 9);
+        assert_eq!(inst.graph().m(), 12);
+        assert!(inst.graph().is_connected());
+        // Edge count within the Theorem 16 window m + Θ(m^τ) .. m²/2 − Θ(m^τ).
+        assert!(inst.graph().m() > inst.n());
+        assert!(inst.graph().m() < inst.n() * (inst.n() - 1) / 2);
+    }
+
+    #[test]
+    fn fn_sparse_gap_small_end_to_end() {
+        // Same sparse frame around K₄ (ω = 4) vs the star S₄ (ω = 2). The
+        // certified gap exponent is `e − ω_no − 1` and the upper frame needs
+        // `ω_yes ≥ e`, so a clique deficit of at least 2 (here: e = 4,
+        // deficit 2 → one full power of α) is required before any gap can
+        // appear — which is exactly why the paper's Lemma 3 constants keep
+        // `c − (c−d) = d = Θ(1)` a *fraction of n*, not a constant. α must
+        // also dwarf the auxiliary slop `u^{|V₂|} ≈ 2^{96}` (the paper's
+        // `α = β^{n^{2k+2}}` at full scale).
+        let alpha = BigUint::from(4u64).pow(128);
+        let beta = BigUint::from(4u64);
+        let e = 4u64;
+        let g_yes = Graph::complete(4);
+        let g_no = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let red_yes = reduce_fn(&g_yes, 2, 30, &alpha, &beta, e);
+        let red_no = reduce_fn(&g_no, 2, 30, &alpha, &beta, e);
+        let opt_yes = dp::optimize::<LogNum>(&red_yes.instance, true).unwrap();
+        let opt_no = dp::optimize::<LogNum>(&red_no.instance, true).unwrap();
+        let gap_bits = CostScalar::log2(&opt_no.cost) - CostScalar::log2(&opt_yes.cost);
+        let alpha_bits = alpha.log2();
+        assert!(
+            gap_bits >= 0.4 * alpha_bits,
+            "sparse gap too small: {gap_bits:.1} bits vs α = {alpha_bits:.1} bits"
+        );
+    }
+
+    #[test]
+    fn fn_sparse_aux_cost_is_low_order() {
+        // The exact optimum must be dominated by the V1 part: re-cost the
+        // optimum exactly and compare against the dense f_N bound frame.
+        let alpha = BigUint::from(4u64).pow(32);
+        let beta = BigUint::from(4u64);
+        let g1 = Graph::complete(3);
+        let red = reduce_fn(&g1, 2, 12, &alpha, &beta, 2);
+        let opt = dp::optimize::<LogNum>(&red.instance, true).unwrap();
+        let k = crate::fn_reduction::k_bound(&alpha, 2);
+        // The sparse optimum exceeds the dense-K frame by at most α^2
+        // (auxiliary slop), and is at least w = t/α.
+        let excess = CostScalar::log2(&opt.cost) - k.log2();
+        assert!(excess <= 2.0 * alpha.log2(), "aux contribution too large");
+    }
+
+    #[test]
+    fn fh_sparse_shape_and_feasibility() {
+        let g1 = generators::dense_known_omega(6, 4);
+        let b = BigUint::from(2u64).pow(6);
+        // m = 36 vertices; edges: |E1| + 6 (star) + 1 (bridge) + |E2|.
+        let target = g1.m() + 6 + 1 + 40;
+        let red = reduce_fh(&g1, 2, target, &b);
+        let inst = &red.instance;
+        assert_eq!(inst.n(), 36);
+        assert_eq!(inst.graph().m(), target);
+        assert!(inst.graph().is_connected());
+        // R0 still unbuildable; V2 relations tiny and always buildable.
+        assert!(inst.hjmin(&red.t0) > *inst.memory());
+        let two_n = BigUint::from(2u64).pow(6);
+        assert!(inst.hjmin(&two_n) <= *inst.memory());
+        // A v0-first sequence is feasible.
+        let mut order = vec![red.v0];
+        order.extend((0..inst.n()).filter(|&v| v != red.v0));
+        assert!(inst.sequence_feasible(&JoinSequence::new(order)));
+        // Any sequence with v0 later is not.
+        let mut bad: Vec<usize> = (0..inst.n()).collect();
+        bad.swap(0, red.v0);
+        bad.swap(0, 1); // v0 now at position 1
+        assert!(!inst.sequence_feasible(&JoinSequence::new(bad)));
+    }
+
+    #[test]
+    fn fh_sparse_witness_cost_reasonable() {
+        // A clique-first (after v0) sequence pipelined like Lemma 12 stays
+        // within the L(a,n)·α^{O(1)} frame. α must dominate the auxiliary
+        // product `2^{n·|V2|} = 2^{174}` (the paper's `α = Ω(4^{n^{2k+2}})`
+        // serves exactly this); we take b = 2^{200}.
+        let g1 = generators::dense_known_omega(6, 4);
+        let b = BigUint::from(2u64).pow(200);
+        let target = g1.m() + 6 + 1 + 40;
+        let red = reduce_fh(&g1, 2, target, &b);
+        let clique = aqo_graph::clique::max_clique(&g1);
+        assert!(clique.len() >= 4);
+        let mut order = vec![red.v0];
+        order.extend_from_slice(&clique[..4]);
+        order.extend((0..6).filter(|v| !clique[..4].contains(v)));
+        order.extend(7..red.instance.n()); // V2 tail
+        let z = JoinSequence::new(order);
+        let (_, cost) =
+            aqo_optimizer::pipeline::best_decomposition(&red.instance, &z).expect("feasible");
+        // L-frame for the dense core: t0·α^{n²/9}; aux slop ≤ α^{1/2} at
+        // this parameterization (2^{174+41} vs α = 2^{800}).
+        let l_bits = red.t0.log2() + (36.0 / 9.0) * red.alpha.log2();
+        assert!(
+            cost.log2() <= l_bits + red.alpha.log2(),
+            "witness cost {:.1} bits vs frame {:.1}",
+            cost.log2(),
+            l_bits
+        );
+    }
+}

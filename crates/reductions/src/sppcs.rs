@@ -1,0 +1,295 @@
+//! SPPCS — *Subset Product Plus Complement Sum* (paper Appendix A.4/A.5) —
+//! and the reduction from PARTITION.
+//!
+//! An SPPCS instance is `m` pairs of non-negative integers
+//! `(p₁,c₁) … (p_m,c_m)` and a bound `L`; the question is whether some
+//! `A ⊆ [m]` satisfies `∏_{i∈A} pᵢ + Σ_{i∉A} cᵢ ≤ L` (empty product = 1).
+//!
+//! ## The PARTITION → SPPCS reduction
+//!
+//! The paper's Appendix A.5 encodes a PARTITION instance multiplicatively:
+//! an element in `A` contributes a *factor* `≈ 2^q·e^{bᵢ/2K}` to the
+//! product (so products track `e^{Σ_A bᵢ}`), while an element left out
+//! contributes an additive penalty. The `⌈2^q·e^x⌉` rounding is exactly the
+//! `f_q`/`g_q` fixed-point machinery, which we implement rigorously in
+//! [`aqo_bignum::fixed`]. The numeric thresholds of the paper's instance,
+//! however, are corrupted in the available transcription and the
+//! equivalence proof lives in the unavailable technical report [7] — so the
+//! certified reduction below uses *exact* powers of two in place of rounded
+//! exponentials, which removes the rounding analysis while preserving the
+//! multiplicative-encoding idea. Full proof:
+//!
+//! Given `b₁ … b_n` with `Σ bᵢ = 2T'` even and target `K = T'`, scale
+//! `bᵢ' = 4bᵢ` and let `B = Σ bᵢ'/2 = 2·Σbᵢ` (so `B ≥ 4` unless all zero,
+//! handled separately). Put
+//!
+//! * `pᵢ = 2^{bᵢ'}`,  `cᵢ = C·bᵢ'` with `C = 3·2^{B−2}`,
+//! * `L = 2^B + C·B`.
+//!
+//! For `A` with `s = Σ_{i∈A} bᵢ'`, the objective is
+//! `f(s) = 2^s + C·(2B − s)`. Then `f(B) = L`; for `s ≤ B−1`,
+//! `f(s) − L = 2^s − 2^B + C(B−s) ≥ C − 2^B = 2^{B−2} > 0`; for `s ≥ B+1`,
+//! `f(s) − L = 2^s − 2^B − C(s−B) ≥ 2^B(s−B) · (4/4) … ≥ (4·2^{B−2} − C)(s−B)
+//! = 2^{B−2}(s−B) > 0` using `2^x − 1 ≥ x`. Hence the instance is YES iff
+//! some subset of the `bᵢ'` sums to `B`, i.e. iff the PARTITION instance is
+//! YES. ∎
+
+use crate::partition::PartitionInstance;
+use aqo_bignum::{BigUint, LogNum};
+
+/// An SPPCS instance.
+#[derive(Clone, Debug)]
+pub struct SppcsInstance {
+    /// The pairs `(pᵢ, cᵢ)`.
+    pub pairs: Vec<(BigUint, BigUint)>,
+    /// The bound `L`.
+    pub l: BigUint,
+}
+
+impl SppcsInstance {
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Objective value of a subset `A` (given as a bitmask).
+    pub fn objective(&self, mask: u64) -> BigUint {
+        let mut product = BigUint::one();
+        let mut sum = BigUint::zero();
+        for (i, (p, c)) in self.pairs.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                product = product * p;
+            } else {
+                sum = sum + c;
+            }
+        }
+        product + sum
+    }
+
+    /// Exact decision by exhaustive subset search with a log-domain
+    /// product prefilter (`m ≤ 30`).
+    pub fn is_yes(&self) -> bool {
+        self.witness().is_some()
+    }
+
+    /// A witness subset (bitmask) achieving the bound, if any.
+    pub fn witness(&self) -> Option<u64> {
+        let m = self.len();
+        assert!(m <= 30, "exhaustive SPPCS solving is for m <= 30");
+        let l_log = LogNum::from_log2(self.l.log2());
+        let p_logs: Vec<LogNum> =
+            self.pairs.iter().map(|(p, _)| LogNum::from_log2(p.log2())).collect();
+        for mask in 0u64..(1 << m) {
+            // Cheap filter: if the product alone already exceeds L by more
+            // than the float error margin, skip the exact evaluation.
+            let plog: LogNum = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| p_logs[i]).product();
+            if plog.log2() > l_log.log2() + 1.0 {
+                continue;
+            }
+            if self.objective(mask) <= self.l {
+                return Some(mask);
+            }
+        }
+        None
+    }
+}
+
+/// Result of [`SppcsInstance::normalize`].
+#[derive(Clone, Debug)]
+pub enum Normalized {
+    /// The instance is decided outright by the preprocessing.
+    Trivial(bool),
+    /// An equivalent instance with every `pᵢ ≥ 2` and `cᵢ ≥ 1` (the
+    /// paper's Appendix B "without loss of generality" assumption).
+    Instance(SppcsInstance),
+}
+
+impl SppcsInstance {
+    /// Normalizes to the Appendix B WLOG form, preserving the YES/NO
+    /// answer:
+    ///
+    /// * some `pᵢ = 0` ⟹ taking `A = [m]` gives objective `0 ≤ L`: YES;
+    /// * `pᵢ = 1` (and no zero `p`) ⟹ always include `i` (the product is
+    ///   unchanged, excluding would add `cᵢ ≥ 0`): drop the pair;
+    /// * `cᵢ = 0` with `pᵢ ≥ 2` ⟹ always exclude `i` (shrinking the
+    ///   product never hurts, the penalty is 0): drop the pair;
+    /// * nothing left ⟹ the objective is exactly `1`: YES iff `L ≥ 1`.
+    pub fn normalize(&self) -> Normalized {
+        if self.pairs.iter().any(|(p, _)| p.is_zero()) {
+            return Normalized::Trivial(true);
+        }
+        let kept: Vec<(BigUint, BigUint)> = self
+            .pairs
+            .iter()
+            .filter(|(p, c)| !p.is_one() && !c.is_zero())
+            .cloned()
+            .collect();
+        if kept.is_empty() {
+            return Normalized::Trivial(self.l >= BigUint::one());
+        }
+        Normalized::Instance(SppcsInstance { pairs: kept, l: self.l.clone() })
+    }
+}
+
+/// The certified PARTITION → SPPCS reduction (proof in the module docs).
+pub fn partition_to_sppcs(p: &PartitionInstance) -> SppcsInstance {
+    let items = p.items();
+    let total: u64 = items.iter().sum();
+    if total == 0 {
+        // All zeros: trivially YES. Emit a canonical YES instance.
+        return SppcsInstance {
+            pairs: vec![(BigUint::one(), BigUint::one())],
+            l: BigUint::from(2u64),
+        };
+    }
+    let b_scaled: Vec<u64> = items.iter().map(|&b| 4 * b).collect();
+    let big_b = 2 * total; // Σ b'ᵢ / 2
+    debug_assert!(big_b >= 4);
+    let c_factor = BigUint::from(3u64) * (BigUint::one() << (big_b - 2));
+    let pairs: Vec<(BigUint, BigUint)> = b_scaled
+        .iter()
+        .map(|&bp| (BigUint::one() << bp, &c_factor * &BigUint::from(bp)))
+        .collect();
+    let l = (BigUint::one() << big_b) + &c_factor * &BigUint::from(big_b);
+    SppcsInstance { pairs, l }
+}
+
+/// The `g_q`-style multiplicative encoding of the paper's own construction:
+/// `pᵢ = g_q(bᵢ) = ⌈2^q·e^{bᵢ/2K}⌉` (exact, via the rigorous fixed-point
+/// exponential). Exposed so the experiments can demonstrate the rounding
+/// behaviour the paper's `f_q`/`g_q` definitions are built for.
+pub fn gq_encoded_factors(items: &[u64], q: u32) -> Vec<BigUint> {
+    let two_k: u64 = items.iter().sum::<u64>().max(1);
+    items.iter().map(|&b| aqo_bignum::fixed::g_q(b, two_k, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_sppcs(inst: &SppcsInstance) -> bool {
+        (0u64..1 << inst.len()).any(|mask| inst.objective(mask) <= inst.l)
+    }
+
+    #[test]
+    fn objective_conventions() {
+        let inst = SppcsInstance {
+            pairs: vec![
+                (BigUint::from(3u64), BigUint::from(5u64)),
+                (BigUint::from(4u64), BigUint::from(7u64)),
+            ],
+            l: BigUint::from(100u64),
+        };
+        // A = {}: product 1 + (5+7) = 13.
+        assert_eq!(inst.objective(0), BigUint::from(13u64));
+        // A = {0}: 3 + 7 = 10.
+        assert_eq!(inst.objective(1), BigUint::from(10u64));
+        // A = {0,1}: 12 + 0 = 12.
+        assert_eq!(inst.objective(3), BigUint::from(12u64));
+        assert!(inst.is_yes());
+    }
+
+    #[test]
+    fn solver_matches_bruteforce() {
+        let mut state = 31u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..20 {
+            let m = 1 + (next() % 6) as usize;
+            let pairs: Vec<(BigUint, BigUint)> = (0..m)
+                .map(|_| (BigUint::from(1 + next() % 9), BigUint::from(next() % 9)))
+                .collect();
+            let l = BigUint::from(next() % 40);
+            let inst = SppcsInstance { pairs, l };
+            assert_eq!(inst.is_yes(), brute_sppcs(&inst));
+        }
+    }
+
+    #[test]
+    fn reduction_yes_instances() {
+        for items in [vec![1u64, 1], vec![3, 1, 2, 2], vec![5, 5], vec![2, 2, 2, 2, 4, 4]] {
+            let p = PartitionInstance::new(items.clone());
+            assert!(p.is_yes(), "{items:?} should partition");
+            let s = partition_to_sppcs(&p);
+            assert!(s.is_yes(), "reduced instance must be YES for {items:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_no_instances() {
+        for items in [vec![1u64, 3], vec![2, 2, 5, 5, 2], vec![1, 1, 4]] {
+            let p = PartitionInstance::new(items.clone());
+            assert!(!p.is_yes(), "{items:?} should not partition");
+            let s = partition_to_sppcs(&p);
+            assert!(!s.is_yes(), "reduced instance must be NO for {items:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_exhaustive_small_space() {
+        // Every instance with 3 items drawn from 0..=4 and even total.
+        for a in 0u64..=4 {
+            for b in 0u64..=4 {
+                for c in 0u64..=4 {
+                    if (a + b + c) % 2 != 0 {
+                        continue;
+                    }
+                    let p = PartitionInstance::new(vec![a, b, c]);
+                    let s = partition_to_sppcs(&p);
+                    assert_eq!(p.is_yes(), s.is_yes(), "items {:?}", [a, b, c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_items() {
+        let p = PartitionInstance::new(vec![0, 0, 0]);
+        let s = partition_to_sppcs(&p);
+        assert!(s.is_yes());
+    }
+
+    #[test]
+    fn normalize_preserves_answer() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..30 {
+            let m = 1 + (next() % 5) as usize;
+            let pairs: Vec<(BigUint, BigUint)> = (0..m)
+                .map(|_| (BigUint::from(next() % 6), BigUint::from(next() % 6)))
+                .collect();
+            let l = BigUint::from(next() % 30);
+            let inst = SppcsInstance { pairs, l };
+            let expected = inst.is_yes();
+            match inst.normalize() {
+                Normalized::Trivial(ans) => assert_eq!(ans, expected),
+                Normalized::Instance(norm) => {
+                    assert!(norm
+                        .pairs
+                        .iter()
+                        .all(|(p, c)| *p >= BigUint::from(2u64) && !c.is_zero()));
+                    assert_eq!(norm.is_yes(), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gq_factors_monotone() {
+        let items = vec![1u64, 3, 5, 9];
+        let f = gq_encoded_factors(&items, 24);
+        for w in f.windows(2) {
+            assert!(w[0] < w[1], "g_q must be strictly increasing in b");
+        }
+    }
+}

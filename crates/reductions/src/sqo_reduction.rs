@@ -1,0 +1,241 @@
+//! Appendix B — the reduction SPPCS → SQO−CP.
+//!
+//! Given an SPPCS instance `(p₁,c₁)…(p_m,c_m), L` in the WLOG form
+//! `pᵢ ≥ 2, cᵢ ≥ 1` ([`crate::sppcs::Normalized`]), build a star query on
+//! `m + 2` relations `R₀, R₁ … R_m, R_{m+1}` whose optimal plans *are*
+//! subset choices:
+//!
+//! * joining satellite `Rᵢ` multiplies the intermediate by
+//!   `nᵢ·sᵢ = pᵢ` whatever the method, but
+//! * a **nested-loops** join of `Rᵢ` costs `n(W)·wᵢ ≈ n₀·k_s·J·(∏ p)·pᵢ` —
+//!   cheap (scale `J`) *before* `R_{m+1}` is in, expensive after, while
+//! * a **sort-merge** join of `Rᵢ` costs `A_i = k_s·n₀·J²·cᵢ` — the
+//!   complement penalty `cᵢ` at scale `J²`;
+//! * the forced **nested-loops** join of `R_{m+1}` (its pages are too many
+//!   to sort inside the budget, its `w_{0,·}` too big to come first) costs
+//!   `n(W)·J²·k_s = n₀·J²·k_s·∏_{i joined before} pᵢ` — the subset product
+//!   at scale `J²`.
+//!
+//! With `M = n₀·J²·k_s·(L+1) − 1`, a plan under budget exists iff some `A`
+//! has `∏_{A} pᵢ + Σ_{∉A} cᵢ ≤ L`. `J = (4·k_s·∏pᵢ)²` makes every
+//! `J`-scale term vanish against the `J²`-scale accounting, and
+//! `U = Σcᵢ + ∏pᵢ + 1` sizes `R_{m+1}` (and `n₀ = 5J³U`) so that every
+//! deviating plan shape (satellite-first, `R_{m+1}` first or sorted, …)
+//! overshoots `M` outright. The numeric constants follow the paper's
+//! construction; the transcription of the appendix is partially corrupted,
+//! so the accounting above (checked exhaustively in tests against the exact
+//! star optimizer) is our certification of the constants.
+
+use crate::sppcs::SppcsInstance;
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::sqo::{JoinMethod, SqoCpInstance, StarPlan};
+
+/// Output of the Appendix B reduction.
+#[derive(Clone, Debug)]
+pub struct SqoReduction {
+    /// The star-query instance.
+    pub instance: SqoCpInstance,
+    /// The decision bound `M`.
+    pub budget: BigRational,
+    /// `J = (4·k_s·∏pᵢ)²`.
+    pub j: BigUint,
+    /// `n₀ = 5J³U`.
+    pub n0: BigUint,
+}
+
+/// The sort constant fixed by the paper.
+pub const KS: u64 = 4;
+
+/// Runs the reduction. Requires the WLOG form `pᵢ ≥ 2 ∧ cᵢ ≥ 1`
+/// (normalize first).
+pub fn reduce(sppcs: &SppcsInstance) -> SqoReduction {
+    let m = sppcs.len();
+    assert!(m >= 1, "need at least one pair");
+    for (p, c) in &sppcs.pairs {
+        assert!(*p >= BigUint::from(2u64), "requires p_i >= 2 (normalize first)");
+        assert!(!c.is_zero(), "requires c_i >= 1 (normalize first)");
+    }
+    let prod_p: BigUint = sppcs.pairs.iter().fold(BigUint::one(), |acc, (p, _)| acc * p);
+    let sum_c: BigUint = sppcs.pairs.iter().fold(BigUint::zero(), |acc, (_, c)| acc + c);
+    let ks = BigUint::from(KS);
+    let j = (BigUint::from(4u64) * &ks * &prod_p).pow(2);
+    let u = &sum_c + &prod_p + BigUint::one();
+    let n0 = BigUint::from(5u64) * j.pow(3) * &u;
+    let j2 = j.pow(2);
+
+    let len = m + 2;
+    let mut tuples = Vec::with_capacity(len);
+    let mut pages = Vec::with_capacity(len);
+    let mut selectivity = Vec::with_capacity(len);
+    let mut w = Vec::with_capacity(len);
+    let mut w0 = Vec::with_capacity(len);
+
+    // R_0.
+    tuples.push(n0.clone());
+    pages.push(n0.clone());
+    selectivity.push(BigRational::one()); // unused slot
+    w.push(BigUint::zero()); // unused slot
+    w0.push(BigUint::zero()); // unused slot
+
+    let m_plus_1 = BigUint::from((m + 1) as u64);
+    // Satellites R_1 … R_m.
+    for (p, c) in &sppcs.pairs {
+        let n_i = &m_plus_1 * &n0 * &j2 * c;
+        let b_i = &n0 * &j2 * c; // n_i·d/P with P = (m+1)d
+        tuples.push(n_i.clone());
+        pages.push(b_i);
+        selectivity.push(BigRational::new(aqo_bignum::BigInt::from(p.clone()), n_i));
+        w.push(&j * &ks * p);
+        w0.push(n0.clone());
+    }
+    // R_{m+1}.
+    let n_last = &m_plus_1 * &n0 * &j.pow(4) * &u;
+    let b_last = &n0 * &j.pow(4) * &u;
+    tuples.push(n_last.clone());
+    pages.push(b_last);
+    selectivity.push(BigRational::new(aqo_bignum::BigInt::from(j.clone()), n_last));
+    w.push(&j2 * &ks);
+    w0.push(n0.clone());
+
+    let sort_cost: Vec<BigUint> = pages.iter().map(|b| b * &ks).collect();
+
+    let instance = SqoCpInstance::new(KS, tuples, pages, sort_cost, selectivity, w, w0);
+    let budget = BigRational::from(&n0 * &j2 * &ks * (&sppcs.l + BigUint::one()))
+        - BigRational::one();
+    SqoReduction { instance, budget, j, n0 }
+}
+
+/// The witness plan encoding subset `A` (bitmask over the `m` pairs):
+/// `R₀` first; `A`'s satellites by nested loops; then `R_{m+1}` by nested
+/// loops; then the complement by sort-merge.
+pub fn witness_plan(red: &SqoReduction, mask: u64) -> StarPlan {
+    let m = red.instance.m() - 1; // satellites 1..=m encode pairs; m+1 is the anchor
+    let mut order = vec![0usize];
+    let mut methods = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        if mask >> i & 1 == 1 {
+            order.push(i + 1);
+            methods.push(JoinMethod::NestedLoops);
+        }
+    }
+    order.push(m + 1);
+    methods.push(JoinMethod::NestedLoops);
+    for i in 0..m {
+        if mask >> i & 1 == 0 {
+            order.push(i + 1);
+            methods.push(JoinMethod::SortMerge);
+        }
+    }
+    StarPlan::new(order, methods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sppcs::Normalized;
+    use aqo_optimizer::star;
+
+    fn inst(pairs: Vec<(u64, u64)>, l: u64) -> SppcsInstance {
+        SppcsInstance {
+            pairs: pairs
+                .into_iter()
+                .map(|(p, c)| (BigUint::from(p), BigUint::from(c)))
+                .collect(),
+            l: BigUint::from(l),
+        }
+    }
+
+    #[test]
+    fn witness_plan_costs_track_objective() {
+        // For each subset, the witness plan's cost divided by n0·J²·ks must
+        // be within 1 of the SPPCS objective.
+        let s = inst(vec![(2, 3), (3, 1), (2, 2)], 10);
+        let red = reduce(&s);
+        let scale = BigRational::from(&red.n0 * &red.j.pow(2) * &BigUint::from(KS));
+        for mask in 0u64..8 {
+            let plan = witness_plan(&red, mask);
+            let cost = red.instance.plan_cost(&plan);
+            let objective = BigRational::from(s.objective(mask));
+            let scaled = &cost / &scale;
+            let diff = (&scaled - &objective).abs();
+            assert!(diff < BigRational::one(), "mask {mask}: scaled {scaled:?} vs {objective:?}");
+        }
+    }
+
+    #[test]
+    fn equivalence_on_small_instances() {
+        // The heart of Appendix B: SPPCS YES ⟺ optimal star plan ≤ M.
+        let cases = vec![
+            (vec![(2u64, 3u64), (3, 1)], 3u64),   // YES: A={} → 1+4=5 > 3? p=2·3: A={0}:2+1=3 ≤ 3 YES
+            (vec![(2, 3), (3, 1)], 2),            // NO: min objective is 3
+            (vec![(2, 1), (2, 1), (2, 1)], 4),    // YES: A={0,1}: 4+1=5? A={0}: 2+2=4 ≤ 4
+            (vec![(2, 1), (2, 1), (2, 1)], 2),    // NO: min is 1+3=4? A=∅:1+3=4; A={i}:2+2=4; min 3? A=all:8. → NO
+            (vec![(5, 2), (4, 7)], 9),            // A={0}:5+7=12; A={1}:4+2=6 ≤ 9 YES
+            (vec![(5, 2), (4, 7)], 5),            // min 6 → NO
+            (vec![(2, 10)], 2),                   // A={0}:2 ≤ 2 YES
+            (vec![(2, 10)], 1),                   // min 2 → NO
+        ];
+        for (pairs, l) in cases {
+            let s = inst(pairs.clone(), l);
+            let expected = s.is_yes();
+            let red = reduce(&s);
+            let (_, opt) = star::optimize(&red.instance);
+            let got = opt <= red.budget;
+            assert_eq!(got, expected, "pairs {pairs:?} L={l}");
+        }
+    }
+
+    #[test]
+    fn equivalence_random_instances() {
+        let mut state = 0xBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..12 {
+            let m = 1 + (next() % 4) as usize;
+            let pairs: Vec<(u64, u64)> =
+                (0..m).map(|_| (2 + next() % 5, 1 + next() % 6)).collect();
+            let l = next() % 30;
+            let s = inst(pairs.clone(), l);
+            let expected = s.is_yes();
+            let red = reduce(&s);
+            let (_, opt) = star::optimize(&red.instance);
+            assert_eq!(opt <= red.budget, expected, "pairs {pairs:?} L={l}");
+        }
+    }
+
+    #[test]
+    fn full_chain_from_partition() {
+        // PARTITION → SPPCS → SQO−CP, both polarities.
+        use crate::partition::PartitionInstance;
+        use crate::sppcs::partition_to_sppcs;
+        for (items, expected) in [
+            (vec![1u64, 2, 3], true),
+            (vec![1, 3], false),
+            (vec![2, 2], true),
+            (vec![1, 1, 4], false),
+        ] {
+            let p = PartitionInstance::new(items.clone());
+            assert_eq!(p.is_yes(), expected);
+            let s = partition_to_sppcs(&p);
+            let norm = match s.normalize() {
+                Normalized::Trivial(ans) => {
+                    assert_eq!(ans, expected);
+                    continue;
+                }
+                Normalized::Instance(i) => i,
+            };
+            let red = reduce(&norm);
+            let (_, opt) = star::optimize(&red.instance);
+            assert_eq!(opt <= red.budget, expected, "items {items:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "normalize first")]
+    fn unnormalized_rejected() {
+        let s = inst(vec![(1, 3)], 5);
+        let _ = reduce(&s);
+    }
+}

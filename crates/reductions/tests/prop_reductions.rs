@@ -1,0 +1,138 @@
+//! Property tests for the reductions: completeness/soundness over random
+//! instance families, with ground truth from the exact solvers.
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_graph::{clique, cover};
+use aqo_optimizer::star;
+use aqo_reductions::partition::PartitionInstance;
+use aqo_reductions::sppcs::{partition_to_sppcs, Normalized, SppcsInstance};
+use aqo_reductions::{clique_reduction, decode, fn_reduction, sat_to_vc, sqo_reduction};
+use aqo_sat::{maxsat, CnfFormula, Lit};
+use proptest::prelude::*;
+
+fn small_3cnf() -> impl Strategy<Value = CnfFormula> {
+    (3usize..=4, 1usize..=5).prop_flat_map(|(n, m)| {
+        prop::collection::vec(
+            prop::collection::vec((0..n, any::<bool>()), 3..=3),
+            m..=m,
+        )
+        .prop_map(move |clauses| {
+            CnfFormula::from_clauses(
+                n,
+                clauses
+                    .into_iter()
+                    .map(|c| c.into_iter().map(|(var, positive)| Lit { var, positive }).collect())
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vc_reduction_tracks_maxsat(f in small_3cnf()) {
+        let u = f.num_clauses() - maxsat::max_sat(&f).max_satisfied;
+        let red = sat_to_vc::reduce(&f);
+        let vc = cover::vertex_cover_number(&red.graph);
+        // vc = v + 2m + u exactly (both directions of the Lemma 3 argument).
+        prop_assert_eq!(vc, red.target_cover + u);
+    }
+
+    #[test]
+    fn clique_reduction_tracks_maxsat(f in small_3cnf()) {
+        let u = f.num_clauses() - maxsat::max_sat(&f).max_satisfied;
+        let red = clique_reduction::sat_to_clique(&f);
+        let omega = clique::clique_number(&red.graph);
+        prop_assert_eq!(omega, red.predicted_omega(u));
+    }
+
+    #[test]
+    fn two_thirds_clique_tracks_maxsat(f in small_3cnf()) {
+        let u = f.num_clauses() - maxsat::max_sat(&f).max_satisfied;
+        let red = clique_reduction::sat_to_two_thirds_clique(&f);
+        let omega = clique::clique_number(&red.graph);
+        prop_assert_eq!(omega, red.predicted_omega(u));
+        prop_assert_eq!(red.graph.n() % 3, 0);
+        // Satisfiable iff the ⅔ threshold is met.
+        prop_assert_eq!(
+            omega >= clique_reduction::two_thirds_target(&red),
+            u == 0
+        );
+    }
+
+    #[test]
+    fn fn_bounds_internally_consistent(e in 2u64..20, omega in 1u64..20, a_pow in 1u32..6) {
+        // K, LB and the gap exponent satisfy LB = K·a^{gap} identically.
+        let a = BigUint::from(4u64).pow(a_pow as u64);
+        let n = e + omega + 2;
+        let k = fn_reduction::k_bound(&a, e);
+        let lb = fn_reduction::lemma8_lower_bound(&a, e, omega, n);
+        let gap = fn_reduction::certified_gap_exponent(e, omega);
+        let lhs = BigRational::from(lb);
+        let rhs = BigRational::from(k) * BigRational::from(a.clone()).pow(gap);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn lemma6_sequence_contract(n in 6usize..12, seed in any::<u64>()) {
+        let k = n / 2 + 1 + (seed % 2) as usize;
+        let k = k.min(n);
+        let g = aqo_graph::generators::dense_known_omega(n, k);
+        let witness = clique::max_clique(&g);
+        let z = fn_reduction::lemma6_sequence(&g, &witness);
+        prop_assert_eq!(z.len(), n);
+        // Clique first.
+        let prefix: Vec<usize> = z.prefix(witness.len()).to_vec();
+        prop_assert!(g.is_clique(&prefix));
+        // No cartesian products on connected graphs.
+        let red = fn_reduction::reduce(&g, &BigUint::from(4u64), 2);
+        prop_assert!(!red.instance.has_cartesian_product(&z));
+    }
+
+    #[test]
+    fn partition_sppcs_equivalence(items in prop::collection::vec(0u64..10, 2..7)) {
+        prop_assume!(items.iter().sum::<u64>() % 2 == 0);
+        let p = PartitionInstance::new(items);
+        let s = partition_to_sppcs(&p);
+        prop_assert_eq!(p.is_yes(), s.is_yes());
+    }
+
+    #[test]
+    fn sppcs_sqo_equivalence(
+        pairs in prop::collection::vec((2u64..7, 1u64..7), 1..4),
+        l in 0u64..40,
+    ) {
+        let s = SppcsInstance {
+            pairs: pairs.iter().map(|&(p, c)| (BigUint::from(p), BigUint::from(c))).collect(),
+            l: BigUint::from(l),
+        };
+        let expected = s.is_yes();
+        let red = sqo_reduction::reduce(&s);
+        let (plan, opt) = star::optimize(&red.instance);
+        prop_assert_eq!(opt <= red.budget, expected);
+        // When YES, the decoded subset achieves the SPPCS bound.
+        if expected {
+            let subset = decode::subset_from_star_plan(&plan);
+            let mask = subset.iter().fold(0u64, |m, &i| m | 1 << i);
+            prop_assert!(s.objective(mask) <= s.l, "decoded {subset:?}");
+        }
+    }
+
+    #[test]
+    fn normalization_sound(
+        pairs in prop::collection::vec((0u64..6, 0u64..6), 1..5),
+        l in 0u64..30,
+    ) {
+        let s = SppcsInstance {
+            pairs: pairs.iter().map(|&(p, c)| (BigUint::from(p), BigUint::from(c))).collect(),
+            l: BigUint::from(l),
+        };
+        let expected = s.is_yes();
+        match s.normalize() {
+            Normalized::Trivial(ans) => prop_assert_eq!(ans, expected),
+            Normalized::Instance(norm) => prop_assert_eq!(norm.is_yes(), expected),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! CNF formula representation.
+
+use std::fmt;
+
+/// A literal: a variable index (0-based) with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of variable `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of variable `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+
+    /// Whether this literal is satisfied under `assignment`.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula over variables `0..num_vars`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// A formula with `num_vars` variables and no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        CnfFormula { num_vars, clauses: Vec::new() }
+    }
+
+    /// Builds from clause data, validating variable indices.
+    pub fn from_clauses(num_vars: usize, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c {
+                assert!(l.var < num_vars, "literal variable {} out of range", l.var);
+            }
+        }
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Appends a clause. Panics on out-of-range variables or empty clauses.
+    pub fn add_clause(&mut self, clause: Clause) {
+        assert!(!clause.is_empty(), "empty clause");
+        for l in &clause {
+            assert!(l.var < self.num_vars, "literal variable {} out of range", l.var);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Number of clauses satisfied by `assignment`.
+    pub fn count_satisfied(&self, assignment: &[bool]) -> usize {
+        assert_eq!(assignment.len(), self.num_vars, "assignment length mismatch");
+        self.clauses.iter().filter(|c| c.iter().any(|l| l.eval(assignment))).count()
+    }
+
+    /// Whether `assignment` satisfies every clause.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.count_satisfied(assignment) == self.num_clauses()
+    }
+
+    /// Whether every clause has at most 3 literals.
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() <= 3)
+    }
+
+    /// Whether every clause has *exactly* 3 literals over distinct variables.
+    pub fn is_exact_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| {
+            c.len() == 3 && c[0].var != c[1].var && c[0].var != c[2].var && c[1].var != c[2].var
+        })
+    }
+
+    /// Number of clauses each variable occurs in (counting one occurrence per
+    /// clause even if both polarities appear).
+    pub fn occurrence_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_vars];
+        for c in &self.clauses {
+            let mut vars: Vec<usize> = c.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            for v in vars {
+                counts[v] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The maximum number of clauses any variable occurs in.
+    pub fn max_occurrences(&self) -> usize {
+        self.occurrence_counts().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CnfFormula {
+        // (x0 ∨ ¬x1) ∧ (x1 ∨ x2) ∧ (¬x0 ∨ ¬x2)
+        CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::neg(1)],
+                vec![Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::neg(2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn eval_counts() {
+        let f = tiny();
+        assert_eq!(f.count_satisfied(&[true, true, false]), 3);
+        assert!(f.is_satisfied_by(&[true, true, false]));
+        assert_eq!(f.count_satisfied(&[false, true, true]), 2);
+        assert!(!f.is_satisfied_by(&[false, true, true]));
+    }
+
+    #[test]
+    fn lit_negation() {
+        let l = Lit::pos(4);
+        assert_eq!(l.negated(), Lit::neg(4));
+        assert_eq!(l.negated().negated(), l);
+        assert!(l.eval(&[false, false, false, false, true]));
+        assert!(!l.negated().eval(&[false, false, false, false, true]));
+    }
+
+    #[test]
+    fn occurrence_counting_dedups_within_clause() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause(vec![Lit::pos(0), Lit::neg(0), Lit::pos(1)]);
+        f.add_clause(vec![Lit::pos(1)]);
+        assert_eq!(f.occurrence_counts(), vec![1, 2]);
+        assert_eq!(f.max_occurrences(), 2);
+    }
+
+    #[test]
+    fn shape_predicates() {
+        let f = tiny();
+        assert!(f.is_3cnf());
+        assert!(!f.is_exact_3cnf());
+        let g = CnfFormula::from_clauses(3, vec![vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]]);
+        assert!(g.is_exact_3cnf());
+    }
+
+    #[test]
+    fn fresh_var_extends() {
+        let mut f = tiny();
+        let v = f.fresh_var();
+        assert_eq!(v, 3);
+        assert_eq!(f.num_vars(), 4);
+        f.add_clause(vec![Lit::pos(v)]);
+        assert_eq!(f.num_clauses(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        CnfFormula::new(1).add_clause(vec![Lit::pos(1)]);
+    }
+}

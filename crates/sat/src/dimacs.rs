@@ -1,0 +1,154 @@
+//! DIMACS CNF serialization — the lingua franca of SAT tooling, so the
+//! formulas this crate generates can be checked against external solvers
+//! (and external benchmarks can be pulled into the hardness chain).
+
+use crate::{Clause, CnfFormula, Lit};
+use std::fmt::Write as _;
+
+/// Serializes a formula in DIMACS CNF format (1-based signed literals).
+pub fn to_dimacs(f: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", f.num_vars(), f.num_clauses());
+    for clause in f.clauses() {
+        for l in clause {
+            let v = (l.var + 1) as i64;
+            let _ = write!(out, "{} ", if l.positive { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Error from [`from_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// No `p cnf` header line found before clause data.
+    MissingHeader,
+    /// Malformed header.
+    BadHeader(String),
+    /// A token was not an integer.
+    BadLiteral(String),
+    /// A literal referenced a variable beyond the declared count.
+    VariableOutOfRange(i64),
+    /// Fewer/more clauses than the header declared.
+    ClauseCountMismatch {
+        /// Declared in the header.
+        declared: usize,
+        /// Actually parsed.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::MissingHeader => write!(f, "missing 'p cnf' header"),
+            DimacsError::BadHeader(l) => write!(f, "malformed header: {l}"),
+            DimacsError::BadLiteral(t) => write!(f, "bad literal token: {t}"),
+            DimacsError::VariableOutOfRange(v) => write!(f, "variable out of range: {v}"),
+            DimacsError::ClauseCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} clauses, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF. Comment lines (`c …`) and `%`-terminated footers are
+/// tolerated; the clause count must match the header.
+pub fn from_dimacs(input: &str) -> Result<CnfFormula, DimacsError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut current: Clause = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('%') {
+            break;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            let nv = parts[2].parse().map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            let nc = parts[3].parse().map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            header = Some((nv, nc));
+            continue;
+        }
+        let (num_vars, _) = header.ok_or(DimacsError::MissingHeader)?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if v == 0 {
+                if !current.is_empty() {
+                    clauses.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            let var = v.unsigned_abs() as usize - 1;
+            if var >= num_vars {
+                return Err(DimacsError::VariableOutOfRange(v));
+            }
+            current.push(Lit { var, positive: v > 0 });
+        }
+    }
+    let (num_vars, num_clauses) = header.ok_or(DimacsError::MissingHeader)?;
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    if clauses.len() != num_clauses {
+        return Err(DimacsError::ClauseCountMismatch { declared: num_clauses, found: clauses.len() });
+    }
+    Ok(CnfFormula::from_clauses(num_vars, clauses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let f = generators::random_3sat(8, 20, &mut rng);
+            let text = to_dimacs(&f);
+            let g = from_dimacs(&text).unwrap();
+            assert_eq!(f, g);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let text = "c a comment\np cnf 3 2\n1 -2\n3 0\n-1 2 -3 0\n";
+        let f = from_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0], vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(from_dimacs("1 2 0\n"), Err(DimacsError::MissingHeader));
+        assert!(matches!(from_dimacs("p cnf x 2\n"), Err(DimacsError::BadHeader(_))));
+        assert_eq!(from_dimacs("p cnf 1 1\n2 0\n"), Err(DimacsError::VariableOutOfRange(2)));
+        assert!(matches!(
+            from_dimacs("p cnf 2 2\n1 0\n"),
+            Err(DimacsError::ClauseCountMismatch { declared: 2, found: 1 })
+        ));
+        assert!(matches!(from_dimacs("p cnf 1 1\n1 a 0\n"), Err(DimacsError::BadLiteral(_))));
+    }
+
+    #[test]
+    fn header_written_correctly() {
+        let f = generators::contradiction_blocks(1);
+        let text = to_dimacs(&f);
+        assert!(text.starts_with("p cnf 3 8\n"));
+        assert_eq!(text.lines().count(), 9);
+    }
+}

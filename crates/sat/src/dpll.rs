@@ -1,0 +1,267 @@
+//! A complete DPLL SAT solver.
+//!
+//! Classic recursive DPLL with unit propagation, pure-literal elimination
+//! and a most-occurrences branching heuristic — entirely adequate for the
+//! formula sizes the experiments classify (tens of variables), and simple
+//! enough to trust as a ground-truth oracle.
+
+use crate::{CnfFormula, Lit};
+
+/// Result of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness assignment (length `num_vars`).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the formula was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unassigned,
+    True,
+    False,
+}
+
+/// Decides satisfiability of `f`, returning a witness when satisfiable.
+pub fn solve(f: &CnfFormula) -> SatResult {
+    let mut assign = vec![Value::Unassigned; f.num_vars()];
+    if dpll(f, &mut assign) {
+        // Unconstrained leftovers default to false.
+        let witness: Vec<bool> = assign.iter().map(|v| matches!(v, Value::True)).collect();
+        debug_assert!(f.is_satisfied_by(&witness));
+        SatResult::Sat(witness)
+    } else {
+        SatResult::Unsat
+    }
+}
+
+/// Whether `f` is satisfiable.
+pub fn is_satisfiable(f: &CnfFormula) -> bool {
+    solve(f).is_sat()
+}
+
+fn lit_value(l: Lit, assign: &[Value]) -> Value {
+    match (assign[l.var], l.positive) {
+        (Value::Unassigned, _) => Value::Unassigned,
+        (Value::True, true) | (Value::False, false) => Value::True,
+        _ => Value::False,
+    }
+}
+
+/// Returns `false` on conflict; otherwise extends `assign` with all forced
+/// units and pure literals, recording trail entries in `trail`.
+fn propagate(f: &CnfFormula, assign: &mut [Value], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut changed = false;
+        // Unit propagation.
+        for clause in f.clauses() {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in clause {
+                match lit_value(l, assign) {
+                    Value::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    Value::Unassigned => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    Value::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return false, // conflict
+                1 => {
+                    let l = unassigned.unwrap();
+                    assign[l.var] = if l.positive { Value::True } else { Value::False };
+                    trail.push(l.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if changed {
+            continue;
+        }
+        // Pure-literal elimination over clauses not yet satisfied.
+        let mut seen_pos = vec![false; f.num_vars()];
+        let mut seen_neg = vec![false; f.num_vars()];
+        for clause in f.clauses() {
+            if clause.iter().any(|&l| lit_value(l, assign) == Value::True) {
+                continue;
+            }
+            for &l in clause {
+                if assign[l.var] == Value::Unassigned {
+                    if l.positive {
+                        seen_pos[l.var] = true;
+                    } else {
+                        seen_neg[l.var] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..f.num_vars() {
+            if assign[v] == Value::Unassigned && (seen_pos[v] ^ seen_neg[v]) {
+                assign[v] = if seen_pos[v] { Value::True } else { Value::False };
+                trail.push(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn dpll(f: &CnfFormula, assign: &mut Vec<Value>) -> bool {
+    let mut trail = Vec::new();
+    if !propagate(f, assign, &mut trail) {
+        for v in trail {
+            assign[v] = Value::Unassigned;
+        }
+        return false;
+    }
+    // All clauses satisfied?
+    let undecided = f
+        .clauses()
+        .iter()
+        .any(|c| !c.iter().any(|&l| lit_value(l, assign) == Value::True));
+    if !undecided {
+        return true;
+    }
+    // Branch on the unassigned variable occurring in the most unsatisfied clauses.
+    let mut counts = vec![0usize; f.num_vars()];
+    for clause in f.clauses() {
+        if clause.iter().any(|&l| lit_value(l, assign) == Value::True) {
+            continue;
+        }
+        for &l in clause {
+            if assign[l.var] == Value::Unassigned {
+                counts[l.var] += 1;
+            }
+        }
+    }
+    let var = (0..f.num_vars())
+        .filter(|&v| assign[v] == Value::Unassigned && counts[v] > 0)
+        .max_by_key(|&v| counts[v]);
+    let Some(var) = var else {
+        // No unassigned variable occurs in an unsatisfied clause, yet some
+        // clause is undecided — impossible, since an undecided clause has an
+        // unassigned literal.
+        unreachable!("undecided clause without unassigned literal");
+    };
+    for &value in &[Value::True, Value::False] {
+        assign[var] = value;
+        if dpll(f, assign) {
+            return true;
+        }
+        assign[var] = Value::Unassigned;
+    }
+    for v in trail {
+        assign[v] = Value::Unassigned;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn brute_sat(f: &CnfFormula) -> bool {
+        let n = f.num_vars();
+        (0u32..1 << n).any(|mask| {
+            let a: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            f.is_satisfied_by(&a)
+        })
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(is_satisfiable(&CnfFormula::new(0)));
+        let mut f = CnfFormula::new(1);
+        f.add_clause(vec![Lit::pos(0)]);
+        assert!(is_satisfiable(&f));
+        f.add_clause(vec![Lit::neg(0)]);
+        assert!(!is_satisfiable(&f));
+    }
+
+    #[test]
+    fn witness_is_verified() {
+        let f = CnfFormula::from_clauses(
+            4,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(2)],
+                vec![Lit::neg(1), Lit::neg(2), Lit::pos(3)],
+                vec![Lit::neg(3), Lit::neg(0)],
+            ],
+        );
+        match solve(&f) {
+            SatResult::Sat(w) => assert!(f.is_satisfied_by(&w)),
+            SatResult::Unsat => panic!("formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn all_sign_patterns_unsat() {
+        // All 8 sign patterns over 3 variables: classically unsatisfiable.
+        let mut f = CnfFormula::new(3);
+        for mask in 0..8u32 {
+            f.add_clause(
+                (0..3)
+                    .map(|i| if mask >> i & 1 == 1 { Lit::pos(i) } else { Lit::neg(i) })
+                    .collect(),
+            );
+        }
+        assert!(!is_satisfiable(&f));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_random() {
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..40 {
+            let n = 3 + (next() % 8) as usize;
+            let m = 2 + (next() % 20) as usize;
+            let mut f = CnfFormula::new(n);
+            for _ in 0..m {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % n as u64) as usize;
+                    let positive = next() % 2 == 0;
+                    clause.push(Lit { var, positive });
+                }
+                f.add_clause(clause);
+            }
+            assert_eq!(is_satisfiable(&f), brute_sat(&f), "formula {f:?}");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: x_i = pigeon i in the hole.
+        // Each pigeon somewhere: (x0), (x1); no collision: (¬x0 ∨ ¬x1).
+        let f = CnfFormula::from_clauses(
+            2,
+            vec![vec![Lit::pos(0)], vec![Lit::pos(1)], vec![Lit::neg(0), Lit::neg(1)]],
+        );
+        assert!(!is_satisfiable(&f));
+    }
+}

@@ -1,0 +1,196 @@
+//! Formula families with known satisfiability status or known MaxSAT value.
+//!
+//! The experiments instantiate the paper's "satisfiable vs at most (1−θ)
+//! satisfiable" promise with these families (see DESIGN.md's substitution
+//! table): the promise is *generated*, not derived from a PCP, and every
+//! claimed MaxSAT value is verified by the exact solver in tests.
+
+use crate::{CnfFormula, Lit};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Uniform random exact-3CNF: `m` clauses over `n ≥ 3` variables, each on 3
+/// distinct variables with random polarities.
+pub fn random_3sat(n: usize, m: usize, rng: &mut impl Rng) -> CnfFormula {
+    assert!(n >= 3);
+    let mut f = CnfFormula::new(n);
+    let mut vars: Vec<usize> = (0..n).collect();
+    for _ in 0..m {
+        vars.shuffle(rng);
+        let clause: Vec<Lit> =
+            vars[..3].iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }).collect();
+        f.add_clause(clause);
+    }
+    f
+}
+
+/// Planted-satisfiable 3CNF: a hidden assignment is drawn and every clause is
+/// guaranteed to contain at least one literal it satisfies. Returns the
+/// formula and the planted witness.
+pub fn planted_3sat(n: usize, m: usize, rng: &mut impl Rng) -> (CnfFormula, Vec<bool>) {
+    assert!(n >= 3);
+    let witness: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let mut f = CnfFormula::new(n);
+    let mut vars: Vec<usize> = (0..n).collect();
+    for _ in 0..m {
+        vars.shuffle(rng);
+        let chosen = &vars[..3];
+        loop {
+            let clause: Vec<Lit> =
+                chosen.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }).collect();
+            if clause.iter().any(|l| l.eval(&witness)) {
+                f.add_clause(clause);
+                break;
+            }
+        }
+    }
+    (f, witness)
+}
+
+/// `blocks` independent *contradiction blocks*: block `i` contributes all 8
+/// sign patterns over its private variable triple `{3i, 3i+1, 3i+2}`.
+///
+/// Every assignment falsifies exactly one clause per block, so the exact
+/// MaxSAT optimum is `7·blocks` out of `8·blocks` clauses — a deterministic
+/// family achieving the gap fraction 7/8 with certainty. Each variable
+/// occurs in 8 clauses ≤ 13, so the family already lies inside 3SAT(13).
+pub fn contradiction_blocks(blocks: usize) -> CnfFormula {
+    let mut f = CnfFormula::new(3 * blocks);
+    for b in 0..blocks {
+        for mask in 0..8u32 {
+            f.add_clause(
+                (0..3)
+                    .map(|i| {
+                        let var = 3 * b + i;
+                        if mask >> i & 1 == 1 {
+                            Lit::pos(var)
+                        } else {
+                            Lit::neg(var)
+                        }
+                    })
+                    .collect(),
+            );
+        }
+    }
+    f
+}
+
+/// The exact MaxSAT optimum of [`contradiction_blocks`]`(blocks)`.
+pub fn contradiction_blocks_optimum(blocks: usize) -> usize {
+    7 * blocks
+}
+
+/// The pigeonhole principle PHP(p, p−1) — `p` pigeons into `p−1` holes —
+/// converted to 3CNF by splitting long clauses with chain variables.
+/// Unsatisfiable for every `p ≥ 2`; famously hard for resolution, which
+/// makes it a good stress test for the DPLL oracle.
+pub fn pigeonhole_3cnf(p: usize) -> CnfFormula {
+    assert!(p >= 2);
+    let holes = p - 1;
+    // x[i][j] = pigeon i sits in hole j.
+    let var = |i: usize, j: usize| i * holes + j;
+    let mut f = CnfFormula::new(p * holes);
+
+    // Each pigeon sits somewhere: clause of length `holes`, split to 3CNF.
+    for i in 0..p {
+        let long: Vec<Lit> = (0..holes).map(|j| Lit::pos(var(i, j))).collect();
+        add_clause_3cnf(&mut f, long);
+    }
+    // No two pigeons share a hole.
+    for j in 0..holes {
+        for i1 in 0..p {
+            for i2 in i1 + 1..p {
+                f.add_clause(vec![Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+            }
+        }
+    }
+    f
+}
+
+/// Adds a clause of arbitrary length in 3CNF form by chaining fresh
+/// variables: `(l₁ ∨ l₂ ∨ y₁) ∧ (¬y₁ ∨ l₃ ∨ y₂) ∧ … ∧ (¬y_k ∨ l_{r−1} ∨ l_r)`.
+pub fn add_clause_3cnf(f: &mut CnfFormula, clause: Vec<Lit>) {
+    let r = clause.len();
+    if r <= 3 {
+        f.add_clause(clause);
+        return;
+    }
+    let k = r - 3; // chain variables y₁ … y_k
+    let ys: Vec<usize> = (0..k).map(|_| f.fresh_var()).collect();
+    f.add_clause(vec![clause[0], clause[1], Lit::pos(ys[0])]);
+    for i in 0..k - 1 {
+        f.add_clause(vec![Lit::neg(ys[i]), clause[i + 2], Lit::pos(ys[i + 1])]);
+    }
+    f.add_clause(vec![Lit::neg(ys[k - 1]), clause[r - 2], clause[r - 1]]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dpll, maxsat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_3sat_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = random_3sat(10, 30, &mut rng);
+        assert_eq!(f.num_clauses(), 30);
+        assert!(f.is_exact_3cnf());
+    }
+
+    #[test]
+    fn planted_is_satisfiable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let (f, w) = planted_3sat(12, 60, &mut rng);
+            assert!(f.is_satisfied_by(&w));
+            assert!(dpll::is_satisfiable(&f));
+        }
+    }
+
+    #[test]
+    fn contradiction_blocks_exact_optimum() {
+        for blocks in 1..=3 {
+            let f = contradiction_blocks(blocks);
+            assert_eq!(f.num_clauses(), 8 * blocks);
+            assert!(f.is_exact_3cnf());
+            assert!(f.max_occurrences() <= 13);
+            let r = maxsat::max_sat(&f);
+            assert_eq!(r.max_satisfied, contradiction_blocks_optimum(blocks));
+            assert!(!dpll::is_satisfiable(&f));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat_and_3cnf() {
+        for p in 2..=4 {
+            let f = pigeonhole_3cnf(p);
+            assert!(f.is_3cnf(), "p={p}");
+            assert!(!dpll::is_satisfiable(&f), "PHP({p}) must be unsat");
+        }
+    }
+
+    #[test]
+    fn clause_splitting_equisatisfiable() {
+        // A long clause is satisfiable iff some literal is true; check both
+        // directions through the chain encoding.
+        let mut f = CnfFormula::new(6);
+        add_clause_3cnf(&mut f, (0..6).map(Lit::pos).collect());
+        assert!(f.is_3cnf());
+        assert!(dpll::is_satisfiable(&f));
+        // Forcing all original literals false must make it unsat.
+        for v in 0..6 {
+            f.add_clause(vec![Lit::neg(v)]);
+        }
+        assert!(!dpll::is_satisfiable(&f));
+    }
+
+    #[test]
+    fn clause_splitting_short_passthrough() {
+        let mut f = CnfFormula::new(3);
+        add_clause_3cnf(&mut f, vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]);
+        assert_eq!(f.num_clauses(), 1);
+        assert_eq!(f.num_vars(), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! CNF formulas, exact SAT/MaxSAT solving and the bounded-occurrence
+//! transform.
+//!
+//! The hardness chain of the paper starts from 3SAT(13): 3CNF formulas where
+//! every variable occurs in at most 13 clauses, under the PCP-powered promise
+//! "satisfiable vs at most a (1−θ) fraction satisfiable" (Theorem 1, quoted
+//! from Arora). We do not re-prove the PCP theorem (see DESIGN.md); instead
+//! this crate supplies everything needed to *instantiate and verify* the
+//! chain:
+//!
+//! * [`CnfFormula`] / [`Lit`] / [`Clause`] — formula representation;
+//! * [`dpll`] — a complete DPLL solver (unit propagation, pure literals);
+//! * [`maxsat`] — exact MaxSAT by branch-and-bound, the ground-truth oracle
+//!   for "what fraction of clauses is satisfiable";
+//! * [`transform`] — the 3SAT → 3SAT(13) occurrence-bounding rewrite;
+//! * [`generators`] — formula families with *known* MaxSAT values, including
+//!   the all-sign-patterns contradiction blocks whose optimum is exactly 7/8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+
+pub mod dimacs;
+pub mod dpll;
+pub mod generators;
+pub mod maxsat;
+pub mod simplify;
+pub mod transform;
+pub mod walksat;
+
+pub use cnf::{Clause, CnfFormula, Lit};

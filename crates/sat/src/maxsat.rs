@@ -1,0 +1,171 @@
+//! Exact MaxSAT by branch-and-bound.
+//!
+//! The gap versions of 3SAT in the paper's Theorem 1 distinguish "all clauses
+//! satisfiable" from "at most a (1−θ) fraction satisfiable". This module is
+//! the exact oracle for the latter quantity on experiment-sized formulas.
+
+use crate::CnfFormula;
+
+/// Result of an exact MaxSAT computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxSatResult {
+    /// The maximum number of simultaneously satisfiable clauses.
+    pub max_satisfied: usize,
+    /// An assignment achieving it.
+    pub assignment: Vec<bool>,
+}
+
+impl MaxSatResult {
+    /// The achieved fraction of satisfied clauses (`1.0` for an empty
+    /// formula).
+    pub fn fraction(&self, f: &CnfFormula) -> f64 {
+        if f.num_clauses() == 0 {
+            1.0
+        } else {
+            self.max_satisfied as f64 / f.num_clauses() as f64
+        }
+    }
+}
+
+/// Computes the exact MaxSAT optimum of `f` by branch-and-bound over
+/// variables `0..n`, pruning when even satisfying every undecided clause
+/// cannot beat the incumbent.
+pub fn max_sat(f: &CnfFormula) -> MaxSatResult {
+    let n = f.num_vars();
+    let mut assign = vec![false; n];
+    let mut best_assign = vec![false; n];
+    // Evaluate the all-false assignment as the incumbent.
+    let mut best = f.count_satisfied(&best_assign);
+    branch(f, 0, &mut assign, &mut best, &mut best_assign);
+    MaxSatResult { max_satisfied: best, assignment: best_assign }
+}
+
+fn branch(
+    f: &CnfFormula,
+    depth: usize,
+    assign: &mut Vec<bool>,
+    best: &mut usize,
+    best_assign: &mut Vec<bool>,
+) {
+    // Count clauses already satisfied / already falsified by the prefix
+    // assignment assign[0..depth].
+    let mut satisfied = 0usize;
+    let mut falsified = 0usize;
+    for clause in f.clauses() {
+        let mut sat = false;
+        let mut open = false;
+        for &l in clause {
+            if l.var < depth {
+                if l.eval(assign) {
+                    sat = true;
+                    break;
+                }
+            } else {
+                open = true;
+            }
+        }
+        if sat {
+            satisfied += 1;
+        } else if !open {
+            falsified += 1;
+        }
+    }
+    let upper = f.num_clauses() - falsified;
+    if upper <= *best {
+        return; // cannot improve
+    }
+    if depth == f.num_vars() {
+        if satisfied > *best {
+            *best = satisfied;
+            best_assign.clone_from(assign);
+        }
+        return;
+    }
+    for value in [true, false] {
+        assign[depth] = value;
+        branch(f, depth + 1, assign, best, best_assign);
+    }
+}
+
+/// Exact MaxSAT fraction: `max_satisfied / num_clauses`.
+pub fn max_sat_fraction(f: &CnfFormula) -> f64 {
+    max_sat(f).fraction(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn brute_max(f: &CnfFormula) -> usize {
+        let n = f.num_vars();
+        (0u32..1 << n)
+            .map(|mask| {
+                let a: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                f.count_satisfied(&a)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn satisfiable_formula_reaches_all() {
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(2)],
+                vec![Lit::neg(2), Lit::neg(1), Lit::pos(0)],
+            ],
+        );
+        let r = max_sat(&f);
+        assert_eq!(r.max_satisfied, 3);
+        assert_eq!(f.count_satisfied(&r.assignment), 3);
+    }
+
+    #[test]
+    fn contradiction_block_is_seven_eighths() {
+        let mut f = CnfFormula::new(3);
+        for mask in 0..8u32 {
+            f.add_clause(
+                (0..3)
+                    .map(|i| if mask >> i & 1 == 1 { Lit::pos(i) } else { Lit::neg(i) })
+                    .collect(),
+            );
+        }
+        let r = max_sat(&f);
+        assert_eq!(r.max_satisfied, 7);
+        assert!((r.fraction(&f) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let mut state = 2024u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..25 {
+            let n = 3 + (next() % 7) as usize;
+            let m = 3 + (next() % 15) as usize;
+            let mut f = CnfFormula::new(n);
+            for _ in 0..m {
+                let clause: Vec<Lit> = (0..3)
+                    .map(|_| Lit { var: (next() % n as u64) as usize, positive: next() % 2 == 0 })
+                    .collect();
+                f.add_clause(clause);
+            }
+            let r = max_sat(&f);
+            assert_eq!(r.max_satisfied, brute_max(&f));
+            assert_eq!(f.count_satisfied(&r.assignment), r.max_satisfied);
+        }
+    }
+
+    #[test]
+    fn empty_formula() {
+        let f = CnfFormula::new(2);
+        let r = max_sat(&f);
+        assert_eq!(r.max_satisfied, 0);
+        assert_eq!(r.fraction(&f), 1.0);
+    }
+}

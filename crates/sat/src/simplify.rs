@@ -1,0 +1,185 @@
+//! Formula preprocessing: unit propagation, pure-literal elimination,
+//! tautology and duplicate removal — the standard simplifications applied
+//! before handing a formula to a solver or a reduction.
+
+use crate::{CnfFormula, Lit};
+use std::collections::BTreeSet;
+
+/// Result of [`simplify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Simplified {
+    /// The formula was decided outright during preprocessing.
+    Decided(bool),
+    /// A smaller equisatisfiable formula over the *same* variable space,
+    /// plus the partial assignment forced by propagation (entries are
+    /// `Some(value)` for fixed variables).
+    Reduced {
+        /// The simplified formula.
+        formula: CnfFormula,
+        /// Values forced by unit propagation / pure literals.
+        forced: Vec<Option<bool>>,
+    },
+}
+
+/// Simplifies `f`:
+///
+/// 1. drop tautological clauses (`x ∨ ¬x ∨ …`) and duplicate literals;
+/// 2. propagate unit clauses to a fixed point (conflict ⟹ `Decided(false)`);
+/// 3. fix pure literals;
+/// 4. drop satisfied clauses and falsified literals.
+///
+/// All steps preserve satisfiability; `forced` extends to a model of `f`
+/// whenever the reduced formula is satisfiable.
+pub fn simplify(f: &CnfFormula) -> Simplified {
+    let n = f.num_vars();
+    let mut forced: Vec<Option<bool>> = vec![None; n];
+    // Working clause set, deduplicated literals, tautologies dropped.
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(f.num_clauses());
+    'clause: for c in f.clauses() {
+        let set: BTreeSet<Lit> = c.iter().copied().collect();
+        for l in &set {
+            if set.contains(&l.negated()) {
+                continue 'clause; // tautology
+            }
+        }
+        clauses.push(set.into_iter().collect());
+    }
+    loop {
+        let mut changed = false;
+        // Unit propagation.
+        let mut i = 0;
+        while i < clauses.len() {
+            let live: Vec<Lit> = clauses[i]
+                .iter()
+                .copied()
+                .filter(|l| forced[l.var].is_none())
+                .collect();
+            let satisfied = clauses[i].iter().any(|l| forced[l.var] == Some(l.positive));
+            if satisfied {
+                clauses.swap_remove(i);
+                changed = true;
+                continue;
+            }
+            match live.len() {
+                0 => return Simplified::Decided(false), // conflict
+                1 => {
+                    forced[live[0].var] = Some(live[0].positive);
+                    clauses.swap_remove(i);
+                    changed = true;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Pure literals among live occurrences.
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for c in &clauses {
+            for l in c {
+                if forced[l.var].is_none() {
+                    if l.positive {
+                        pos[l.var] = true;
+                    } else {
+                        neg[l.var] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if forced[v].is_none() && (pos[v] ^ neg[v]) {
+                forced[v] = Some(pos[v]);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if clauses.is_empty() {
+        return Simplified::Decided(true);
+    }
+    // Strip falsified literals from the survivors.
+    let reduced: Vec<Vec<Lit>> = clauses
+        .into_iter()
+        .map(|c| c.into_iter().filter(|l| forced[l.var].is_none()).collect())
+        .collect();
+    Simplified::Reduced { formula: CnfFormula::from_clauses(n, reduced), forced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dpll, generators};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tautologies_dropped() {
+        let f = CnfFormula::from_clauses(
+            2,
+            vec![vec![Lit::pos(0), Lit::neg(0)], vec![Lit::pos(1), Lit::neg(1), Lit::pos(0)]],
+        );
+        assert_eq!(simplify(&f), Simplified::Decided(true));
+    }
+
+    #[test]
+    fn unit_chain_propagates_to_decision() {
+        // x0; ¬x0 ∨ x1; ¬x1 ∨ x2 — all forced true; satisfiable.
+        let f = CnfFormula::from_clauses(
+            3,
+            vec![
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(1), Lit::pos(2)],
+            ],
+        );
+        assert_eq!(simplify(&f), Simplified::Decided(true));
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let f = CnfFormula::from_clauses(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        assert_eq!(simplify(&f), Simplified::Decided(false));
+    }
+
+    #[test]
+    fn equisatisfiable_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let f = generators::random_3sat(7, 18, &mut rng);
+            let expected = dpll::is_satisfiable(&f);
+            match simplify(&f) {
+                Simplified::Decided(ans) => assert_eq!(ans, expected),
+                Simplified::Reduced { formula, forced } => {
+                    assert_eq!(dpll::is_satisfiable(&formula), expected);
+                    // Forced values are consistent with some model when SAT.
+                    if let dpll::SatResult::Sat(w) = dpll::solve(&formula) {
+                        let mut full = w;
+                        for (v, fv) in forced.iter().enumerate() {
+                            if let Some(val) = fv {
+                                full[v] = *val;
+                            }
+                        }
+                        assert!(f.is_satisfied_by(&full), "forced + model must satisfy f");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_formula_never_mentions_forced_vars() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let f = generators::random_3sat(6, 12, &mut rng);
+            if let Simplified::Reduced { formula, forced } = simplify(&f) {
+                for c in formula.clauses() {
+                    for l in c {
+                        assert!(forced[l.var].is_none());
+                    }
+                }
+            }
+        }
+    }
+}

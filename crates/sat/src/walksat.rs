@@ -1,0 +1,177 @@
+//! WalkSAT — stochastic local search for (Max)SAT.
+//!
+//! The exact branch-and-bound of [`crate::maxsat`] is the ground truth at
+//! experiment scale; WalkSAT is the *scalable* side: it finds satisfying
+//! assignments of large planted formulas quickly and gives strong MaxSAT
+//! lower bounds (always a valid assignment, never an overclaim).
+
+use crate::CnfFormula;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters for [`walksat`].
+#[derive(Clone, Debug)]
+pub struct WalkSatParams {
+    /// Maximum variable flips per restart.
+    pub max_flips: usize,
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Noise probability: with probability `noise` flip a random variable
+    /// of the chosen unsatisfied clause instead of the greedily best one.
+    pub noise: f64,
+}
+
+impl Default for WalkSatParams {
+    fn default() -> Self {
+        WalkSatParams { max_flips: 10_000, restarts: 5, noise: 0.5 }
+    }
+}
+
+/// Result of a WalkSAT run.
+#[derive(Clone, Debug)]
+pub struct WalkSatResult {
+    /// Best assignment found.
+    pub assignment: Vec<bool>,
+    /// Number of clauses it satisfies.
+    pub satisfied: usize,
+}
+
+/// Runs WalkSAT, returning the best assignment seen across restarts.
+pub fn walksat(f: &CnfFormula, params: &WalkSatParams, rng: &mut impl Rng) -> WalkSatResult {
+    let n = f.num_vars();
+    let m = f.num_clauses();
+    let mut best = WalkSatResult { assignment: vec![false; n], satisfied: f.count_satisfied(&vec![false; n]) };
+    if m == 0 || n == 0 {
+        return best;
+    }
+    // Occurrence lists for fast break-count evaluation.
+    let mut occurs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ci, clause) in f.clauses().iter().enumerate() {
+        for l in clause {
+            if !occurs[l.var].contains(&ci) {
+                occurs[l.var].push(ci);
+            }
+        }
+    }
+    for _ in 0..params.restarts.max(1) {
+        let mut assign: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        // true-literal counts per clause.
+        let mut true_count: Vec<usize> = f
+            .clauses()
+            .iter()
+            .map(|c| c.iter().filter(|l| l.eval(&assign)).count())
+            .collect();
+        let mut unsat: Vec<usize> =
+            (0..m).filter(|&ci| true_count[ci] == 0).collect();
+        for _ in 0..params.max_flips {
+            if unsat.is_empty() {
+                break;
+            }
+            let &ci = unsat.choose(rng).expect("nonempty");
+            let clause = &f.clauses()[ci];
+            let var = if rng.gen_bool(params.noise) {
+                clause.choose(rng).expect("nonempty clause").var
+            } else {
+                // Greedy: flip the variable minimizing the break count.
+                let mut best_var = clause[0].var;
+                let mut best_break = usize::MAX;
+                for l in clause {
+                    let breaks = occurs[l.var]
+                        .iter()
+                        .filter(|&&cj| {
+                            true_count[cj] == 1
+                                && f.clauses()[cj]
+                                    .iter()
+                                    .any(|x| x.var == l.var && x.eval(&assign))
+                        })
+                        .count();
+                    if breaks < best_break {
+                        best_break = breaks;
+                        best_var = l.var;
+                    }
+                }
+                best_var
+            };
+            // Flip and update counts.
+            assign[var] = !assign[var];
+            for &cj in &occurs[var] {
+                true_count[cj] =
+                    f.clauses()[cj].iter().filter(|l| l.eval(&assign)).count();
+            }
+            unsat = (0..m).filter(|&cj| true_count[cj] == 0).collect();
+        }
+        let satisfied = m - unsat.len();
+        if satisfied > best.satisfied {
+            best = WalkSatResult { assignment: assign, satisfied };
+            if best.satisfied == m {
+                return best;
+            }
+        }
+    }
+    best
+}
+
+/// Convenience: try to find a satisfying assignment; `None` if WalkSAT
+/// fails within its budget (which proves nothing — use
+/// [`crate::dpll::solve`] for a definitive answer).
+pub fn find_model(f: &CnfFormula, params: &WalkSatParams, rng: &mut impl Rng) -> Option<Vec<bool>> {
+    let r = walksat(f, params, rng);
+    (r.satisfied == f.num_clauses()).then_some(r.assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, maxsat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_planted_formulas() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let (f, _) = generators::planted_3sat(20, 60, &mut rng);
+            let model = find_model(&f, &WalkSatParams::default(), &mut rng)
+                .expect("planted formula should fall to WalkSAT");
+            assert!(f.is_satisfied_by(&model));
+        }
+    }
+
+    #[test]
+    fn never_overclaims_maxsat() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let f = generators::random_3sat(6, 20, &mut rng);
+            let heur = walksat(&f, &WalkSatParams::default(), &mut rng);
+            let exact = maxsat::max_sat(&f);
+            assert!(heur.satisfied <= exact.max_satisfied);
+            assert_eq!(f.count_satisfied(&heur.assignment), heur.satisfied);
+        }
+    }
+
+    #[test]
+    fn reaches_the_seven_eighths_optimum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = generators::contradiction_blocks(4);
+        let heur = walksat(&f, &WalkSatParams::default(), &mut rng);
+        assert_eq!(heur.satisfied, generators::contradiction_blocks_optimum(4));
+    }
+
+    #[test]
+    fn empty_formula_handled() {
+        let f = crate::CnfFormula::new(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = walksat(&f, &WalkSatParams::default(), &mut rng);
+        assert_eq!(r.satisfied, 0);
+    }
+
+    #[test]
+    fn larger_scale_than_exact() {
+        // 60 vars / 200 clauses: far beyond the exact solver's comfort, easy
+        // for WalkSAT on a planted instance.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (f, _) = generators::planted_3sat(60, 200, &mut rng);
+        let model = find_model(&f, &WalkSatParams::default(), &mut rng);
+        assert!(model.is_some());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: solver agreement with brute force, transform
+//! equisatisfiability, and generator contracts.
+
+use aqo_sat::{dpll, generators, maxsat, transform, CnfFormula, Lit};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn formula(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    (2..=max_vars, 1..=max_clauses).prop_flat_map(|(n, m)| {
+        prop::collection::vec(
+            prop::collection::vec((0..n, any::<bool>()), 1..=3),
+            m..=m,
+        )
+        .prop_map(move |clauses| {
+            let clauses = clauses
+                .into_iter()
+                .map(|c| c.into_iter().map(|(var, positive)| Lit { var, positive }).collect())
+                .collect();
+            CnfFormula::from_clauses(n, clauses)
+        })
+    })
+}
+
+fn brute_max(f: &CnfFormula) -> usize {
+    let n = f.num_vars();
+    (0u64..1 << n)
+        .map(|mask| {
+            let a: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            f.count_satisfied(&a)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dpll_matches_brute_force(f in formula(8, 16)) {
+        let brute_sat = brute_max(&f) == f.num_clauses();
+        match dpll::solve(&f) {
+            dpll::SatResult::Sat(w) => {
+                prop_assert!(f.is_satisfied_by(&w));
+                prop_assert!(brute_sat);
+            }
+            dpll::SatResult::Unsat => prop_assert!(!brute_sat),
+        }
+    }
+
+    #[test]
+    fn maxsat_matches_brute_force(f in formula(7, 14)) {
+        let r = maxsat::max_sat(&f);
+        prop_assert_eq!(r.max_satisfied, brute_max(&f));
+        prop_assert_eq!(f.count_satisfied(&r.assignment), r.max_satisfied);
+    }
+
+    #[test]
+    fn transform_preserves_satisfiability(f in formula(5, 20)) {
+        let (g, copy_of) = transform::bound_occurrences(&f, 4);
+        prop_assert!(g.max_occurrences() <= 4);
+        prop_assert_eq!(dpll::is_satisfiable(&f), dpll::is_satisfiable(&g));
+        // Witness translation: a witness of g restricted through copy_of
+        // satisfies f.
+        if let dpll::SatResult::Sat(w) = dpll::solve(&g) {
+            let mut orig = vec![false; f.num_vars()];
+            // Original slots first, overridden by any copy (all copies agree).
+            for v in 0..g.num_vars() {
+                orig[copy_of[v]] = w[v];
+            }
+            // Variables with copies never appear directly in g, so copies win.
+            prop_assert!(f.is_satisfied_by(&orig));
+        }
+    }
+
+    #[test]
+    fn planted_generator_always_sat(seed in any::<u64>(), n in 3usize..10, m in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (f, w) = generators::planted_3sat(n, m, &mut rng);
+        prop_assert!(f.is_satisfied_by(&w));
+    }
+
+    #[test]
+    fn contradiction_blocks_never_better_than_7_8(blocks in 1usize..3) {
+        let f = generators::contradiction_blocks(blocks);
+        prop_assert_eq!(brute_max(&f), 7 * blocks);
+    }
+
+    #[test]
+    fn dimacs_parser_never_panics(garbage in "[-a-z0-9 pcnf\n%]{0,200}") {
+        let _ = aqo_sat::dimacs::from_dimacs(&garbage);
+    }
+
+    #[test]
+    fn dimacs_roundtrip(f in formula(8, 16)) {
+        let text = aqo_sat::dimacs::to_dimacs(&f);
+        prop_assert_eq!(aqo_sat::dimacs::from_dimacs(&text).unwrap(), f);
+    }
+
+    #[test]
+    fn clause_split_equisatisfiable(lits in prop::collection::vec((0usize..6, any::<bool>()), 4..9)) {
+        let n = 6;
+        let clause: Vec<Lit> = lits.into_iter().map(|(var, positive)| Lit { var, positive }).collect();
+        let mut long = CnfFormula::new(n);
+        generators::add_clause_3cnf(&mut long, clause.clone());
+        prop_assert!(long.is_3cnf());
+        // Single clause alone: always satisfiable.
+        prop_assert!(dpll::is_satisfiable(&long));
+        // Forcing every original literal false makes the split version unsat.
+        let mut forced = long.clone();
+        for l in &clause {
+            forced.add_clause(vec![l.negated()]);
+        }
+        prop_assert!(!dpll::is_satisfiable(&forced));
+    }
+}

@@ -1,0 +1,66 @@
+//! Certificate decoding: run an optimizer on a reduction instance and read
+//! the hidden combinatorial answer back out of the plan it found. This is
+//! the constructive meaning of "reduction" — a query optimizer good enough
+//! to find cheap plans is a clique finder (and a number partitioner).
+//!
+//! ```text
+//! cargo run --release -p aqo-bench --example certificates
+//! ```
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::CostScalar;
+use aqo_graph::generators;
+use aqo_optimizer::{dp, star};
+use aqo_reductions::partition::PartitionInstance;
+use aqo_reductions::sppcs::{partition_to_sppcs, Normalized};
+use aqo_reductions::{decode, fn_reduction, sqo_reduction};
+
+fn main() {
+    println!("=== decoding a clique out of a query plan ===\n");
+    let (n, k) = (14usize, 10usize);
+    let g = generators::dense_known_omega(n, k);
+    println!("instance: f_N over a dense graph on {n} vertices with planted ω = {k}");
+    let red = fn_reduction::reduce(&g, &BigUint::from(4u64), (k - 1) as u64);
+    let opt = dp::optimize::<BigRational>(&red.instance, true).unwrap();
+    println!("optimizer found a plan of cost 2^{:.1}", CostScalar::log2(&opt.cost));
+    let kappa = k - 2;
+    match decode::clique_from_sequence(&red, &opt.sequence, kappa) {
+        Some(c) => {
+            println!("decoded from its prefix: a clique of size {} (> κ = {kappa}):", c.len());
+            println!("  {c:?}");
+            assert!(g.is_clique(&c));
+        }
+        None => println!("prefix not dense enough (no certificate — cannot happen here)"),
+    }
+
+    println!("\n=== decoding a PARTITION witness out of a star plan ===\n");
+    let items = vec![7u64, 3, 2, 5, 1];
+    println!("PARTITION items {items:?} (half-sum {})", items.iter().sum::<u64>() / 2);
+    let p = PartitionInstance::new(items.clone());
+    let s = partition_to_sppcs(&p);
+    let norm = match s.normalize() {
+        Normalized::Instance(i) => i,
+        Normalized::Trivial(ans) => {
+            println!("trivial: {ans}");
+            return;
+        }
+    };
+    let red = sqo_reduction::reduce(&norm);
+    let (plan, cost) = star::optimize(&red.instance);
+    println!(
+        "star-query optimizer: cost 2^{:.1} vs budget 2^{:.1} -> {}",
+        cost.log2(),
+        red.budget.log2(),
+        if cost <= red.budget { "within budget (YES)" } else { "over budget (NO)" }
+    );
+    if cost <= red.budget {
+        let subset = decode::subset_from_star_plan(&plan);
+        println!("decoded SPPCS subset (pair indices): {subset:?}");
+        let chosen: Vec<u64> = subset.iter().map(|&i| items[i]).collect();
+        println!(
+            "as PARTITION items: {chosen:?} summing to {} = half of {}",
+            chosen.iter().sum::<u64>(),
+            items.iter().sum::<u64>()
+        );
+    }
+}

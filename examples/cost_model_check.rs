@@ -1,0 +1,63 @@
+//! Does the paper's cost model describe anything real? Execute the plans.
+//!
+//! The §2.1 estimates assume independent uniform join columns; this example
+//! generates exactly such data, runs left-deep plans tuple by tuple, and
+//! compares measured intermediates and probe counts with `N(X)` and `C(Z)`.
+//!
+//! ```text
+//! cargo run --release -p aqo-bench --example cost_model_check
+//! ```
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, JoinSequence, SelectivityMatrix};
+use aqo_exec::validate::calibrate;
+use aqo_exec::{Database, Executor};
+use aqo_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chain() -> QoNInstance {
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    let sizes = [500u64, 400, 300, 200];
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    for (&(u, v), d) in [(0usize, 1usize), (1, 2), (2, 3)].iter().zip([100u64, 150, 100]) {
+        s.set(u, v, BigRational::new(BigInt::one(), BigUint::from(d)));
+        w.set(u, v, BigUint::from((sizes[u] as f64 / d as f64).ceil() as u64));
+        w.set(v, u, BigUint::from((sizes[v] as f64 / d as f64).ceil() as u64));
+    }
+    QoNInstance::new(g, sizes.iter().map(|&t| BigUint::from(t)).collect(), s, w)
+}
+
+fn main() {
+    let inst = chain();
+    let mut rng = StdRng::seed_from_u64(1);
+    let z = JoinSequence::identity(4);
+
+    println!("=== one execution, side by side ===\n");
+    let db = Database::generate(&inst, &mut rng);
+    let ex = Executor::new(&inst, &db);
+    let run = ex.run(&z, true);
+    let model = inst.cost::<BigRational>(&z);
+    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "join", "N model", "N measured", "H model", "probes");
+    for i in 1..inst.n() {
+        println!(
+            "{:>6} {:>14} {:>14} {:>14} {:>14}",
+            format!("J{i}"),
+            model.intermediates[i].to_string(),
+            run.intermediates[i],
+            model.per_join[i - 1].to_string(),
+            run.per_join[i - 1],
+        );
+    }
+    println!("\ntotal: model C(Z) = {}, measured work = {}", model.total, run.total_work);
+
+    println!("\n=== averaged over fresh databases ===\n");
+    let cal = calibrate(&inst, &z, 8, &mut rng);
+    println!("worst intermediate error : {:.1}%", cal.worst_intermediate_error(100.0) * 100.0);
+    println!("total cost error         : {:.1}%", cal.cost_error() * 100.0);
+    println!("\n(The hardness theorems are about optimizing exactly this model —");
+    println!(" which the execution engine confirms is the right model for");
+    println!(" independence-distributed data.)");
+}

@@ -1,0 +1,99 @@
+//! What the hardness theorems mean in practice: greedy / annealing /
+//! genetic optimizers are fine on ordinary queries and collapse on the
+//! paper's adversarial instances.
+//!
+//! ```text
+//! cargo run --release -p aqo-bench --example heuristics_showdown
+//! ```
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, CostScalar, JoinSequence, SelectivityMatrix};
+use aqo_graph::generators;
+use aqo_optimizer::{dp, genetic, greedy, local_search};
+use aqo_reductions::fn_reduction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(n: usize, rng: &mut StdRng) -> QoNInstance {
+    let g = generators::random_connected(n, n + n / 2, rng);
+    let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(rng.gen_range(10u64..5000))).collect();
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        let sel = BigRational::new(BigInt::one(), BigUint::from(rng.gen_range(2u64..100)));
+        s.set(u, v, sel.clone());
+        for (j, k) in [(u, v), (v, u)] {
+            let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+            w.set(j, k, lower.magnitude().clone());
+        }
+    }
+    QoNInstance::new(g, sizes, s, w)
+}
+
+fn showdown(label: &str, inst: &QoNInstance, rng: &mut StdRng) {
+    // Search in log domain; certify the winner in exact arithmetic.
+    let opt = dp::optimize::<aqo_bignum::LogNum>(inst, true).expect("connected");
+    let exact: BigRational = inst.total_cost(&opt.sequence);
+    let opt_bits = CostScalar::log2(&exact);
+    println!("{label}: n = {}, exact optimum 2^{opt_bits:.1}", inst.n());
+    let eval = |name: &str, z: &JoinSequence| {
+        let c: BigRational = inst.total_cost(z);
+        println!("  {name:<16} +{:>7.1} bits over optimal", CostScalar::log2(&c) - opt_bits);
+    };
+    eval("greedy-min-N", &greedy::min_intermediate(inst, true).unwrap());
+    eval("greedy-min-H", &greedy::min_incremental_cost(inst, true).unwrap());
+    eval(
+        "sim-annealing",
+        &local_search::simulated_annealing(
+            inst,
+            &local_search::SaParams { iterations: 5000, ..Default::default() },
+            rng,
+        ),
+    );
+    eval(
+        "genetic",
+        &genetic::optimize(
+            inst,
+            &genetic::GaParams { population: 32, generations: 60, ..Default::default() },
+            rng,
+        ),
+    );
+    eval("random-order", &greedy::random_sequence(inst.n(), rng));
+    println!();
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    println!("=== ordinary queries: heuristics are competitive ===\n");
+    let inst = random_instance(14, &mut rng);
+    showdown("random catalogue", &inst, &mut rng);
+
+    println!("=== deceptive f_N instances: local density hides the clique ===\n");
+    for n in [12usize, 18] {
+        // Turán decoys (high degree, ω = 3) + a hidden K_{n/3} on low-degree
+        // vertices behind sparse bridges: greedy follows the decoys.
+        let k = n / 3;
+        let d = n - k;
+        let mut g = aqo_graph::Graph::new(n);
+        for u in 0..d {
+            for v in u + 1..d {
+                if u % 3 != v % 3 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        for u in d..n {
+            for v in u + 1..n {
+                g.add_edge(u, v);
+            }
+        }
+        for (i, p) in (d..n).enumerate() {
+            g.add_edge(p, i % d);
+        }
+        let red = fn_reduction::reduce(&g, &BigUint::from(64u64), (k - 1) as u64);
+        showdown("f_N deceptive (a = 64)", &red.instance, &mut rng);
+    }
+    println!("(Theorem 9: closing this gap in polynomial time within 2^(log^(1-δ) K)");
+    println!(" for any δ > 0 would prove P = NP.)");
+}

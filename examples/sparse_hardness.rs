@@ -1,0 +1,70 @@
+//! §6: hardness survives on sparse query graphs. `f_{N,e}` pins the edge
+//! count to any target in the window `(m + Θ(m^τ), m²/2 − Θ(m^τ))` and the
+//! gap persists — only trees (and `m + o(m^τ)` edges) escape, where IKKBZ
+//! optimizes exactly in polynomial time.
+//!
+//! ```text
+//! cargo run --release -p aqo-bench --example sparse_hardness
+//! ```
+
+use aqo_bignum::{BigInt, BigRational, BigUint, LogNum};
+use aqo_core::{AccessCostMatrix, CostScalar, SelectivityMatrix};
+use aqo_graph::{generators, Graph};
+use aqo_optimizer::{dp, ikkbz};
+use aqo_reductions::sparse;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("=== sparse query graphs (Theorem 16) ===\n");
+    let alpha = BigUint::from(4u64).pow(128);
+    let beta = BigUint::from(4u64);
+    let g_yes = Graph::complete(4); // ω = 4
+    let g_no = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]); // star, ω = 2
+
+    println!("{:>8} {:>7} {:>16} {:>16} {:>12}", "edges", "m", "C*_yes", "C*_no", "gap(α units)");
+    // The construction carries at most |E₁| + C(12,2) + 1 = 73 edges here.
+    for target in [30usize, 45, 60, 73] {
+        let ry = sparse::reduce_fn(&g_yes, 2, target, &alpha, &beta, 4);
+        let rn = sparse::reduce_fn(&g_no, 2, target, &alpha, &beta, 4);
+        let oy = dp::optimize::<LogNum>(&ry.instance, true).unwrap();
+        let on = dp::optimize::<LogNum>(&rn.instance, true).unwrap();
+        let gap = (CostScalar::log2(&on.cost) - CostScalar::log2(&oy.cost)) / alpha.log2();
+        println!(
+            "{target:>8} {:>7} {:>16} {:>16} {gap:>12.2}",
+            ry.instance.n(),
+            format!("2^{:.0}", CostScalar::log2(&oy.cost)),
+            format!("2^{:.0}", CostScalar::log2(&on.cost)),
+        );
+    }
+    println!("\nThe same K₄-vs-star promise gap survives every edge budget in the window:");
+    println!("the auxiliary graph carries the surplus edges at α^O(1) cost.\n");
+
+    println!("=== the escape hatch: trees (§6.3) ===\n");
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [12usize, 16, 20] {
+        let g = generators::random_tree(n, &mut rng);
+        let sizes: Vec<BigUint> =
+            (0..n).map(|_| BigUint::from(rng.gen_range(2u64..500))).collect();
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            let sel = BigRational::new(BigInt::one(), BigUint::from(rng.gen_range(2u64..20)));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        let inst = aqo_core::qon::QoNInstance::new(g, sizes, s, w);
+        let ik = ikkbz::optimize(&inst);
+        let exact = dp::optimize::<BigRational>(&inst, false).unwrap();
+        println!(
+            "tree n = {n}: IKKBZ cost {} — {} the exact optimum (O(n² log n) vs O(2^n))",
+            ik.cost,
+            if ik.cost == exact.cost { "equals" } else { "differs from!" }
+        );
+    }
+    println!("\nWith m − 1 edges the problem is polynomial; with m + Θ(m^τ) it is already");
+    println!("inapproximable — Theorem 16/17 leave no middle ground beyond m + o(m^τ).");
+}

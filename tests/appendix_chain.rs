@@ -1,0 +1,76 @@
+//! Integration: the Appendix chain `PARTITION → SPPCS → SQO−CP`, swept over
+//! a dense grid of small instances against the exact solvers of three
+//! different crates.
+
+use aqo_bignum::BigUint;
+use aqo_optimizer::star;
+use aqo_reductions::partition::PartitionInstance;
+use aqo_reductions::sppcs::{partition_to_sppcs, Normalized, SppcsInstance};
+use aqo_reductions::sqo_reduction;
+
+fn sqo_answer(s: &SppcsInstance) -> bool {
+    match s.normalize() {
+        Normalized::Trivial(ans) => ans,
+        Normalized::Instance(norm) => {
+            let red = sqo_reduction::reduce(&norm);
+            let (plan, opt) = star::optimize(&red.instance);
+            // The optimizer's plan must price correctly.
+            assert_eq!(red.instance.plan_cost(&plan), opt);
+            opt <= red.budget
+        }
+    }
+}
+
+#[test]
+fn exhaustive_partition_grid() {
+    // All multisets of 3 items with values 0..=4 and even sum: both hops.
+    for a in 0u64..=4 {
+        for b in a..=4 {
+            for c in b..=4 {
+                if (a + b + c) % 2 != 0 {
+                    continue;
+                }
+                let p = PartitionInstance::new(vec![a, b, c]);
+                let s = partition_to_sppcs(&p);
+                assert_eq!(p.is_yes(), s.is_yes(), "hop 1 items {:?}", [a, b, c]);
+                assert_eq!(s.is_yes(), sqo_answer(&s), "hop 2 items {:?}", [a, b, c]);
+            }
+        }
+    }
+}
+
+#[test]
+fn sppcs_to_sqo_threshold_is_sharp() {
+    // Sweep L across the objective landscape of one instance: the star
+    // budget decision must flip exactly where SPPCS flips.
+    let pairs = [(2u64, 3u64), (3, 2), (2, 4)];
+    for l in 0..20u64 {
+        let s = SppcsInstance {
+            pairs: pairs.iter().map(|&(p, c)| (BigUint::from(p), BigUint::from(c))).collect(),
+            l: BigUint::from(l),
+        };
+        assert_eq!(s.is_yes(), sqo_answer(&s), "L = {l}");
+    }
+}
+
+#[test]
+fn larger_random_partition_instances() {
+    let mut state = 0xABCu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut checked = 0;
+    while checked < 8 {
+        let n = 2 + (next() % 4) as usize;
+        let items: Vec<u64> = (0..n).map(|_| next() % 7).collect();
+        if items.iter().sum::<u64>() % 2 != 0 {
+            continue;
+        }
+        let p = PartitionInstance::new(items.clone());
+        let s = partition_to_sppcs(&p);
+        assert_eq!(p.is_yes(), s.is_yes(), "items {items:?}");
+        assert_eq!(s.is_yes(), sqo_answer(&s), "items {items:?}");
+        checked += 1;
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration: the Theorem 15 chain `3SAT → ⅔CLIQUE → QO_H` across crate
+//! boundaries.
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::JoinSequence;
+use aqo_graph::clique;
+use aqo_optimizer::pipeline;
+use aqo_reductions::{clique_reduction, fh_reduction};
+use aqo_sat::{CnfFormula, Lit};
+
+/// A tiny satisfiable formula whose Lemma 4 image is DP-manageable.
+fn sat_formula() -> CnfFormula {
+    CnfFormula::from_clauses(
+        3,
+        vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+            vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+        ],
+    )
+}
+
+#[test]
+fn satisfiable_formula_yields_two_thirds_clique_and_cheap_plan() {
+    let f = sat_formula();
+    let red_g = clique_reduction::sat_to_two_thirds_clique(&f);
+    let n = red_g.graph.n();
+    assert_eq!(n % 3, 0);
+    let omega = clique::clique_number(&red_g.graph);
+    assert_eq!(omega, 2 * n / 3, "satisfiable ⟹ a two-thirds clique");
+
+    // f_H on the ⅔CLIQUE instance: the witness plan is feasible and O(L).
+    let b = BigUint::from(2u64).pow(2 * n as u64);
+    let red = fh_reduction::reduce(&red_g.graph, &b);
+    let cl = clique::max_clique(&red_g.graph);
+    let (z, decomp) = fh_reduction::lemma12_witness(&red, &cl[..2 * n / 3]);
+    let cost = red.instance.plan_cost_optimal_alloc(&z, &decomp).expect("feasible witness");
+    let l = BigRational::from(fh_reduction::l_bound(&red));
+    assert!(cost <= l * BigRational::from(16u64), "Lemma 12 O(L) frame");
+}
+
+#[test]
+fn unsatisfiable_formula_lifts_the_intermediates() {
+    let f = aqo_sat::generators::contradiction_blocks(1);
+    let red_g = clique_reduction::sat_to_two_thirds_clique(&f);
+    let n = red_g.graph.n();
+    let omega = clique::clique_number(&red_g.graph) as u64;
+    assert!(omega < 2 * n as u64 / 3);
+
+    let b = BigUint::from(2u64).pow(2 * n as u64);
+    let red = fh_reduction::reduce(&red_g.graph, &b);
+    // Certified Lemma 13 bound vs. a sampled feasible sequence's actual
+    // N_{2n/3} (the bound covers every sequence; sampling demonstrates it).
+    let lb = fh_reduction::lemma13_n2n3_lower_bound(&red, omega);
+    let mut order = vec![red.v0];
+    order.extend(0..n);
+    let z = JoinSequence::new(order);
+    let inter: Vec<BigRational> = red.instance.intermediates(&z);
+    assert!(inter[2 * n / 3] >= lb);
+}
+
+#[test]
+fn v0_gatekeeping_survives_the_chain() {
+    let f = sat_formula();
+    let red_g = clique_reduction::sat_to_two_thirds_clique(&f);
+    let b = BigUint::from(2u64).pow(2 * red_g.graph.n() as u64);
+    let red = fh_reduction::reduce(&red_g.graph, &b);
+    let n_rel = red.instance.n();
+    // v0 first: feasible.
+    let mut good = vec![red.v0];
+    good.extend((0..n_rel).filter(|&v| v != red.v0));
+    assert!(red.instance.sequence_feasible(&JoinSequence::new(good)));
+    // v0 second: infeasible (its hash table cannot be built).
+    let mut bad: Vec<usize> = (0..n_rel).filter(|&v| v != red.v0).collect();
+    bad.insert(1, red.v0);
+    assert!(!red.instance.sequence_feasible(&JoinSequence::new(bad)));
+}
+
+#[test]
+fn exact_qoh_gap_on_synthetic_promise_pair() {
+    // n = 6 allows the fully exhaustive QO_H optimizer.
+    let b = BigUint::from(2u64).pow(12);
+    let g_yes = aqo_graph::generators::dense_known_omega(6, 4);
+    let g_no = aqo_graph::generators::turan(6, 3);
+    let red_yes = fh_reduction::reduce(&g_yes, &b);
+    let red_no = fh_reduction::reduce(&g_no, &b);
+    let yes = pipeline::optimize_exhaustive(&red_yes.instance).unwrap();
+    let no = pipeline::optimize_exhaustive(&red_no.instance).unwrap();
+    assert!(yes.sequence.at(0) == red_yes.v0);
+    assert!(no.cost.log2() - yes.cost.log2() >= 0.4 * red_yes.a.log2());
+}

@@ -1,0 +1,117 @@
+//! Integration: the complete Theorem 9 chain
+//! `3SAT → VERTEX COVER → CLIQUE → QO_N`, exercised across crate
+//! boundaries with exact arithmetic at every hop.
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::CostScalar;
+use aqo_graph::{clique, cover};
+use aqo_optimizer::dp;
+use aqo_reductions::{clique_reduction, fn_reduction, sat_to_vc};
+use aqo_sat::{dpll, generators, maxsat, transform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn satisfiable_chain_produces_cheap_plan() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (f, witness) = generators::planted_3sat(3, 3, &mut rng);
+    assert!(dpll::is_satisfiable(&f));
+
+    // Hop 1: vertex cover certificate.
+    let vc = sat_to_vc::reduce(&f);
+    let cover_set = vc.cover_from_assignment(&f, &witness);
+    assert!(cover::is_vertex_cover(&vc.graph, &cover_set));
+    assert_eq!(cover_set.len(), vc.target_cover);
+
+    // Hop 2: clique certificate.
+    let cl = clique_reduction::sat_to_clique(&f);
+    let omega = clique::clique_number(&cl.graph);
+    assert_eq!(omega, cl.satisfiable_omega);
+
+    // Hop 3: QO_N with a certified-cheap witness plan.
+    let a = BigUint::from(4u64);
+    let e = omega as u64 - 2;
+    let red = fn_reduction::reduce(&cl.graph, &a, e);
+    let max_cl = clique::max_clique(&cl.graph);
+    let z = fn_reduction::lemma6_sequence(&cl.graph, &max_cl);
+    assert!(!red.instance.has_cartesian_product(&z));
+    let c: BigRational = red.instance.total_cost(&z);
+    let k = BigRational::from(fn_reduction::k_bound(&a, e));
+    assert!(c <= k, "Lemma 6 upper bound must hold on the chain output");
+}
+
+#[test]
+fn gap_chain_certifies_expensive_instance() {
+    // The 7/8-satisfiable block: exactly one clause unsatisfiable.
+    let f = generators::contradiction_blocks(1);
+    let u = f.num_clauses() - maxsat::max_sat(&f).max_satisfied;
+    assert_eq!(u, 1);
+
+    let cl = clique_reduction::sat_to_clique(&f);
+    let omega = clique::clique_number(&cl.graph) as u64;
+    assert_eq!(omega as usize, cl.satisfiable_omega - 1);
+
+    let a = BigUint::from(4u64);
+    let e = cl.satisfiable_omega as u64 - 2;
+    let red = fn_reduction::reduce(&cl.graph, &a, e);
+    let lb = BigRational::from(fn_reduction::lemma8_lower_bound(
+        &a,
+        e,
+        omega,
+        cl.graph.n() as u64,
+    ));
+    // The bound covers every sequence; in particular any witness we build.
+    let max_cl = clique::max_clique(&cl.graph);
+    let z = fn_reduction::lemma6_sequence(&cl.graph, &max_cl);
+    let c: BigRational = red.instance.total_cost(&z);
+    assert!(c >= lb);
+}
+
+#[test]
+fn occurrence_bounded_formulas_survive_the_chain() {
+    // 3SAT(13) as the paper requires: transform first, then reduce. The
+    // transformed formula is too large for an exact ω computation (the
+    // ω-tracking itself is verified on small formulas in the
+    // clique_reduction tests); here we check the structural invariants the
+    // chain depends on, plus the satisfiable-side clique *witness*.
+    let mut rng = StdRng::seed_from_u64(3);
+    let (f, witness) = generators::planted_3sat(4, 30, &mut rng);
+    let (f13, copy_of) = transform::to_3sat13(&f);
+    assert!(f13.max_occurrences() <= transform::OCCURRENCE_BOUND);
+    assert!(dpll::is_satisfiable(&f13), "equisatisfiable with the planted formula");
+    let cl = clique_reduction::sat_to_clique(&f13);
+    assert_eq!(cl.graph.n(), 6 * (f13.num_vars() + f13.num_clauses()));
+    // Constructive witness: lift the planted assignment through the copies,
+    // build the VC cover, complement to an independent set, add the padding
+    // — a clique of exactly the satisfiable size, verified directly.
+    let mut assign13 = vec![false; f13.num_vars()];
+    for v in 0..f13.num_vars() {
+        assign13[v] = witness.get(copy_of[v]).copied().unwrap_or(false);
+    }
+    assert!(f13.is_satisfied_by(&assign13));
+    let vc = sat_to_vc::reduce(&f13);
+    let cover_set = vc.cover_from_assignment(&f13, &assign13);
+    let in_cover: std::collections::HashSet<usize> = cover_set.into_iter().collect();
+    let mut clique_verts: Vec<usize> =
+        (0..vc.graph.n()).filter(|v| !in_cover.contains(v)).collect();
+    clique_verts.extend(cl.padding_start..cl.graph.n());
+    assert_eq!(clique_verts.len(), cl.satisfiable_omega);
+    assert!(cl.graph.is_clique(&clique_verts), "lifted witness must be a clique");
+}
+
+#[test]
+fn promise_gap_exact_dp_on_small_instances() {
+    let a = BigUint::from(4u64);
+    let e = 8u64;
+    let g_yes = aqo_graph::generators::dense_known_omega(12, 9);
+    let g_no = aqo_graph::generators::dense_known_omega(12, 6);
+    let red_yes = fn_reduction::reduce(&g_yes, &a, e);
+    let red_no = fn_reduction::reduce(&g_no, &a, e);
+    let opt_yes = dp::optimize::<BigRational>(&red_yes.instance, true).unwrap();
+    let opt_no = dp::optimize::<BigRational>(&red_no.instance, true).unwrap();
+    // Certified: gap at least a^{e − ω_no − 1} = a^1.
+    let gap = CostScalar::log2(&opt_no.cost) - CostScalar::log2(&opt_yes.cost);
+    assert!(gap >= a.log2() - 1e-6, "measured gap {gap:.2} bits below certified");
+    // And the yes-side is under K.
+    assert!(opt_yes.cost <= BigRational::from(fn_reduction::k_bound(&a, e)));
+}
