@@ -3,7 +3,9 @@
 //! ```text
 //! aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]   # emit a .qon instance
 //! aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian]
+//!              [--timeout-ms <n>] [--max-expansions <n>] [--fallback <chain>]
 //! aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]
+//!              [--timeout-ms <n>] [--max-expansions <n>] [--fallback <chain>]
 //! aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]            # Lemma 3 + f_N chain
 //! aqo clique <file.dimacs>                                      # exact max clique
 //! ```
@@ -11,13 +13,71 @@
 //! Instances use the text formats of `aqo_core::textio` (`.qon`, `.qoh`),
 //! DIMACS CNF for formulas and DIMACS edge format for graphs. Everything
 //! prints to stdout; errors exit nonzero.
+//!
+//! Passing any of `--timeout-ms`, `--max-expansions`, or `--fallback` routes
+//! the command through the budgeted driver ([`aqo_driver`]): the strongest
+//! tier runs under the budget and failures degrade down the fallback chain
+//! (`dp,bnb,ikkbz,greedy` for QO_N, `exhaustive,greedy` for QO_H). The
+//! driver's report — which tier answered, budget consumed, failures
+//! swallowed — goes to stderr; the plan goes to stdout as usual. The
+//! `AQO_FAULTS` environment variable arms fault-injection sites (see
+//! [`aqo_driver::faults`]).
 
 use aqo_bignum::{BigRational, BigUint};
 use aqo_core::{textio, workloads, CostScalar};
+use aqo_driver::{faults, BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig, QonTier};
 use aqo_optimizer::{branch_bound, dp, exhaustive, genetic, greedy, ikkbz, local_search, pipeline};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Everything that can go wrong at the CLI boundary.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown subcommand, missing operand, malformed flag.
+    Usage(String),
+    /// A file could not be read.
+    Io { path: String, source: std::io::Error },
+    /// A file was read but does not parse as its expected format.
+    Parse { path: String, message: String },
+    /// The instance admits no plan under the requested constraints.
+    Infeasible(String),
+    /// The `AQO_FAULTS` specification is malformed.
+    Faults(String),
+    /// Every tier of the driver's fallback chain failed.
+    Driver(aqo_driver::DriverError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "reading {path}: {source}"),
+            CliError::Parse { path, message } => write!(f, "parsing {path}: {message}"),
+            CliError::Infeasible(msg) => write!(f, "{msg}"),
+            CliError::Faults(msg) => write!(f, "AQO_FAULTS: {msg}"),
+            CliError::Driver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Driver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,32 +93,81 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>"
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>"
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// As [`flag_value`], but a flag present without a following value is a
+/// usage error rather than silently absent.
+fn required_flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, CliError> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(String::as_str)
+            .map(Some)
+            .ok_or_else(|| CliError::usage(format!("{name} requires a value"))),
+    }
+}
+
+/// Parses an optional `--flag <u64>` into `Ok(None)` / `Ok(Some(v))`.
+fn u64_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
+    required_flag_value(args, name)?
+        .map(|s| s.parse().map_err(|_| CliError::usage(format!("bad {name} value `{s}`"))))
+        .transpose()
+}
+
+/// The budget/fallback flags shared by `optimize` and `optimize-qoh`;
+/// `Some` when any of them is present (which routes through the driver).
+struct DriverFlags {
+    budget: BudgetSpec,
+    fallback: Option<String>,
+}
+
+fn driver_flags(args: &[String]) -> Result<Option<DriverFlags>, CliError> {
+    let timeout = u64_flag(args, "--timeout-ms")?.map(Duration::from_millis);
+    let max_expansions = u64_flag(args, "--max-expansions")?;
+    let fallback = required_flag_value(args, "--fallback")?.map(str::to_string);
+    if timeout.is_none() && max_expansions.is_none() && fallback.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(DriverFlags {
+        budget: BudgetSpec { timeout, max_expansions, max_memory_bytes: None },
+        fallback,
+    }))
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    faults::load_env().map_err(CliError::Faults)?;
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("optimize-qoh") => cmd_optimize_qoh(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
         Some("clique") => cmd_clique(&args[1..]),
-        _ => Err("missing or unknown subcommand".into()),
+        _ => Err(CliError::usage("missing or unknown subcommand")),
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let shape = args.first().ok_or("gen: missing shape")?;
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    let shape = args.first().ok_or_else(|| CliError::usage("gen: missing shape"))?;
     let n: usize = args
         .get(1)
-        .ok_or("gen: missing size")?
+        .ok_or_else(|| CliError::usage("gen: missing size"))?
         .parse()
-        .map_err(|_| "gen: bad size".to_string())?;
-    let seed: u64 = args.get(2).map_or(Ok(0), |s| s.parse()).map_err(|_| "gen: bad seed")?;
+        .map_err(|_| CliError::usage("gen: bad size"))?;
+    let seed: u64 = args
+        .get(2)
+        .map_or(Ok(0), |s| s.parse())
+        .map_err(|_| CliError::usage("gen: bad seed"))?;
     let params = workloads::WorkloadParams::default();
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = match shape.as_str() {
@@ -68,46 +177,76 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         "cycle" => workloads::cycle(n, &params, &mut rng),
         "clique" => workloads::clique(n, &params, &mut rng),
         "grid" => workloads::grid(n.div_ceil(2), 2, &params, &mut rng),
-        other => return Err(format!("gen: unknown shape {other}")),
+        other => return Err(CliError::usage(format!("gen: unknown shape {other}"))),
     };
     print!("{}", textio::qon_to_text(&inst));
     Ok(())
 }
 
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("optimize: missing file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let inst = textio::qon_from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| CliError::usage("optimize: missing file"))?;
+    let text = read_file(path)?;
+    let inst = textio::qon_from_text(&text)
+        .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
     let method = flag_value(args, "--method").unwrap_or("dp");
     let allow_cartesian = !args.iter().any(|a| a == "--no-cartesian");
-    let mut rng = StdRng::seed_from_u64(0);
-    let (label, sequence): (&str, aqo_core::JoinSequence) = match method {
-        "dp" => {
-            let o = dp::optimize::<BigRational>(&inst, allow_cartesian)
-                .ok_or("no cartesian-free sequence exists")?;
-            ("exact (subset DP)", o.sequence)
-        }
-        "bnb" => {
-            let o = branch_bound::optimize::<BigRational>(&inst, allow_cartesian)
-                .ok_or("no cartesian-free sequence exists")?;
-            ("exact (branch & bound)", o.sequence)
-        }
-        "exhaustive" => ("exact (exhaustive)", exhaustive::optimize::<BigRational>(&inst).sequence),
-        "greedy" => (
-            "greedy min-intermediate",
-            greedy::min_intermediate(&inst, allow_cartesian).ok_or("greedy got stuck")?,
-        ),
-        "ikkbz" => ("IKKBZ (trees)", ikkbz::optimize(&inst).sequence),
-        "sa" => (
-            "simulated annealing",
-            local_search::simulated_annealing(&inst, &local_search::SaParams::default(), &mut rng),
-        ),
-        "ga" => (
-            "genetic",
-            genetic::optimize(&inst, &genetic::GaParams::default(), &mut rng),
-        ),
-        other => return Err(format!("optimize: unknown method {other}")),
-    };
+
+    let (label, sequence): (String, aqo_core::JoinSequence) =
+        if let Some(flags) = driver_flags(args)? {
+            let chain = match &flags.fallback {
+                Some(spec) => QonTier::parse_chain(spec)
+                    .map_err(|e| CliError::usage(format!("--fallback: {e}")))?,
+                None => QonTier::default_chain(),
+            };
+            let cfg = QonDriverConfig {
+                budget: flags.budget,
+                chain,
+                allow_cartesian,
+                ..QonDriverConfig::default()
+            };
+            let outcome = aqo_driver::optimize_qon(&inst, &cfg).map_err(CliError::Driver)?;
+            eprintln!("driver: {}", outcome.report);
+            (format!("driver ({} tier)", outcome.report.tier), outcome.optimum.sequence)
+        } else {
+            let mut rng = StdRng::seed_from_u64(0);
+            let (label, sequence) = match method {
+                "dp" => {
+                    let o = dp::optimize::<BigRational>(&inst, allow_cartesian)
+                        .ok_or_else(infeasible_qon)?;
+                    ("exact (subset DP)", o.sequence)
+                }
+                "bnb" => {
+                    let o = branch_bound::optimize::<BigRational>(&inst, allow_cartesian)
+                        .ok_or_else(infeasible_qon)?;
+                    ("exact (branch & bound)", o.sequence)
+                }
+                "exhaustive" => {
+                    ("exact (exhaustive)", exhaustive::optimize::<BigRational>(&inst).sequence)
+                }
+                "greedy" => (
+                    "greedy min-intermediate",
+                    greedy::min_intermediate(&inst, allow_cartesian)
+                        .ok_or_else(|| CliError::Infeasible("greedy got stuck".into()))?,
+                ),
+                "ikkbz" => ("IKKBZ (trees)", ikkbz::optimize(&inst).sequence),
+                "sa" => (
+                    "simulated annealing",
+                    local_search::simulated_annealing(
+                        &inst,
+                        &local_search::SaParams::default(),
+                        &mut rng,
+                    ),
+                ),
+                "ga" => {
+                    ("genetic", genetic::optimize(&inst, &genetic::GaParams::default(), &mut rng))
+                }
+                other => {
+                    return Err(CliError::usage(format!("optimize: unknown method {other}")))
+                }
+            };
+            (label.to_string(), sequence)
+        };
+
     let cost: BigRational = inst.total_cost(&sequence);
     println!("method : {label}");
     println!("order  : {:?}", sequence.order());
@@ -115,30 +254,48 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     println!("log2   : {:.3}", CostScalar::log2(&cost));
     if args.iter().any(|a| a == "--explain") {
         println!();
-        print!("{}", textio_explain_qon(&inst, &sequence));
+        print!("{}", aqo_core::explain::explain_qon(&inst, &sequence));
     }
     Ok(())
 }
 
-fn textio_explain_qon(
-    inst: &aqo_core::qon::QoNInstance,
-    z: &aqo_core::JoinSequence,
-) -> String {
-    aqo_core::explain::explain_qon(inst, z)
+fn infeasible_qon() -> CliError {
+    CliError::Infeasible("no cartesian-free sequence exists".into())
 }
 
-fn cmd_optimize_qoh(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("optimize-qoh: missing file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let inst = textio::qoh_from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| CliError::usage("optimize-qoh: missing file"))?;
+    let text = read_file(path)?;
+    let inst = textio::qoh_from_text(&text)
+        .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
     let method = flag_value(args, "--method").unwrap_or("greedy");
-    let plan = match method {
-        "exhaustive" => pipeline::optimize_exhaustive(&inst),
-        "greedy" => pipeline::optimize_greedy(&inst),
-        other => return Err(format!("optimize-qoh: unknown method {other}")),
-    }
-    .ok_or("no feasible plan under the memory budget")?;
-    println!("method        : {method}");
+
+    let (label, plan): (String, pipeline::QohPlan) = if let Some(flags) = driver_flags(args)? {
+        let chain = match &flags.fallback {
+            Some(spec) => QohTier::parse_chain(spec)
+                .map_err(|e| CliError::usage(format!("--fallback: {e}")))?,
+            None => QohTier::default_chain(),
+        };
+        let cfg =
+            QohDriverConfig { budget: flags.budget, chain, ..QohDriverConfig::default() };
+        let outcome = aqo_driver::optimize_qoh(&inst, &cfg).map_err(CliError::Driver)?;
+        eprintln!("driver: {}", outcome.report);
+        (format!("driver ({} tier)", outcome.report.tier), outcome.plan)
+    } else {
+        let plan = match method {
+            "exhaustive" => pipeline::optimize_exhaustive(&inst),
+            "greedy" => pipeline::optimize_greedy(&inst),
+            other => {
+                return Err(CliError::usage(format!("optimize-qoh: unknown method {other}")))
+            }
+        }
+        .ok_or_else(|| {
+            CliError::Infeasible("no feasible plan under the memory budget".into())
+        })?;
+        (method.to_string(), plan)
+    };
+
+    println!("method        : {label}");
     println!("order         : {:?}", plan.sequence.order());
     println!("decomposition : {:?}", plan.decomposition.fragments());
     println!("cost          : {}", plan.cost);
@@ -154,14 +311,17 @@ fn cmd_optimize_qoh(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_reduce_3sat(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("reduce-3sat: missing file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let f = aqo_sat::dimacs::from_dimacs(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+fn cmd_reduce_3sat(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| CliError::usage("reduce-3sat: missing file"))?;
+    let text = read_file(path)?;
+    let f = aqo_sat::dimacs::from_dimacs(&text)
+        .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
     if !f.is_3cnf() {
-        return Err("formula is not 3CNF".into());
+        return Err(CliError::Infeasible("formula is not 3CNF".into()));
     }
-    let a: u64 = flag_value(args, "--a").map_or(Ok(4), str::parse).map_err(|_| "bad --a")?;
+    let a: u64 = flag_value(args, "--a")
+        .map_or(Ok(4), str::parse)
+        .map_err(|_| CliError::usage("bad --a"))?;
     let red_g = aqo_reductions::clique_reduction::sat_to_clique(&f);
     eprintln!(
         "Lemma 3: {} vars, {} clauses -> graph with {} vertices ({} when satisfiable)",
@@ -172,7 +332,7 @@ fn cmd_reduce_3sat(args: &[String]) -> Result<(), String> {
     );
     let e: u64 = flag_value(args, "--e")
         .map_or(Ok(red_g.satisfiable_omega as u64 - 2), str::parse)
-        .map_err(|_| "bad --e")?;
+        .map_err(|_| CliError::usage("bad --e"))?;
     let red = aqo_reductions::fn_reduction::reduce(&red_g.graph, &BigUint::from(a), e);
     eprintln!(
         "f_N: a = {a}, e = {e}; K(a,e) has {} bits",
@@ -182,10 +342,11 @@ fn cmd_reduce_3sat(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_clique(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("clique: missing file")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let g = aqo_graph::io::from_dimacs(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+fn cmd_clique(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| CliError::usage("clique: missing file"))?;
+    let text = read_file(path)?;
+    let g = aqo_graph::io::from_dimacs(&text)
+        .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
     let upper = aqo_graph::coloring::clique_upper_bound(&g);
     let c = aqo_graph::clique::max_clique(&g);
     println!("n      : {}", g.n());

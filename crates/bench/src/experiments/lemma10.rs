@@ -76,12 +76,12 @@ pub fn run() -> Vec<Table> {
         let pinned = alloc.iter().filter(|m| **m < t_full).count();
         let pinned_exact = alloc.iter().filter(|m| **m == hj).count();
         let case = match joins {
-            j if j <= n / 3 - 1 => "≤ n/3−1: all in memory",
+            j if j < n / 3 => "≤ n/3−1: all in memory",
             j if j == n / 3 => "= n/3: one at hjmin",
             _ => "= n/3+1: two at hjmin",
         };
         let expected_pinned = match joins {
-            j if j <= n / 3 - 1 => 0usize,
+            j if j < n / 3 => 0usize,
             j if j == n / 3 => 1,
             _ => 2,
         };

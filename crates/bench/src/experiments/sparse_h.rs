@@ -16,7 +16,7 @@ pub fn run() -> Vec<Table> {
     );
     for (n, k, extra) in [(6usize, 2u32, 40usize), (6, 2, 200), (9, 2, 100)] {
         let g1 = generators::dense_known_omega(n, 2 * n / 3);
-        let b = BigUint::from(2u64).pow((n * (n.pow(k as u32) - n)) as u64);
+        let b = BigUint::from(2u64).pow((n * (n.pow(k) - n)) as u64);
         let target = g1.m() + n + 1 + extra;
         let red = sparse::reduce_fh(&g1, k, target, &b);
         let inst = &red.instance;
@@ -45,7 +45,7 @@ pub fn run() -> Vec<Table> {
         // decomposition, avoiding the O(m²) DP at 80+ relations.
         let third = n / 3;
         let mut frags = vec![(1, 1), (2, third), (third + 1, 2 * third)];
-        if 2 * third + 1 <= n {
+        if 2 * third < n {
             frags.push((2 * third + 1, n));
         }
         frags.push((n + 1, m - 1));

@@ -155,7 +155,7 @@ impl Product for LogNum {
 
 impl PartialOrd for LogNum {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        self.log2.partial_cmp(&other.log2)
+        Some(self.cmp(other))
     }
 }
 
@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn ordering_total() {
-        let mut v = vec![LogNum::from_value(2.0), LogNum::ZERO, LogNum::from_value(0.5), LogNum::INFINITY];
+        let mut v = [LogNum::from_value(2.0), LogNum::ZERO, LogNum::from_value(0.5), LogNum::INFINITY];
         v.sort();
         assert_eq!(v[0], LogNum::ZERO);
         assert_eq!(v[3], LogNum::INFINITY);

@@ -251,6 +251,8 @@ impl Mul<&BigRational> for &BigRational {
 
 impl Div<&BigRational> for &BigRational {
     type Output = BigRational;
+    // Division *is* multiplication by the reciprocal here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: &BigRational) -> BigRational {
         self * &rhs.recip()
     }
@@ -419,7 +421,7 @@ mod tests {
 
     #[test]
     fn sum_product_iters() {
-        let xs = vec![rat(1, 2), rat(1, 3), rat(1, 6)];
+        let xs = [rat(1, 2), rat(1, 3), rat(1, 6)];
         assert_eq!(xs.iter().cloned().sum::<BigRational>(), BigRational::one());
         assert_eq!(xs.iter().cloned().product::<BigRational>(), rat(1, 36));
     }

@@ -65,7 +65,7 @@ impl BigUint {
     /// Whether the value is even (zero counts as even).
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits; `0` for zero.
@@ -465,8 +465,8 @@ fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u128;
-    for i in 0..long.len() {
-        let s = long[i] as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
+    for (i, &l) in long.iter().enumerate() {
+        let s = l as u128 + short.get(i).copied().unwrap_or(0) as u128 + carry;
         out.push(s as u64);
         carry = s >> 64;
     }

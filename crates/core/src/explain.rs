@@ -24,9 +24,9 @@ pub fn explain_qon(inst: &QoNInstance, z: &JoinSequence) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "QO_N plan over {} relations (left-deep)", inst.n());
     let _ = writeln!(out, "  scan R{:<4} |R| = {}", z.at(0), short(&report.intermediates[0]));
-    for i in 1..z.len() {
+    for (i, &back_i) in back.iter().enumerate().skip(1) {
         let j = z.at(i);
-        let kind = if back[i] == 0 { "cartesian ⨯" } else { "join ⋈" };
+        let kind = if back_i == 0 { "cartesian ⨯" } else { "join ⋈" };
         let _ = writeln!(
             out,
             "  {kind} R{:<4} H_{:<3} = {:<14} N_{:<3} = {:<14} back-edges = {}",
@@ -35,7 +35,7 @@ pub fn explain_qon(inst: &QoNInstance, z: &JoinSequence) -> String {
             short(&report.per_join[i - 1]),
             i,
             short(&report.intermediates[i]),
-            back[i],
+            back_i,
         );
     }
     let _ = writeln!(out, "  total C(Z) = {}  ({} bits)", short(&report.total), format_args!("{:.2}", CostScalar::log2(&report.total)));

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod explain;
 pub mod join;
 pub mod qoh;
@@ -31,6 +32,7 @@ pub mod sqo;
 pub mod textio;
 pub mod workloads;
 
+pub use budget::{Budget, BudgetExceeded, BudgetKind, CancelToken};
 pub use join::JoinSequence;
 pub use scalar::CostScalar;
 pub use selmatrix::{AccessCostMatrix, SelectivityMatrix};

@@ -469,7 +469,7 @@ mod tests {
         // Uniform split: 250/3 each.
         let third = BigRational::new(BigInt::from(250i64), BigUint::from(3u64));
         let uniform = inst
-            .fragment_cost(&z, frag, &vec![third.clone(), third.clone(), third], &inter)
+            .fragment_cost(&z, frag, &[third.clone(), third.clone(), third], &inter)
             .unwrap();
         assert!(opt <= uniform);
     }

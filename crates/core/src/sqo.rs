@@ -72,9 +72,9 @@ impl SqoCpInstance {
         assert_eq!(selectivity.len(), len, "selectivity length mismatch");
         assert_eq!(w.len(), len, "w length mismatch");
         assert_eq!(w0.len(), len, "w0 length mismatch");
-        for i in 1..len {
+        for (i, s) in selectivity.iter().enumerate().skip(1) {
             assert!(
-                selectivity[i].is_positive() && selectivity[i] <= BigRational::one(),
+                s.is_positive() && *s <= BigRational::one(),
                 "selectivity s_{i} out of (0,1]"
             );
         }

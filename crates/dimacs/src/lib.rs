@@ -1,0 +1,103 @@
+//! The one `DimacsError` both DIMACS parsers share.
+//!
+//! The workspace reads two DIMACS dialects: the graph *edge* format
+//! (`p edge n m`, consumed by `aqo_graph::io`) and CNF (`p cnf v c`,
+//! consumed by `aqo_sat::dimacs`). Their failure modes are the same shape —
+//! missing header, malformed line or token, an id beyond the declared
+//! range, a count that contradicts the header — so both parsers return this
+//! single enum (re-exported under their old paths) instead of maintaining
+//! two structurally identical copies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Error from either DIMACS parser (`aqo_graph::io::from_dimacs`,
+/// `aqo_sat::dimacs::from_dimacs`). The edge-format parser uses the
+/// vertex/edge variants, the CNF parser the header/literal/variable/clause
+/// variants; `MissingHeader` is common to both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// No `p …` header line found before data.
+    MissingHeader,
+    /// Malformed `p cnf` header.
+    BadHeader(String),
+    /// Malformed header or edge line (edge format).
+    BadLine(String),
+    /// A clause token was not an integer (CNF).
+    BadLiteral(String),
+    /// Vertex id out of the declared range (edge format, 1-based).
+    VertexOutOfRange(usize),
+    /// A literal referenced a variable beyond the declared count (CNF).
+    VariableOutOfRange(i64),
+    /// Edge count differs from the header (edge format).
+    EdgeCountMismatch {
+        /// Declared in the header.
+        declared: usize,
+        /// Actually parsed (distinct edges).
+        found: usize,
+    },
+    /// Fewer/more clauses than the header declared (CNF).
+    ClauseCountMismatch {
+        /// Declared in the header.
+        declared: usize,
+        /// Actually parsed.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::MissingHeader => write!(f, "missing DIMACS 'p' header"),
+            DimacsError::BadHeader(l) => write!(f, "malformed header: {l}"),
+            DimacsError::BadLine(l) => write!(f, "malformed line: {l}"),
+            DimacsError::BadLiteral(t) => write!(f, "bad literal token: {t}"),
+            DimacsError::VertexOutOfRange(v) => write!(f, "vertex out of range: {v}"),
+            DimacsError::VariableOutOfRange(v) => write!(f, "variable out of range: {v}"),
+            DimacsError::EdgeCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} edges, found {found}")
+            }
+            DimacsError::ClauseCountMismatch { declared, found } => {
+                write!(f, "header declared {declared} clauses, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<DimacsError> for String {
+    fn from(e: DimacsError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_every_variant() {
+        let cases: Vec<(DimacsError, &str)> = vec![
+            (DimacsError::MissingHeader, "missing DIMACS 'p' header"),
+            (DimacsError::BadHeader("p x".into()), "malformed header: p x"),
+            (DimacsError::BadLine("q 1".into()), "malformed line: q 1"),
+            (DimacsError::BadLiteral("a".into()), "bad literal token: a"),
+            (DimacsError::VertexOutOfRange(9), "vertex out of range: 9"),
+            (DimacsError::VariableOutOfRange(-4), "variable out of range: -4"),
+            (
+                DimacsError::EdgeCountMismatch { declared: 1, found: 2 },
+                "header declared 1 edges, found 2",
+            ),
+            (
+                DimacsError::ClauseCountMismatch { declared: 3, found: 1 },
+                "header declared 3 clauses, found 1",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+            let s: String = err.into();
+            assert_eq!(s, want);
+        }
+    }
+}

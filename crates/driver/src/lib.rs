@@ -1,0 +1,429 @@
+//! Budgeted, cancellable optimization driver with graceful degradation.
+//!
+//! The optimizers in [`aqo_optimizer`] are a bestiary: exponential exact
+//! algorithms (subset DP, branch-and-bound, exhaustive enumeration) next to
+//! polynomial heuristics. This crate wraps them behind a single entry point
+//! per problem — [`optimize_qon`] and [`optimize_qoh`] — that
+//!
+//! * runs the strongest tier first under a cooperative
+//!   [`Budget`](aqo_core::Budget) (wall-clock deadline, expansion cap,
+//!   memory cap, cancel token);
+//! * isolates panics with `catch_unwind` and treats them like any other
+//!   tier failure;
+//! * retries transient injected failures (see [`faults`]) a bounded number
+//!   of times with doubling backoff;
+//! * on failure, degrades down a configurable fallback chain
+//!   (`dp → bnb → ikkbz → greedy` for QO_N, `exhaustive → greedy` for
+//!   QO_H) until some tier answers;
+//! * returns a [`DriverReport`] recording which tier answered, whether it
+//!   is exact, how much budget was consumed, and every failure swallowed on
+//!   the way down.
+//!
+//! The budget is *shared* across tiers: when the deadline trips in the DP
+//! tier, branch-and-bound trips on its first checkpoint too, and the chain
+//! falls through to the polynomial tiers, which run unbudgeted and always
+//! terminate. A chain that ends in `greedy` therefore answers every
+//! connected instance — degraded, but never hung.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod report;
+
+pub use report::{Attempt, DriverError, DriverReport, TierFailure};
+
+use aqo_bignum::BigRational;
+use aqo_core::budget::{Budget, CancelToken};
+use aqo_core::qoh::QoHInstance;
+use aqo_core::qon::QoNInstance;
+use aqo_optimizer::pipeline::QohPlan;
+use aqo_optimizer::{branch_bound, dp, exhaustive, greedy, ikkbz, pipeline, Optimum};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Declarative budget limits; [`build`](BudgetSpec::build) turns them into
+/// a live [`Budget`] (the clock starts then).
+#[derive(Clone, Debug, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock deadline.
+    pub timeout: Option<Duration>,
+    /// Cap on cooperative expansion ticks.
+    pub max_expansions: Option<u64>,
+    /// Cap on bytes charged for table allocations.
+    pub max_memory_bytes: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// A spec with no limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Materializes the spec; the deadline countdown starts here.
+    pub fn build(&self, cancel: Option<CancelToken>) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(t) = self.timeout {
+            b = b.with_timeout(t);
+        }
+        if let Some(n) = self.max_expansions {
+            b = b.with_max_expansions(n);
+        }
+        if let Some(m) = self.max_memory_bytes {
+            b = b.with_max_memory_bytes(m);
+        }
+        if let Some(c) = cancel {
+            b = b.with_cancel_token(c);
+        }
+        b
+    }
+}
+
+/// Bounded retry with doubling backoff, applied only to *transient*
+/// failures (injected errors from the [`faults`] layer). Budget trips and
+/// panics never retry: they degrade immediately.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries per tier after the first attempt (0 disables retry).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub initial_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 2, initial_backoff: Duration::from_millis(1) }
+    }
+}
+
+/// The QO_N fallback tiers, strongest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QonTier {
+    /// Subset dynamic programming (exact, `O(2^n)` memory).
+    Dp,
+    /// Branch-and-bound DFS (exact, low memory, worst-case exponential).
+    BranchBound,
+    /// IKKBZ (polynomial; exact only on acyclic query graphs, panics on
+    /// cyclic ones — the driver degrades past that panic).
+    Ikkbz,
+    /// Greedy min-intermediate (polynomial heuristic; always terminates).
+    Greedy,
+}
+
+impl QonTier {
+    /// Short name used in chain specs, fail-point sites, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QonTier::Dp => "dp",
+            QonTier::BranchBound => "bnb",
+            QonTier::Ikkbz => "ikkbz",
+            QonTier::Greedy => "greedy",
+        }
+    }
+
+    /// Whether the tier's answer is provably optimal for every instance.
+    pub fn is_exact(self) -> bool {
+        matches!(self, QonTier::Dp | QonTier::BranchBound)
+    }
+
+    /// The default chain: `dp → bnb → ikkbz → greedy`.
+    pub fn default_chain() -> Vec<QonTier> {
+        vec![QonTier::Dp, QonTier::BranchBound, QonTier::Ikkbz, QonTier::Greedy]
+    }
+
+    /// Parses a comma-separated chain spec such as `dp,bnb,greedy`.
+    pub fn parse_chain(spec: &str) -> Result<Vec<QonTier>, String> {
+        let mut chain = Vec::new();
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            chain.push(match name {
+                "dp" => QonTier::Dp,
+                "bnb" => QonTier::BranchBound,
+                "ikkbz" => QonTier::Ikkbz,
+                "greedy" => QonTier::Greedy,
+                other => return Err(format!("unknown tier `{other}` (dp|bnb|ikkbz|greedy)")),
+            });
+        }
+        if chain.is_empty() {
+            return Err("empty fallback chain".to_string());
+        }
+        Ok(chain)
+    }
+}
+
+/// The QO_H fallback tiers, strongest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QohTier {
+    /// Exhaustive search over sequences with exact decomposition (exact).
+    Exhaustive,
+    /// Greedy sequence + exact decomposition + 2-opt (heuristic).
+    Greedy,
+}
+
+impl QohTier {
+    /// Short name used in chain specs, fail-point sites, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QohTier::Exhaustive => "exhaustive",
+            QohTier::Greedy => "greedy",
+        }
+    }
+
+    /// Whether the tier's answer is provably optimal.
+    pub fn is_exact(self) -> bool {
+        matches!(self, QohTier::Exhaustive)
+    }
+
+    /// The default chain: `exhaustive → greedy`.
+    pub fn default_chain() -> Vec<QohTier> {
+        vec![QohTier::Exhaustive, QohTier::Greedy]
+    }
+
+    /// Parses a comma-separated chain spec such as `exhaustive,greedy`.
+    pub fn parse_chain(spec: &str) -> Result<Vec<QohTier>, String> {
+        let mut chain = Vec::new();
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            chain.push(match name {
+                "exhaustive" => QohTier::Exhaustive,
+                "greedy" => QohTier::Greedy,
+                other => return Err(format!("unknown tier `{other}` (exhaustive|greedy)")),
+            });
+        }
+        if chain.is_empty() {
+            return Err("empty fallback chain".to_string());
+        }
+        Ok(chain)
+    }
+}
+
+/// Configuration for [`optimize_qon`].
+#[derive(Clone, Debug)]
+pub struct QonDriverConfig {
+    /// Budget limits shared by every tier in the chain.
+    pub budget: BudgetSpec,
+    /// Fallback chain, tried in order.
+    pub chain: Vec<QonTier>,
+    /// Whether sequences with cartesian products are admissible.
+    pub allow_cartesian: bool,
+    /// Retry policy for transient injected failures.
+    pub retry: RetryPolicy,
+    /// Optional cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for QonDriverConfig {
+    fn default() -> Self {
+        Self {
+            budget: BudgetSpec::unlimited(),
+            chain: QonTier::default_chain(),
+            allow_cartesian: true,
+            retry: RetryPolicy::default(),
+            cancel: None,
+        }
+    }
+}
+
+/// Configuration for [`optimize_qoh`].
+#[derive(Clone, Debug)]
+pub struct QohDriverConfig {
+    /// Budget limits shared by every tier in the chain.
+    pub budget: BudgetSpec,
+    /// Fallback chain, tried in order.
+    pub chain: Vec<QohTier>,
+    /// Retry policy for transient injected failures.
+    pub retry: RetryPolicy,
+    /// Optional cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for QohDriverConfig {
+    fn default() -> Self {
+        Self {
+            budget: BudgetSpec::unlimited(),
+            chain: QohTier::default_chain(),
+            retry: RetryPolicy::default(),
+            cancel: None,
+        }
+    }
+}
+
+/// A QO_N answer with its provenance.
+#[derive(Clone, Debug)]
+pub struct QonOutcome {
+    /// The plan the winning tier produced.
+    pub optimum: Optimum<BigRational>,
+    /// Which tier answered and what was swallowed on the way.
+    pub report: DriverReport,
+}
+
+/// A QO_H answer with its provenance.
+#[derive(Clone, Debug)]
+pub struct QohOutcome {
+    /// The plan the winning tier produced.
+    pub plan: QohPlan,
+    /// Which tier answered and what was swallowed on the way.
+    pub report: DriverReport,
+}
+
+/// The chain engine: runs tiers in order under one shared budget, isolating
+/// panics, retrying transient injections, and recording every failure.
+fn drive<T, Tier: Copy>(
+    chain: &[Tier],
+    budget: &Budget,
+    retry: &RetryPolicy,
+    site_prefix: &str,
+    name: impl Fn(Tier) -> &'static str,
+    exact: impl Fn(Tier) -> bool,
+    run: impl Fn(Tier, &Budget) -> Result<Option<T>, TierFailure>,
+) -> Result<(T, DriverReport), DriverError> {
+    let mut failures: Vec<Attempt> = Vec::new();
+    let mut retries = 0u32;
+    for &tier in chain {
+        let site = format!("{site_prefix}::{}", name(tier));
+        let mut backoff = retry.initial_backoff;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = with_quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    faults::fail_point(&site)
+                        .map_err(|e| TierFailure::Injected(e.to_string()))?;
+                    run(tier, budget)
+                }))
+            });
+            let failure = match outcome {
+                Ok(Ok(Some(answer))) => {
+                    let report = DriverReport {
+                        tier: name(tier),
+                        exact: exact(tier),
+                        expansions: budget.expansions_used(),
+                        memory_bytes: budget.memory_charged(),
+                        elapsed: budget.elapsed(),
+                        retries,
+                        failures,
+                    };
+                    return Ok((answer, report));
+                }
+                Ok(Ok(None)) => TierFailure::NoPlan,
+                Ok(Err(failure)) => failure,
+                Err(payload) => TierFailure::Panic(panic_message(payload)),
+            };
+            let transient = matches!(failure, TierFailure::Injected(_));
+            failures.push(Attempt { tier: name(tier), attempt, failure });
+            if transient && attempt <= retry.max_retries {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+                retries += 1;
+                continue;
+            }
+            break; // degrade to the next tier
+        }
+    }
+    Err(DriverError { failures })
+}
+
+/// Runs `f` with this thread's panic messages suppressed: the driver
+/// *expects* tier panics (that is what degradation is for), and a backtrace
+/// per swallowed panic would drown the report. The hook is installed once
+/// and delegates to the previous hook for every other thread.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::cell::Cell;
+    use std::sync::OnceLock;
+    thread_local! {
+        static SUPPRESS: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    SUPPRESS.with(|s| s.set(true));
+    let r = f();
+    SUPPRESS.with(|s| s.set(false));
+    r
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Optimizes a QO_N instance down the fallback chain. Exact arithmetic
+/// ([`BigRational`]) throughout, so a generous budget reproduces
+/// `dp::optimize` bit for bit.
+pub fn optimize_qon(
+    inst: &QoNInstance,
+    cfg: &QonDriverConfig,
+) -> Result<QonOutcome, DriverError> {
+    let budget = cfg.budget.build(cfg.cancel.clone());
+    let allow = cfg.allow_cartesian;
+    drive(
+        &cfg.chain,
+        &budget,
+        &cfg.retry,
+        "qon",
+        QonTier::name,
+        QonTier::is_exact,
+        |tier, budget| match tier {
+            QonTier::Dp => dp::optimize_with_budget::<BigRational>(inst, allow, budget)
+                .map_err(TierFailure::Budget),
+            QonTier::BranchBound => {
+                branch_bound::optimize_with_budget::<BigRational>(inst, allow, budget)
+                    .map_err(TierFailure::Budget)
+            }
+            QonTier::Ikkbz => Ok(Some(ikkbz::optimize(inst))),
+            QonTier::Greedy => Ok(greedy::min_intermediate(inst, allow).map(|z| {
+                let cost: BigRational = inst.total_cost(&z);
+                Optimum { sequence: z, cost }
+            })),
+        },
+    )
+    .map(|(optimum, report)| QonOutcome { optimum, report })
+}
+
+/// Optimizes a QO_H instance down the fallback chain.
+pub fn optimize_qoh(
+    inst: &QoHInstance,
+    cfg: &QohDriverConfig,
+) -> Result<QohOutcome, DriverError> {
+    let budget = cfg.budget.build(cfg.cancel.clone());
+    drive(
+        &cfg.chain,
+        &budget,
+        &cfg.retry,
+        "qoh",
+        QohTier::name,
+        QohTier::is_exact,
+        |tier, budget| match tier {
+            QohTier::Exhaustive => pipeline::optimize_exhaustive_with_budget(inst, budget)
+                .map_err(TierFailure::Budget),
+            QohTier::Greedy => Ok(pipeline::optimize_greedy(inst)),
+        },
+    )
+    .map(|(plan, report)| QohOutcome { plan, report })
+}
+
+/// Convenience QO_N entry point for small fixed limits: default chain,
+/// cartesian products allowed.
+pub fn optimize_qon_with_limits(
+    inst: &QoNInstance,
+    timeout: Option<Duration>,
+    max_expansions: Option<u64>,
+) -> Result<QonOutcome, DriverError> {
+    let cfg = QonDriverConfig {
+        budget: BudgetSpec { timeout, max_expansions, max_memory_bytes: None },
+        ..QonDriverConfig::default()
+    };
+    optimize_qon(inst, &cfg)
+}
+
+// Re-export so callers of the driver can name the exhaustive tier's cap.
+pub use exhaustive::MAX_N as EXHAUSTIVE_MAX_N;

@@ -1,0 +1,114 @@
+//! What the driver did and what it swallowed along the way.
+
+use aqo_core::budget::BudgetExceeded;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a tier attempt failed to produce a plan.
+#[derive(Clone, Debug)]
+pub enum TierFailure {
+    /// The cooperative budget tripped inside the tier.
+    Budget(BudgetExceeded),
+    /// The tier panicked (payload stringified); isolated by `catch_unwind`.
+    Panic(String),
+    /// The faults layer injected a spurious error (transient: retried).
+    Injected(String),
+    /// The tier completed but found no feasible plan.
+    NoPlan,
+}
+
+impl fmt::Display for TierFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierFailure::Budget(e) => write!(f, "budget: {e}"),
+            TierFailure::Panic(msg) => write!(f, "panic: {msg}"),
+            TierFailure::Injected(msg) => write!(f, "injected: {msg}"),
+            TierFailure::NoPlan => write!(f, "no feasible plan"),
+        }
+    }
+}
+
+/// One failed attempt at one tier.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// Name of the tier (`dp`, `bnb`, `ikkbz`, `greedy`, `exhaustive`).
+    pub tier: &'static str,
+    /// 1-based attempt number at that tier (> 1 only after retries).
+    pub attempt: u32,
+    /// What went wrong.
+    pub failure: TierFailure,
+}
+
+impl fmt::Display for Attempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} attempt {}: {}", self.tier, self.attempt, self.failure)
+    }
+}
+
+/// How an answer was obtained: which tier produced it, what it cost, and
+/// every failure degraded past on the way down the chain.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// The tier that produced the returned plan.
+    pub tier: &'static str,
+    /// Whether that tier is exact (optimal) or a heuristic.
+    pub exact: bool,
+    /// Budget expansions consumed across all tiers (the budget is shared).
+    pub expansions: u64,
+    /// Bytes charged against the memory cap across all tiers.
+    pub memory_bytes: u64,
+    /// Wall-clock time from budget start to the winning tier's answer.
+    pub elapsed: Duration,
+    /// Number of retry backoff sleeps performed for transient faults.
+    pub retries: u32,
+    /// Every failed attempt, in order, that the driver degraded past.
+    pub failures: Vec<Attempt>,
+}
+
+impl fmt::Display for DriverReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tier={} kind={} expansions={} memory={}B elapsed={:.3}ms retries={}",
+            self.tier,
+            if self.exact { "exact" } else { "heuristic" },
+            self.expansions,
+            self.memory_bytes,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.retries,
+        )?;
+        if self.failures.is_empty() {
+            return Ok(());
+        }
+        write!(f, " degraded-past=[")?;
+        for (i, a) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Every tier in the chain failed; the failures say how.
+#[derive(Clone, Debug)]
+pub struct DriverError {
+    /// Each attempt's failure, in chain order.
+    pub failures: Vec<Attempt>,
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "every tier failed: ")?;
+        for (i, a) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DriverError {}

@@ -1,0 +1,216 @@
+//! Integration: the acceptance scenarios for the budgeted driver.
+//!
+//! (a) a clique instance that exhausts a tiny deadline returns a heuristic
+//!     plan with a report naming the fallback tier instead of hanging;
+//! (b) a fault-injected panic in the DP tier still yields a valid plan
+//!     from the next tier;
+//! (c) a generous budget reproduces `dp::optimize` bit for bit.
+//!
+//! Fault sites are process-global, so tests that arm them serialize on
+//! [`FAULT_LOCK`].
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::budget::CancelToken;
+use aqo_core::qoh::QoHInstance;
+use aqo_core::qon::QoNInstance;
+use aqo_core::{workloads, SelectivityMatrix};
+use aqo_driver::{
+    faults, optimize_qoh, optimize_qon, BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig,
+    QonTier, RetryPolicy,
+};
+use aqo_graph::Graph;
+use aqo_optimizer::dp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn clique_instance(n: usize, seed: u64) -> QoNInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    workloads::clique(n, &workloads::WorkloadParams::default(), &mut rng)
+}
+
+fn assert_valid_sequence(inst: &QoNInstance, outcome: &aqo_driver::QonOutcome) {
+    let order = outcome.optimum.sequence.order();
+    assert_eq!(order.len(), inst.n());
+    let mut seen = vec![false; inst.n()];
+    for &v in order {
+        assert!(!seen[v], "duplicate relation {v}");
+        seen[v] = true;
+    }
+    let recost: BigRational = inst.total_cost(&outcome.optimum.sequence);
+    assert_eq!(recost, outcome.optimum.cost, "reported cost must be the sequence's cost");
+}
+
+#[test]
+fn clique_with_tiny_deadline_degrades_to_heuristic() {
+    let inst = clique_instance(14, 7);
+    let cfg = QonDriverConfig {
+        budget: BudgetSpec { timeout: Some(Duration::ZERO), ..BudgetSpec::unlimited() },
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("greedy tier always answers");
+    assert_eq!(outcome.report.tier, "greedy");
+    assert!(!outcome.report.exact);
+    // Every stronger tier's failure is on the record: dp and bnb tripped
+    // the deadline, ikkbz panicked on the cyclic graph.
+    let failed: Vec<&str> = outcome.report.failures.iter().map(|a| a.tier).collect();
+    assert_eq!(failed, ["dp", "bnb", "ikkbz"]);
+    assert!(matches!(
+        outcome.report.failures[0].failure,
+        aqo_driver::TierFailure::Budget(_)
+    ));
+    assert!(matches!(
+        outcome.report.failures[2].failure,
+        aqo_driver::TierFailure::Panic(_)
+    ));
+    assert_valid_sequence(&inst, &outcome);
+}
+
+#[test]
+fn injected_dp_panic_degrades_to_branch_and_bound() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    faults::arm("qon::dp", faults::FaultKind::Panic, 1);
+    let inst = clique_instance(8, 3);
+    let outcome = optimize_qon(&inst, &QonDriverConfig::default()).expect("bnb answers");
+    faults::clear();
+    assert_eq!(outcome.report.tier, "bnb");
+    assert!(outcome.report.exact);
+    assert_valid_sequence(&inst, &outcome);
+    // bnb is exact too, so the answer still matches the DP optimum.
+    let direct = dp::optimize::<BigRational>(&inst, true).unwrap();
+    assert_eq!(outcome.optimum.cost, direct.cost);
+}
+
+#[test]
+fn generous_budget_is_bit_identical_to_direct_dp() {
+    let inst = clique_instance(10, 11);
+    let cfg = QonDriverConfig {
+        budget: BudgetSpec {
+            timeout: Some(Duration::from_secs(600)),
+            max_expansions: Some(1_000_000_000),
+            max_memory_bytes: Some(1 << 32),
+        },
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("dp fits the budget");
+    assert_eq!(outcome.report.tier, "dp");
+    assert!(outcome.report.exact);
+    assert!(outcome.report.failures.is_empty());
+    let direct = dp::optimize::<BigRational>(&inst, true).unwrap();
+    assert_eq!(outcome.optimum.cost, direct.cost);
+    assert_eq!(outcome.optimum.sequence.order(), direct.sequence.order());
+}
+
+#[test]
+fn transient_injected_error_is_retried_then_succeeds() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    // Two spurious errors, then the site passes: with two retries allowed,
+    // the dp tier itself still answers.
+    faults::arm("qon::dp", faults::FaultKind::Error, 2);
+    let inst = clique_instance(7, 5);
+    let cfg = QonDriverConfig {
+        retry: RetryPolicy { max_retries: 2, initial_backoff: Duration::from_millis(1) },
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("third attempt succeeds");
+    assert_eq!(faults::hits("qon::dp"), 3);
+    faults::clear();
+    assert_eq!(outcome.report.tier, "dp");
+    assert_eq!(outcome.report.retries, 2);
+    assert_eq!(outcome.report.failures.len(), 2);
+    assert!(outcome
+        .report
+        .failures
+        .iter()
+        .all(|a| matches!(a.failure, aqo_driver::TierFailure::Injected(_))));
+}
+
+#[test]
+fn exhausted_retries_degrade_instead_of_failing() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    faults::arm("qon::dp", faults::FaultKind::Error, 100);
+    let inst = clique_instance(7, 6);
+    let cfg = QonDriverConfig {
+        retry: RetryPolicy { max_retries: 1, initial_backoff: Duration::from_millis(1) },
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("bnb answers");
+    faults::clear();
+    assert_eq!(outcome.report.tier, "bnb");
+    // dp was attempted twice (initial + one retry), then abandoned.
+    let dp_attempts =
+        outcome.report.failures.iter().filter(|a| a.tier == "dp").count();
+    assert_eq!(dp_attempts, 2);
+}
+
+#[test]
+fn every_tier_armed_means_driver_error() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    for site in ["qon::dp", "qon::bnb", "qon::ikkbz", "qon::greedy"] {
+        faults::arm(site, faults::FaultKind::Panic, 100);
+    }
+    let inst = clique_instance(6, 2);
+    let err = optimize_qon(&inst, &QonDriverConfig::default()).unwrap_err();
+    faults::clear();
+    assert_eq!(err.failures.len(), 4);
+    let msg = err.to_string();
+    assert!(msg.contains("every tier failed"), "unexpected message: {msg}");
+}
+
+#[test]
+fn pre_cancelled_token_skips_budgeted_tiers() {
+    let token = CancelToken::new();
+    token.cancel();
+    let inst = clique_instance(9, 4);
+    let cfg = QonDriverConfig {
+        cancel: Some(token),
+        chain: vec![QonTier::Dp, QonTier::Greedy],
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("greedy ignores the budget");
+    assert_eq!(outcome.report.tier, "greedy");
+    assert!(matches!(
+        outcome.report.failures[0].failure,
+        aqo_driver::TierFailure::Budget(ref e)
+            if e.kind == aqo_core::budget::BudgetKind::Cancelled
+    ));
+}
+
+fn qoh_chain_instance(n: usize) -> QoHInstance {
+    let mut g = Graph::new(n);
+    let mut s = SelectivityMatrix::new();
+    let sizes: Vec<BigUint> = (0..n).map(|i| BigUint::from(8u64 << i)).collect();
+    for v in 1..n {
+        g.add_edge(v - 1, v);
+        s.set(v - 1, v, BigRational::new(BigInt::one(), BigUint::from(4u64)));
+    }
+    QoHInstance::new(g, sizes, s, BigUint::from(1u64 << 20))
+}
+
+#[test]
+fn qoh_driver_degrades_from_exhaustive_to_greedy() {
+    let inst = qoh_chain_instance(6);
+    // Unlimited: the exhaustive tier answers and is exact.
+    let exact = optimize_qoh(&inst, &QohDriverConfig::default()).expect("feasible");
+    assert_eq!(exact.report.tier, "exhaustive");
+    assert!(exact.report.exact);
+
+    // One expansion allowed: exhaustive trips, greedy answers, and the
+    // heuristic cost can only be weakly worse.
+    let cfg = QohDriverConfig {
+        budget: BudgetSpec { max_expansions: Some(1), ..BudgetSpec::unlimited() },
+        chain: vec![QohTier::Exhaustive, QohTier::Greedy],
+        ..QohDriverConfig::default()
+    };
+    let degraded = optimize_qoh(&inst, &cfg).expect("greedy answers");
+    assert_eq!(degraded.report.tier, "greedy");
+    assert!(!degraded.report.exact);
+    assert!(degraded.plan.cost >= exact.plan.cost);
+}

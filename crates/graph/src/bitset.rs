@@ -25,7 +25,7 @@ impl BitSet {
         for i in 0..capacity.div_ceil(64) {
             s.words[i] = u64::MAX;
         }
-        if capacity % 64 != 0 && !s.words.is_empty() {
+        if !capacity.is_multiple_of(64) && !s.words.is_empty() {
             let last = s.words.len() - 1;
             s.words[last] = (1u64 << (capacity % 64)) - 1;
         }

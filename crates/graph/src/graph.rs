@@ -171,8 +171,8 @@ impl Graph {
         let offset = self.n();
         let n = offset + other.n();
         let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
-        for u in 0..offset {
-            for v in self.adj[u].iter() {
+        for (u, row) in self.adj.iter().enumerate() {
+            for v in row.iter() {
                 adj[u].insert(v);
             }
         }

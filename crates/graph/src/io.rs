@@ -15,38 +15,9 @@ pub fn to_dimacs(g: &Graph) -> String {
     out
 }
 
-/// Error from [`from_dimacs`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DimacsError {
-    /// No `p edge`/`p col` header found before edge data.
-    MissingHeader,
-    /// Malformed header or edge line.
-    BadLine(String),
-    /// Vertex id out of the declared range.
-    VertexOutOfRange(usize),
-    /// Edge count differs from the header.
-    EdgeCountMismatch {
-        /// Declared in the header.
-        declared: usize,
-        /// Actually parsed (distinct edges).
-        found: usize,
-    },
-}
-
-impl std::fmt::Display for DimacsError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DimacsError::MissingHeader => write!(f, "missing 'p edge' header"),
-            DimacsError::BadLine(l) => write!(f, "malformed line: {l}"),
-            DimacsError::VertexOutOfRange(v) => write!(f, "vertex out of range: {v}"),
-            DimacsError::EdgeCountMismatch { declared, found } => {
-                write!(f, "header declared {declared} edges, found {found}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for DimacsError {}
+/// Error from [`from_dimacs`] — the definition shared with
+/// `aqo_sat::dimacs` (this parser uses the header/edge/vertex variants).
+pub use aqo_dimacs::DimacsError;
 
 /// Parses DIMACS edge format (`c` comments tolerated; duplicate edges
 /// collapse, as DIMACS clique instances commonly contain them — the header

@@ -8,6 +8,7 @@
 
 use crate::{greedy, Optimum};
 use aqo_bignum::BigUint;
+use aqo_core::budget::{Budget, BudgetExceeded};
 use aqo_core::qon::QoNInstance;
 use aqo_core::{CostScalar, JoinSequence};
 use aqo_graph::BitSet;
@@ -15,10 +16,24 @@ use aqo_graph::BitSet;
 /// Exact optimum by branch-and-bound. `allow_cartesian = false` searches
 /// only cartesian-product-free sequences (returns `None` when none exists).
 pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Option<Optimum<S>> {
+    optimize_with_budget(inst, allow_cartesian, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize`], under a cooperative [`Budget`] ticked once per DFS
+/// node. The search unwinds promptly when the budget trips; the incumbent
+/// found so far is discarded (the driver layer decides what to fall back
+/// to).
+pub fn optimize_with_budget<S: CostScalar>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    budget: &Budget,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
     let n = inst.n();
     if n == 1 {
-        return Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() });
+        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
     }
+    budget.checkpoint()?;
     // Warm start.
     let warm = greedy::min_intermediate(inst, allow_cartesian);
     let mut best: Option<(Vec<usize>, S)> =
@@ -29,7 +44,7 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Opt
     for start in 0..n {
         prefix.push(start);
         in_prefix.insert(start);
-        dfs(
+        let outcome = dfs(
             inst,
             allow_cartesian,
             &mut prefix,
@@ -37,11 +52,13 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Opt
             S::from_count(&inst.sizes()[start]),
             S::zero(),
             &mut best,
+            budget,
         );
         in_prefix.remove(start);
         prefix.pop();
+        outcome?;
     }
-    best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost })
+    Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -53,18 +70,20 @@ fn dfs<S: CostScalar>(
     n_x: S,
     cost: S,
     best: &mut Option<(Vec<usize>, S)>,
-) {
+    budget: &Budget,
+) -> Result<(), BudgetExceeded> {
     let n = inst.n();
+    budget.tick()?;
     if let Some((_, b)) = best {
         if cost >= *b {
-            return;
+            return Ok(());
         }
     }
     if prefix.len() == n {
         if best.as_ref().is_none_or(|(_, b)| cost < *b) {
             *best = Some((prefix.clone(), cost));
         }
-        return;
+        return Ok(());
     }
     for j in 0..n {
         if in_prefix.contains(j) {
@@ -97,10 +116,13 @@ fn dfs<S: CostScalar>(
         let new_cost = cost.add(&n_x.mul(&S::from_count(&w_min.expect("prefix nonempty"))));
         prefix.push(j);
         in_prefix.insert(j);
-        dfs(inst, allow_cartesian, prefix, in_prefix, new_n, new_cost, best);
+        let outcome =
+            dfs(inst, allow_cartesian, prefix, in_prefix, new_n, new_cost, best, budget);
         in_prefix.remove(j);
         prefix.pop();
+        outcome?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -146,6 +168,19 @@ mod tests {
         let d = dp::optimize::<BigRational>(&inst, false).unwrap();
         assert_eq!(bb.cost, d.cost);
         assert!(!inst.has_cartesian_product(&bb.sequence));
+    }
+
+    #[test]
+    fn budget_trips_and_generous_budget_agrees() {
+        let inst = cycle(7);
+        let tiny = Budget::unlimited().with_max_expansions(2);
+        let err = optimize_with_budget::<BigRational>(&inst, true, &tiny).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+
+        let roomy = Budget::unlimited().with_max_expansions(10_000_000);
+        let bb = optimize_with_budget::<BigRational>(&inst, true, &roomy).unwrap().unwrap();
+        let free = optimize::<BigRational>(&inst, true).unwrap();
+        assert_eq!(bb.cost, free.cost);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::Optimum;
 use aqo_bignum::BigUint;
+use aqo_core::budget::{Budget, BudgetExceeded};
 use aqo_core::qon::QoNInstance;
 use aqo_core::{CostScalar, JoinSequence};
 
@@ -25,12 +26,29 @@ pub const MAX_N: usize = 24;
 /// query-graph edge into the prefix are considered; returns `None` when no
 /// such sequence exists (disconnected query graph).
 pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Option<Optimum<S>> {
+    optimize_with_budget(inst, allow_cartesian, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize`], under a cooperative [`Budget`]: the transition loop
+/// ticks the budget and the `3·2^n`-entry tables are charged against the
+/// memory cap before allocation, so oversized instances fail fast instead
+/// of hanging or OOMing.
+pub fn optimize_with_budget<S: CostScalar>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    budget: &Budget,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
     let n = inst.n();
-    assert!(n >= 1 && n <= MAX_N, "subset DP is for n in 1..={MAX_N}");
+    assert!((1..=MAX_N).contains(&n), "subset DP is for n in 1..={MAX_N}");
     if n == 1 {
-        return Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() });
+        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
     }
     let full: usize = (1usize << n) - 1;
+    let table_bytes =
+        (full + 1) * (2 * std::mem::size_of::<Option<S>>() + std::mem::size_of::<u8>());
+    budget.charge_memory(table_bytes as u64)?;
+    budget.checkpoint()?;
     // dp cost, intermediate size N(S), and the last vertex added.
     let mut dp: Vec<Option<S>> = vec![None; full + 1];
     let mut nsize: Vec<Option<S>> = vec![None; full + 1];
@@ -47,6 +65,7 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Opt
             if mask >> j & 1 == 1 {
                 continue;
             }
+            budget.tick()?;
             // Neighbours of j inside S.
             let mut w_min: Option<BigUint> = None;
             let mut nbr_count = 0usize;
@@ -84,7 +103,7 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Opt
             }
         }
     }
-    let cost = dp[full].clone()?;
+    let Some(cost) = dp[full].clone() else { return Ok(None) };
     // Reconstruct the sequence.
     let mut order = Vec::with_capacity(n);
     let mut mask = full;
@@ -95,7 +114,7 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Opt
     }
     order.push(mask.trailing_zeros() as usize);
     order.reverse();
-    Some(Optimum { sequence: JoinSequence::new(order), cost })
+    Ok(Some(Optimum { sequence: JoinSequence::new(order), cost }))
 }
 
 #[cfg(test)]
@@ -184,6 +203,36 @@ mod tests {
         );
         assert!(optimize::<BigRational>(&inst, false).is_none());
         assert!(optimize::<BigRational>(&inst, true).is_some());
+    }
+
+    #[test]
+    fn tiny_expansion_budget_trips() {
+        let inst = random_instance(1, 8);
+        let budget = Budget::unlimited().with_max_expansions(3);
+        let err = optimize_with_budget::<BigRational>(&inst, true, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+        assert!(err.expansions >= 3);
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted() {
+        let inst = random_instance(2, 7);
+        let budget = Budget::unlimited().with_max_expansions(1_000_000);
+        let budgeted =
+            optimize_with_budget::<BigRational>(&inst, true, &budget).unwrap().unwrap();
+        let free = optimize::<BigRational>(&inst, true).unwrap();
+        assert_eq!(budgeted.cost, free.cost);
+        assert_eq!(budgeted.sequence.order(), free.sequence.order());
+    }
+
+    #[test]
+    fn memory_cap_rejects_table_upfront() {
+        let inst = random_instance(3, 12);
+        let budget = Budget::unlimited().with_max_memory_bytes(64);
+        let err = optimize_with_budget::<BigRational>(&inst, true, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Memory);
+        // Nothing was expanded: the charge precedes the allocation.
+        assert_eq!(err.expansions, 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Exhaustive QO_N optimization over all `n!` join sequences.
 
 use crate::Optimum;
+use aqo_core::budget::{Budget, BudgetExceeded};
 use aqo_core::join::permutations;
 use aqo_core::qon::QoNInstance;
 use aqo_core::{CostScalar, JoinSequence};
@@ -11,10 +12,21 @@ pub const MAX_N: usize = 10;
 /// Finds an optimal sequence by trying every permutation. Panics for
 /// `n > `[`MAX_N`] — use [`crate::dp`] instead.
 pub fn optimize<S: CostScalar>(inst: &QoNInstance) -> Optimum<S> {
+    optimize_with_budget(inst, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize`], under a cooperative [`Budget`] ticked once per
+/// permutation.
+pub fn optimize_with_budget<S: CostScalar>(
+    inst: &QoNInstance,
+    budget: &Budget,
+) -> Result<Optimum<S>, BudgetExceeded> {
     let n = inst.n();
-    assert!(n >= 1 && n <= MAX_N, "exhaustive search is for n in 1..={MAX_N}");
+    assert!((1..=MAX_N).contains(&n), "exhaustive search is for n in 1..={MAX_N}");
     let mut best: Option<Optimum<S>> = None;
     for perm in permutations(n) {
+        budget.tick()?;
         let z = JoinSequence::new(perm);
         let cost: S = inst.total_cost(&z);
         let better = match &best {
@@ -25,16 +37,27 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance) -> Optimum<S> {
             best = Some(Optimum { sequence: z, cost });
         }
     }
-    best.expect("at least one permutation")
+    Ok(best.expect("at least one permutation"))
 }
 
 /// As [`optimize`], restricted to sequences without cartesian products.
 /// Returns `None` when every sequence has one (disconnected query graph).
 pub fn optimize_no_cartesian<S: CostScalar>(inst: &QoNInstance) -> Option<Optimum<S>> {
+    optimize_no_cartesian_with_budget(inst, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize_no_cartesian`], under a cooperative [`Budget`] ticked
+/// once per permutation.
+pub fn optimize_no_cartesian_with_budget<S: CostScalar>(
+    inst: &QoNInstance,
+    budget: &Budget,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
     let n = inst.n();
-    assert!(n >= 1 && n <= MAX_N, "exhaustive search is for n in 1..={MAX_N}");
+    assert!((1..=MAX_N).contains(&n), "exhaustive search is for n in 1..={MAX_N}");
     let mut best: Option<Optimum<S>> = None;
     for perm in permutations(n) {
+        budget.tick()?;
         let z = JoinSequence::new(perm);
         if n > 1 && inst.has_cartesian_product(&z) {
             continue;
@@ -44,7 +67,7 @@ pub fn optimize_no_cartesian<S: CostScalar>(inst: &QoNInstance) -> Option<Optimu
             best = Some(Optimum { sequence: z, cost });
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -97,6 +120,15 @@ mod tests {
         let restricted = optimize_no_cartesian::<BigRational>(&inst).unwrap();
         assert!(free.cost <= restricted.cost);
         assert!(!inst.has_cartesian_product(&restricted.sequence));
+    }
+
+    #[test]
+    fn budget_limits_enumeration() {
+        let inst = chain(6);
+        let budget = Budget::unlimited().with_max_expansions(10);
+        let err = optimize_with_budget::<BigRational>(&inst, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+        assert_eq!(err.expansions, 11);
     }
 
     #[test]

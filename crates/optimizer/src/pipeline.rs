@@ -9,6 +9,7 @@
 //! DP is exact.
 
 use aqo_bignum::BigRational;
+use aqo_core::budget::{Budget, BudgetExceeded};
 use aqo_core::qoh::{PipelineDecomposition, QoHInstance};
 use aqo_core::JoinSequence;
 
@@ -66,10 +67,21 @@ pub fn best_decomposition(
 /// Exhaustive QO_H optimum: every sequence (`n ≤ 9`), each with its optimal
 /// decomposition. Returns `None` when no sequence is feasible.
 pub fn optimize_exhaustive(inst: &QoHInstance) -> Option<QohPlan> {
+    optimize_exhaustive_with_budget(inst, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize_exhaustive`], under a cooperative [`Budget`] ticked once
+/// per candidate sequence (each tick covers one `O(n²)` decomposition DP).
+pub fn optimize_exhaustive_with_budget(
+    inst: &QoHInstance,
+    budget: &Budget,
+) -> Result<Option<QohPlan>, BudgetExceeded> {
     let n = inst.n();
     assert!((2..=9).contains(&n), "exhaustive QO_H search is for n in 2..=9");
     let mut best: Option<QohPlan> = None;
     for perm in aqo_core::join::permutations(n) {
+        budget.tick()?;
         let z = JoinSequence::new(perm);
         if !inst.sequence_feasible(&z) {
             continue;
@@ -80,7 +92,7 @@ pub fn optimize_exhaustive(inst: &QoHInstance) -> Option<QohPlan> {
             }
         }
     }
-    best
+    Ok(best)
 }
 
 /// Polynomial-time QO_H heuristic: a greedy min-intermediate sequence
@@ -265,6 +277,19 @@ mod tests {
                 assert!(plan.cost <= c);
             }
         }
+    }
+
+    #[test]
+    fn budget_limits_sequence_enumeration() {
+        let inst = path(6, 300);
+        let budget = Budget::unlimited().with_max_expansions(4);
+        let err = optimize_exhaustive_with_budget(&inst, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+
+        let roomy = Budget::unlimited().with_max_expansions(1_000_000);
+        let budgeted = optimize_exhaustive_with_budget(&inst, &roomy).unwrap().unwrap();
+        let free = optimize_exhaustive(&inst).unwrap();
+        assert_eq!(budgeted.cost, free.cost);
     }
 
     #[test]

@@ -9,14 +9,28 @@
 //! `(m+1)! · 2^m` plans serves as the test oracle.
 
 use aqo_bignum::BigRational;
+use aqo_core::budget::{Budget, BudgetExceeded};
 use aqo_core::sqo::{JoinMethod, SqoCpInstance, StarPlan};
 
 /// The exact optimum: best feasible plan and its cost.
 pub fn optimize(inst: &SqoCpInstance) -> (StarPlan, BigRational) {
+    optimize_with_budget(inst, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize`], under a cooperative [`Budget`]: the `2^m`-entry tables
+/// are charged against the memory cap and each DP transition ticks.
+pub fn optimize_with_budget(
+    inst: &SqoCpInstance,
+    budget: &Budget,
+) -> Result<(StarPlan, BigRational), BudgetExceeded> {
     let m = inst.m();
     assert!(m >= 1, "need a satellite");
     assert!(m <= 24, "subset DP is for m <= 24");
     let full: usize = (1 << m) - 1;
+    let entry = std::mem::size_of::<Option<BigRational>>() + 2 * std::mem::size_of::<usize>();
+    budget.charge_memory(((full + 1) * entry) as u64)?;
+    budget.checkpoint()?;
     // dp[set]: best cost with R_0 and satellites `set` (1-based ids mapped
     // to bits 0..m) joined; parents for reconstruction.
     let mut dp: Vec<Option<BigRational>> = vec![None; full + 1];
@@ -82,6 +96,7 @@ pub fn optimize(inst: &SqoCpInstance) -> (StarPlan, BigRational) {
             if set & bit != 0 {
                 continue;
             }
+            budget.tick()?;
             let nl = nx * &BigRational::from(inst.w(t).clone());
             let sm = nx * &ks_minus_1 + BigRational::from(inst.sort_cost(t).clone());
             for (step, method) in [(nl, JoinMethod::NestedLoops), (sm, JoinMethod::SortMerge)] {
@@ -119,12 +134,22 @@ pub fn optimize(inst: &SqoCpInstance) -> (StarPlan, BigRational) {
     methods_rev.reverse();
     let plan = StarPlan::new(order_rev, methods_rev);
     debug_assert_eq!(inst.plan_cost(&plan), cost);
-    (plan, cost)
+    Ok((plan, cost))
 }
 
 /// Exhaustive oracle: every feasible order and every method vector
 /// (`m ≤ 7`).
 pub fn optimize_exhaustive(inst: &SqoCpInstance) -> (StarPlan, BigRational) {
+    optimize_exhaustive_with_budget(inst, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize_exhaustive`], under a cooperative [`Budget`] ticked once
+/// per (order, method-vector) candidate.
+pub fn optimize_exhaustive_with_budget(
+    inst: &SqoCpInstance,
+    budget: &Budget,
+) -> Result<(StarPlan, BigRational), BudgetExceeded> {
     let m = inst.m();
     assert!((1..=7).contains(&m), "exhaustive star search is for m in 1..=7");
     let mut best: Option<(StarPlan, BigRational)> = None;
@@ -134,6 +159,7 @@ pub fn optimize_exhaustive(inst: &SqoCpInstance) -> (StarPlan, BigRational) {
             continue; // cartesian product
         }
         for mask in 0u32..(1 << m) {
+            budget.tick()?;
             let methods: Vec<JoinMethod> = (0..m)
                 .map(|i| {
                     if mask >> i & 1 == 1 {
@@ -150,7 +176,7 @@ pub fn optimize_exhaustive(inst: &SqoCpInstance) -> (StarPlan, BigRational) {
             }
         }
     }
-    best.expect("at least one feasible plan")
+    Ok(best.expect("at least one feasible plan"))
 }
 
 /// The SQO−CP decision problem: is there a feasible plan of cost `≤ bound`?
@@ -175,13 +201,11 @@ mod tests {
         let pages = tuples.clone();
         let sort_cost: Vec<BigUint> = pages.iter().map(|b| b * &BigUint::from(ks)).collect();
         let mut selectivity = vec![BigRational::one()];
-        for i in 1..len {
+        for t in tuples.iter().skip(1) {
             // s_i = p_i / n_i with p_i small.
             let p = 1 + next() % 4;
-            selectivity.push(BigRational::new(
-                BigInt::from(p.min(tuples[i].to_u64().unwrap())),
-                tuples[i].clone(),
-            ));
+            selectivity
+                .push(BigRational::new(BigInt::from(p.min(t.to_u64().unwrap())), t.clone()));
         }
         let w: Vec<BigUint> = (0..len).map(|_| BigUint::from(1 + next() % 20)).collect();
         let w0: Vec<BigUint> = (0..len).map(|_| BigUint::from(1 + next() % 20)).collect();
@@ -210,6 +234,24 @@ mod tests {
         assert!(!decide(&inst, &below));
         let above = &opt + &BigRational::one();
         assert!(decide(&inst, &above));
+    }
+
+    #[test]
+    fn budget_trips_in_dp_and_exhaustive() {
+        let inst = instance(5, 6);
+        let tiny = Budget::unlimited().with_max_expansions(4);
+        let err = optimize_with_budget(&inst, &tiny).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+
+        let inst_small = instance(5, 4);
+        let tiny = Budget::unlimited().with_max_expansions(4);
+        let err = optimize_exhaustive_with_budget(&inst_small, &tiny).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+
+        let roomy = Budget::unlimited().with_max_expansions(10_000_000);
+        let (_, cost_b) = optimize_with_budget(&inst, &roomy).unwrap();
+        let (_, cost_free) = optimize(&inst);
+        assert_eq!(cost_b, cost_free);
     }
 
     #[test]

@@ -143,12 +143,10 @@ proptest! {
         let ks = 4u64;
         let sort_cost: Vec<BigUint> = pages.iter().map(|b| b * &BigUint::from(ks)).collect();
         let mut selectivity = vec![BigRational::one()];
-        for i in 1..len {
+        for t in tuples.iter().skip(1) {
             let p = 1 + next() % 3;
-            selectivity.push(BigRational::new(
-                BigInt::from(p.min(tuples[i].to_u64().unwrap())),
-                tuples[i].clone(),
-            ));
+            selectivity
+                .push(BigRational::new(BigInt::from(p.min(t.to_u64().unwrap())), t.clone()));
         }
         let w: Vec<BigUint> = (0..len).map(|_| BigUint::from(1 + next() % 15)).collect();
         let w0: Vec<BigUint> = (0..len).map(|_| BigUint::from(1 + next() % 15)).collect();

@@ -50,7 +50,7 @@ pub struct FhReduction {
 /// `b` still yields a valid instance, just a weaker gap.
 pub fn reduce(g: &Graph, b: &BigUint) -> FhReduction {
     let n = g.n();
-    assert!(n >= 6 && n % 3 == 0, "f_H requires n >= 6 divisible by 3");
+    assert!(n >= 6 && n.is_multiple_of(3), "f_H requires n >= 6 divisible by 3");
     assert!(*b >= BigUint::from(2u64), "b must be at least 2");
     let a = b * b;
     let t = b.pow(n as u64 - 1);
@@ -129,7 +129,7 @@ pub fn lemma12_witness(
     let third = n / 3;
     let mut fragments = vec![(1, 1), (2, third)];
     fragments.push((third + 1, 2 * third));
-    if 2 * third + 1 <= n - 1 {
+    if 2 * third < n - 1 {
         fragments.push((2 * third + 1, n - 1));
     }
     fragments.push((n, n));

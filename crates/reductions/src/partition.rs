@@ -15,7 +15,7 @@ impl PartitionInstance {
     /// presupposes an even total — double the items to convert).
     pub fn new(items: Vec<u64>) -> Self {
         let total: u64 = items.iter().sum();
-        assert!(total % 2 == 0, "PARTITION variant requires an even total");
+        assert!(total.is_multiple_of(2), "PARTITION variant requires an even total");
         PartitionInstance { items }
     }
 
@@ -112,7 +112,7 @@ mod tests {
             let doubled = PartitionInstance::from_arbitrary(items.clone());
             // Brute-force the original "split into equal halves" question.
             let total: u64 = items.iter().sum();
-            let brute = total % 2 == 0
+            let brute = total.is_multiple_of(2)
                 && (0u32..1 << items.len()).any(|mask| {
                     let s: u64 = items
                         .iter()
@@ -137,7 +137,7 @@ mod tests {
             let n = 2 + (next() % 8) as usize;
             let items: Vec<u64> = (0..n).map(|_| next() % 12).collect();
             let total: u64 = items.iter().sum();
-            if total % 2 != 0 {
+            if !total.is_multiple_of(2) {
                 continue;
             }
             let p = PartitionInstance::new(items.clone());

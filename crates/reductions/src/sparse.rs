@@ -168,7 +168,7 @@ pub struct SparseFhReduction {
 /// `target_edges` edges: `E₁ ∪ E₂ ∪ {bridge} ∪ {v₀–V₁ star}`.
 pub fn reduce_fh(g1: &Graph, k: u32, target_edges: usize, b: &BigUint) -> SparseFhReduction {
     let n = g1.n();
-    assert!(n >= 6 && n % 3 == 0, "f_{{H,e}} requires n >= 6 divisible by 3");
+    assert!(n >= 6 && n.is_multiple_of(3), "f_{{H,e}} requires n >= 6 divisible by 3");
     let m = n.checked_pow(k).expect("m = n^k overflows usize");
     let v2 = m - n - 1;
     assert!(v2 >= 1, "blow-up must add vertices beyond v0");

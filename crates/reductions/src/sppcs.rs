@@ -63,9 +63,9 @@ impl SppcsInstance {
         let mut sum = BigUint::zero();
         for (i, (p, c)) in self.pairs.iter().enumerate() {
             if mask >> i & 1 == 1 {
-                product = product * p;
+                product *= p;
             } else {
-                sum = sum + c;
+                sum += c;
             }
         }
         product + sum

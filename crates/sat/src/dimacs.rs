@@ -19,41 +19,9 @@ pub fn to_dimacs(f: &CnfFormula) -> String {
     out
 }
 
-/// Error from [`from_dimacs`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DimacsError {
-    /// No `p cnf` header line found before clause data.
-    MissingHeader,
-    /// Malformed header.
-    BadHeader(String),
-    /// A token was not an integer.
-    BadLiteral(String),
-    /// A literal referenced a variable beyond the declared count.
-    VariableOutOfRange(i64),
-    /// Fewer/more clauses than the header declared.
-    ClauseCountMismatch {
-        /// Declared in the header.
-        declared: usize,
-        /// Actually parsed.
-        found: usize,
-    },
-}
-
-impl std::fmt::Display for DimacsError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DimacsError::MissingHeader => write!(f, "missing 'p cnf' header"),
-            DimacsError::BadHeader(l) => write!(f, "malformed header: {l}"),
-            DimacsError::BadLiteral(t) => write!(f, "bad literal token: {t}"),
-            DimacsError::VariableOutOfRange(v) => write!(f, "variable out of range: {v}"),
-            DimacsError::ClauseCountMismatch { declared, found } => {
-                write!(f, "header declared {declared} clauses, found {found}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for DimacsError {}
+/// Error from [`from_dimacs`] — the definition shared with
+/// `aqo_graph::io` (this parser uses the header/literal/clause variants).
+pub use aqo_dimacs::DimacsError;
 
 /// Parses DIMACS CNF. Comment lines (`c …`) and `%`-terminated footers are
 /// tolerated; the clause count must match the header.

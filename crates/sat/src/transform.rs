@@ -63,11 +63,11 @@ pub fn bound_occurrences(f: &CnfFormula, bound: usize) -> (CnfFormula, Vec<usize
     }
 
     // Implication cycles forcing all copies of each variable equal.
-    for v in 0..f.num_vars() {
-        let k = copies[v].len();
+    for cps in copies.iter() {
+        let k = cps.len();
         for i in 0..k {
-            let a = copies[v][i];
-            let b = copies[v][(i + 1) % k];
+            let a = cps[i];
+            let b = cps[(i + 1) % k];
             // a → b  ≡  (¬a ∨ b)
             out.add_clause(vec![Lit::neg(a), Lit::pos(b)]);
         }

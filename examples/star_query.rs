@@ -48,11 +48,10 @@ fn run(items: Vec<u64>) {
             anchor_seen = true;
             continue;
         }
-        if rel >= 1 && rel <= norm.len() && !anchor_seen {
-            if plan.methods[pos - 1] == JoinMethod::NestedLoops {
+        if rel >= 1 && rel <= norm.len() && !anchor_seen
+            && plan.methods[pos - 1] == JoinMethod::NestedLoops {
                 chosen.push(rel - 1);
             }
-        }
     }
     println!("  plan order {:?}", plan.order);
     println!("  NL-before-anchor satellites (the encoded subset A): {chosen:?}\n");

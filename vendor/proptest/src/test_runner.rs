@@ -1,0 +1,135 @@
+//! Case generation and execution for [`crate::proptest!`] tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only the case count is configurable.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assume!` precondition failed; the case does not count.
+    Reject,
+}
+
+/// Verdict of one generated case (mirrors upstream's alias shape, so test
+/// bodies can `return Ok(())` early).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Executes the configured number of cases with per-case deterministic
+/// seeds derived from the test name, so failures are reproducible.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner. `PROPTEST_CASES` overrides the configured count.
+    pub fn new(config: ProptestConfig) -> Self {
+        let config = match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(cases) => ProptestConfig { cases },
+            None => config,
+        };
+        TestRunner { config }
+    }
+
+    /// Runs `f` until `config.cases` cases pass. Rejections are retried up
+    /// to a global cap; failures panic (propagated out of `f`) with the
+    /// case seed printed for reproduction.
+    pub fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut StdRng) -> TestCaseResult,
+    {
+        let base = fnv1a(name.as_bytes());
+        let max_attempts = (self.config.cases as u64).saturating_mul(20).max(100);
+        let mut accepted = 0u32;
+        let mut attempt = 0u64;
+        while accepted < self.config.cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({accepted}/{} cases accepted after {attempt} attempts)",
+                    self.config.cases
+                );
+            }
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => accepted += 1,
+                Ok(Err(TestCaseError::Reject)) => {}
+                Err(payload) => {
+                    eprintln!(
+                        "proptest '{name}': case {accepted} failed (attempt {attempt}, \
+                         seed {seed:#x})"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            attempt += 1;
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..10, 5u64..=9), c in any::<bool>()) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn map_and_vec(xs in prop::collection::vec(0u32..50, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 50));
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0usize..n, n..=n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+    }
+}
