@@ -4,7 +4,9 @@ use aqo_bignum::{BigInt, BigRational, BigUint, LogNum};
 use aqo_core::qon::QoNInstance;
 use aqo_core::{AccessCostMatrix, SelectivityMatrix};
 use aqo_graph::generators;
-use aqo_optimizer::{branch_bound, dp, exhaustive, ikkbz};
+use aqo_core::budget::Budget;
+use aqo_optimizer::engine::DpOptions;
+use aqo_optimizer::{branch_bound, dp, engine, exhaustive, ikkbz};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +41,60 @@ fn bench_dp(c: &mut Criterion) {
                 b.iter(|| dp::optimize::<BigRational>(black_box(&inst), true));
             });
         }
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_engine");
+    for n in [10usize, 14, 18] {
+        let inst = instance(n, 1);
+        for threads in [1usize, 0] {
+            let label = if threads == 1 { "seq" } else { "auto" };
+            let opts = DpOptions { allow_cartesian: true, threads };
+            group.bench_with_input(
+                BenchmarkId::new(format!("lognum_{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        engine::optimize_log_parallel(
+                            black_box(&inst),
+                            &opts,
+                            &Budget::unlimited(),
+                        )
+                    });
+                },
+            );
+            if n <= 14 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("two_phase_exact_{label}"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            engine::optimize_two_phase::<BigRational>(
+                                black_box(&inst),
+                                &opts,
+                                &Budget::unlimited(),
+                            )
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_bnb_parallel(c: &mut Criterion) {
+    let inst = instance(10, 4);
+    let mut group = c.benchmark_group("branch_bound_n10");
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "seq" } else { "auto" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                branch_bound::optimize_par::<BigRational>(black_box(&inst), true, threads)
+            });
+        });
     }
     group.finish();
 }
@@ -86,6 +142,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_dp, bench_bnb_vs_exhaustive, bench_ikkbz
+    targets = bench_dp, bench_engine, bench_bnb_parallel, bench_bnb_vs_exhaustive, bench_ikkbz
 }
 criterion_main!(benches);

@@ -26,7 +26,9 @@
 use aqo_bignum::{BigRational, BigUint};
 use aqo_core::{textio, workloads, CostScalar};
 use aqo_driver::{faults, BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig, QonTier};
-use aqo_optimizer::{branch_bound, dp, exhaustive, genetic, greedy, ikkbz, local_search, pipeline};
+use aqo_optimizer::{
+    branch_bound, dp, engine, exhaustive, genetic, greedy, ikkbz, local_search, pipeline,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -93,7 +95,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>"
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -118,6 +120,11 @@ fn u64_flag(args: &[String], name: &str) -> Result<Option<u64>, CliError> {
     required_flag_value(args, name)?
         .map(|s| s.parse().map_err(|_| CliError::usage(format!("bad {name} value `{s}`"))))
         .transpose()
+}
+
+/// The `--threads` knob: defaults to 1 (sequential); 0 means auto.
+fn threads_flag(args: &[String]) -> Result<usize, CliError> {
+    Ok(u64_flag(args, "--threads")?.map_or(1, |v| v as usize))
 }
 
 /// The budget/fallback flags shared by `optimize` and `optimize-qoh`;
@@ -151,6 +158,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("gen") => cmd_gen(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("optimize-qoh") => cmd_optimize_qoh(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
         Some("clique") => cmd_clique(&args[1..]),
         _ => Err(CliError::usage("missing or unknown subcommand")),
@@ -190,6 +198,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
     let method = flag_value(args, "--method").unwrap_or("dp");
     let allow_cartesian = !args.iter().any(|a| a == "--no-cartesian");
+    let threads = threads_flag(args)?;
 
     let (label, sequence): (String, aqo_core::JoinSequence) =
         if let Some(flags) = driver_flags(args)? {
@@ -202,6 +211,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
                 budget: flags.budget,
                 chain,
                 allow_cartesian,
+                threads,
                 ..QonDriverConfig::default()
             };
             let outcome = aqo_driver::optimize_qon(&inst, &cfg).map_err(CliError::Driver)?;
@@ -210,19 +220,46 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
         } else {
             let mut rng = StdRng::seed_from_u64(0);
             let (label, sequence) = match method {
-                "dp" => {
+                "dp" if threads == 1 => {
                     let o = dp::optimize::<BigRational>(&inst, allow_cartesian)
                         .ok_or_else(infeasible_qon)?;
                     ("exact (subset DP)", o.sequence)
                 }
-                "bnb" => {
+                "dp" => {
+                    let opts = engine::DpOptions { allow_cartesian, threads };
+                    let o = engine::optimize_two_phase::<BigRational>(
+                        &inst,
+                        &opts,
+                        &aqo_core::Budget::unlimited(),
+                    )
+                    .expect("unlimited budget cannot be exceeded")
+                    .ok_or_else(infeasible_qon)?;
+                    ("exact (parallel two-phase DP)", o.sequence)
+                }
+                "bnb" if threads == 1 => {
                     let o = branch_bound::optimize::<BigRational>(&inst, allow_cartesian)
                         .ok_or_else(infeasible_qon)?;
                     ("exact (branch & bound)", o.sequence)
                 }
-                "exhaustive" => {
+                "bnb" => {
+                    let o =
+                        branch_bound::optimize_par::<BigRational>(&inst, allow_cartesian, threads)
+                            .ok_or_else(infeasible_qon)?;
+                    ("exact (parallel branch & bound)", o.sequence)
+                }
+                "exhaustive" if threads == 1 => {
                     ("exact (exhaustive)", exhaustive::optimize::<BigRational>(&inst).sequence)
                 }
+                "exhaustive" => (
+                    "exact (parallel exhaustive)",
+                    exhaustive::optimize_par_with_budget::<BigRational>(
+                        &inst,
+                        threads,
+                        &aqo_core::Budget::unlimited(),
+                    )
+                    .expect("unlimited budget cannot be exceeded")
+                    .sequence,
+                ),
                 "greedy" => (
                     "greedy min-intermediate",
                     greedy::min_intermediate(&inst, allow_cartesian)
@@ -269,6 +306,7 @@ fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
     let inst = textio::qoh_from_text(&text)
         .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
     let method = flag_value(args, "--method").unwrap_or("greedy");
+    let threads = threads_flag(args)?;
 
     let (label, plan): (String, pipeline::QohPlan) = if let Some(flags) = driver_flags(args)? {
         let chain = match &flags.fallback {
@@ -276,13 +314,23 @@ fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::usage(format!("--fallback: {e}")))?,
             None => QohTier::default_chain(),
         };
-        let cfg =
-            QohDriverConfig { budget: flags.budget, chain, ..QohDriverConfig::default() };
+        let cfg = QohDriverConfig {
+            budget: flags.budget,
+            chain,
+            threads,
+            ..QohDriverConfig::default()
+        };
         let outcome = aqo_driver::optimize_qoh(&inst, &cfg).map_err(CliError::Driver)?;
         eprintln!("driver: {}", outcome.report);
         (format!("driver ({} tier)", outcome.report.tier), outcome.plan)
     } else {
         let plan = match method {
+            "exhaustive" if threads != 1 => pipeline::optimize_exhaustive_par_with_budget(
+                &inst,
+                threads,
+                &aqo_core::Budget::unlimited(),
+            )
+            .expect("unlimited budget cannot be exceeded"),
             "exhaustive" => pipeline::optimize_exhaustive(&inst),
             "greedy" => pipeline::optimize_greedy(&inst),
             other => {
@@ -308,6 +356,32 @@ fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
             print!("{text}");
         }
     }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    let quick = args.iter().any(|a| a == "--quick");
+    // Benches default to auto so the recorded speedup reflects the machine.
+    let threads = u64_flag(args, "--threads")?.map_or(0, |v| v as usize);
+    let out = required_flag_value(args, "--out")?.unwrap_or("BENCH_optimizer.json");
+    let cfg = aqo_bench::optbench::BenchConfig { quick, threads };
+    eprintln!(
+        "bench: {} profile, {} worker thread(s)",
+        if quick { "quick" } else { "full" },
+        aqo_core::parallel::resolve_threads(threads),
+    );
+    let records = aqo_bench::optbench::run(&cfg);
+    let json = aqo_bench::optbench::to_json(&cfg, &records);
+    std::fs::write(out, &json)
+        .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+    for r in &records {
+        let speedup = r.speedup.map_or(String::new(), |s| format!("  speedup {s:.2}x"));
+        println!(
+            "{:<7} n={:<2} {:<16} {:<8} {:<3} {:>10.3} ms{speedup}",
+            r.family, r.n, r.algo, r.scalar, r.mode, r.median_ms
+        );
+    }
+    println!("wrote {out} ({} records)", records.len());
     Ok(())
 }
 

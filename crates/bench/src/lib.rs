@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod optbench;
 pub mod table;
 
 pub use table::Table;

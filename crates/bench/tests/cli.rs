@@ -47,6 +47,69 @@ fn gen_then_optimize_roundtrip() {
 }
 
 #[test]
+fn optimize_with_threads_matches_sequential_cost() {
+    let (ok, instance, _) = aqo(&["gen", "cycle", "6", "11"]);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cycle6.qon");
+    std::fs::write(&path, &instance).unwrap();
+
+    let cost_of = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("cost"))
+            .map(|l| l.split(':').nth(1).unwrap().trim().to_string())
+            .expect("cost line")
+    };
+    let (ok, seq_out, err) = aqo(&["optimize", path.to_str().unwrap(), "--threads", "1"]);
+    assert!(ok, "stderr: {err}");
+    for threads in ["2", "0"] {
+        for method in ["dp", "bnb", "exhaustive"] {
+            let (ok, par_out, err) = aqo(&[
+                "optimize",
+                path.to_str().unwrap(),
+                "--method",
+                method,
+                "--threads",
+                threads,
+            ]);
+            assert!(ok, "{method} --threads {threads} failed: {err}");
+            assert_eq!(
+                cost_of(&seq_out),
+                cost_of(&par_out),
+                "{method} --threads {threads} changed the optimum"
+            );
+        }
+    }
+}
+
+#[test]
+fn bench_quick_writes_wellformed_json() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("BENCH_optimizer.json");
+    let (ok, stdout, err) = aqo(&[
+        "bench",
+        "--quick",
+        "--threads",
+        "2",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "bench failed: {err}");
+    assert!(stdout.contains("wrote"), "stdout: {stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("bench JSON written");
+    assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v1\""), "json: {json}");
+    assert!(json.contains("\"records\""));
+    assert!(json.contains("\"median_ms\""));
+    assert!(json.contains("\"speedup\""));
+    // Structural sanity: balanced braces/brackets, non-empty records array.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(json.matches("\"family\"").count() >= 4, "too few records: {json}");
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let (ok, _, err) = aqo(&["frobnicate"]);
     assert!(!ok);

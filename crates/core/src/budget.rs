@@ -208,6 +208,31 @@ impl Budget {
         Ok(())
     }
 
+    /// As [`Budget::tick`], but records `n` expansions in a single atomic
+    /// add. The parallel optimizers use this to charge one whole DP target
+    /// (its `n` incoming transitions) per call, which keeps the shared
+    /// counter from becoming a cache-line ping-pong between workers. The
+    /// wall clock and cancel token are consulted whenever the batched count
+    /// crosses a [`CLOCK_CHECK_PERIOD`] boundary (and on the first call),
+    /// so deadline latency stays bounded by one period regardless of batch
+    /// size.
+    #[inline]
+    pub fn tick_n(&self, n: u64) -> Result<(), BudgetExceeded> {
+        if n == 0 {
+            return Ok(());
+        }
+        let count = self.expansions.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(cap) = self.max_expansions {
+            if count > cap {
+                return Err(self.exceeded(BudgetKind::Expansions));
+            }
+        }
+        if count == n || count / CLOCK_CHECK_PERIOD != (count - n) / CLOCK_CHECK_PERIOD {
+            self.check_clock_and_token()?;
+        }
+        Ok(())
+    }
+
     /// Forces a deadline/cancellation check regardless of tick phase. Use
     /// before starting an expensive indivisible step (e.g. allocating the
     /// DP table).
@@ -292,6 +317,32 @@ mod tests {
         b.tick().unwrap();
         token.cancel();
         assert_eq!(b.checkpoint().unwrap_err().kind, BudgetKind::Cancelled);
+    }
+
+    #[test]
+    fn batched_ticks_count_and_trip() {
+        let b = Budget::unlimited().with_max_expansions(100);
+        b.tick_n(60).unwrap();
+        b.tick_n(40).unwrap();
+        assert_eq!(b.expansions_used(), 100);
+        let err = b.tick_n(1).unwrap_err();
+        assert_eq!(err.kind, BudgetKind::Expansions);
+        assert_eq!(err.expansions, 101);
+    }
+
+    #[test]
+    fn batched_ticks_check_clock_on_period_boundaries() {
+        let b = Budget::unlimited().with_timeout(Duration::ZERO);
+        // The first batched tick always consults the clock.
+        assert_eq!(b.tick_n(7).unwrap_err().kind, BudgetKind::Deadline);
+
+        let b = Budget::unlimited();
+        b.tick_n(CLOCK_CHECK_PERIOD - 1).unwrap();
+        // Crossing the period boundary must consult the (expired) clock.
+        let b2 = Budget::unlimited().with_timeout(Duration::ZERO);
+        b2.tick_n(3).unwrap_err(); // first call checks
+        let err = b2.tick_n(CLOCK_CHECK_PERIOD).unwrap_err();
+        assert_eq!(err.kind, BudgetKind::Deadline);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod budget;
 pub mod explain;
 pub mod join;
+pub mod parallel;
 pub mod qoh;
 pub mod qon;
 pub mod scalar;

@@ -1,0 +1,261 @@
+//! Hand-rolled scoped worker-pool primitives for the parallel optimizers.
+//!
+//! The build environment vendors no threading crates, so the parallel
+//! engines shard their work across plain [`std::thread::scope`] workers.
+//! Three primitives cover every use in the workspace:
+//!
+//! * [`run_workers`] — fork/join over worker indices (branch-and-bound
+//!   roots, strided permutation sweeps);
+//! * [`par_chunks_zip`] — split a read-only item slice and a matching
+//!   output slice into aligned contiguous chunks, one scoped worker per
+//!   chunk (the layer-parallel subset DP: each worker owns a disjoint
+//!   `&mut` window of the layer's result buffer, so no locks and no
+//!   `unsafe` are needed);
+//! * [`SharedBound`] — a lock-free shared incumbent upper bound in log₂
+//!   domain, used by parallel branch-and-bound to propagate pruning power
+//!   between workers.
+//!
+//! Worker panics are re-raised on the joining thread via
+//! [`std::panic::resume_unwind`], so the driver's `catch_unwind` isolation
+//! keeps working unchanged. Cooperative cancellation needs no machinery
+//! here: workers tick the shared [`Budget`](crate::Budget) (its interior is
+//! atomic) and unwind with `BudgetExceeded` individually; `thread::scope`
+//! guarantees every worker is joined before the call returns, so a tripped
+//! budget can never leak a thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of hardware threads, with a fallback of 1 when the platform
+/// cannot say.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "auto" (use
+/// [`available_threads`]); anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Runs `worker(t)` for every `t in 0..threads` on scoped threads and
+/// returns the results in worker order. Worker 0 runs on the calling
+/// thread (a 1-thread pool spawns nothing). A worker panic is re-raised
+/// here after every other worker has been joined.
+pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> =
+            (1..threads).map(|t| scope.spawn(move || worker(t))).collect();
+        let mut results = Vec::with_capacity(threads);
+        results.push(worker(0));
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        results
+    })
+}
+
+/// Splits `items` and the equally long `out` into aligned contiguous
+/// chunks (about one per worker) and processes each chunk on a scoped
+/// thread via `f(offset, item_chunk, out_chunk)`. Errors are collected
+/// after all workers have been joined; the error of the lowest-offset
+/// failing chunk is returned, so the outcome is deterministic for a given
+/// chunking.
+pub fn par_chunks_zip<I, O, E, F>(
+    threads: usize,
+    items: &[I],
+    out: &mut [O],
+    f: F,
+) -> Result<(), E>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(usize, &[I], &mut [O]) -> Result<(), E> + Sync,
+{
+    assert_eq!(items.len(), out.len(), "items/out must be the same length");
+    if items.is_empty() {
+        return Ok(());
+    }
+    let chunk = items.len().div_ceil(threads.max(1));
+    if chunk >= items.len() {
+        return f(0, items, out);
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        let mut offset = 0usize;
+        for (ic, oc) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let off = offset;
+            offset += ic.len();
+            handles.push(scope.spawn(move || f(off, ic, oc)));
+        }
+        let mut result = Ok(());
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        result
+    })
+}
+
+/// A shared monotonically tightening upper bound, stored as the `f64` bit
+/// pattern of a log₂ value in an atomic word.
+///
+/// Parallel branch-and-bound workers publish `log₂(incumbent cost)` here
+/// and prune prefixes whose accumulated cost exceeds the bound by more
+/// than a float-error margin; the *exact* incumbent each worker keeps
+/// locally is what decides the final answer, so the float domain here only
+/// ever affects how much gets pruned, never what is returned.
+#[derive(Debug)]
+pub struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    /// A bound that prunes nothing yet.
+    pub fn unbounded() -> Self {
+        SharedBound(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// A bound starting at `log2` (e.g. a warm start's cost).
+    pub fn new(log2: f64) -> Self {
+        debug_assert!(!log2.is_nan());
+        SharedBound(AtomicU64::new(log2.to_bits()))
+    }
+
+    /// The current bound (log₂ domain).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the bound to `log2` if that is tighter. Lock-free; lost
+    /// races only ever leave the bound looser (still correct).
+    pub fn tighten(&self, log2: f64) {
+        debug_assert!(!log2.is_nan());
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            if log2 < f64::from_bits(cur) {
+                Some(log2.to_bits())
+            } else {
+                None
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_cover_all_indices_in_order() {
+        for threads in 1..=4 {
+            let out = run_workers(threads, |t| t * 10);
+            assert_eq!(out, (0..threads).map(|t| t * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1usize, 2, 3, 8, 200] {
+            let mut out = vec![0u32; items.len()];
+            par_chunks_zip(threads, &items, &mut out, |off, ic, oc| {
+                for (i, (x, o)) in ic.iter().zip(oc.iter_mut()).enumerate() {
+                    // Every worker sees a consistent (offset, item) pairing.
+                    assert_eq!(*x as usize, off + i);
+                    *o = x * 2;
+                }
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+            assert!(out.iter().zip(&items).all(|(o, i)| *o == i * 2));
+        }
+    }
+
+    #[test]
+    fn first_chunk_error_wins() {
+        let items: Vec<usize> = (0..64).collect();
+        let mut out = vec![0usize; 64];
+        let err = par_chunks_zip(4, &items, &mut out, |off, _, _| {
+            if off >= 16 {
+                Err(off)
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 16);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run_workers(3, |t| {
+                if t == 2 {
+                    panic!("boom");
+                }
+                t
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn shared_bound_only_tightens() {
+        let b = SharedBound::unbounded();
+        assert_eq!(b.get(), f64::INFINITY);
+        b.tighten(10.0);
+        b.tighten(12.0); // looser: ignored
+        assert_eq!(b.get(), 10.0);
+        b.tighten(-3.5);
+        assert_eq!(b.get(), -3.5);
+    }
+
+    #[test]
+    fn shared_bound_from_many_threads() {
+        let b = SharedBound::new(1000.0);
+        run_workers(4, |t| {
+            for i in 0..100 {
+                b.tighten(1000.0 - (t * 100 + i) as f64);
+            }
+        });
+        assert_eq!(b.get(), 1000.0 - 399.0);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert!(available_threads() >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), available_threads());
+    }
+}

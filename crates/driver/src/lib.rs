@@ -38,7 +38,7 @@ use aqo_core::budget::{Budget, CancelToken};
 use aqo_core::qoh::QoHInstance;
 use aqo_core::qon::QoNInstance;
 use aqo_optimizer::pipeline::QohPlan;
-use aqo_optimizer::{branch_bound, dp, exhaustive, greedy, ikkbz, pipeline, Optimum};
+use aqo_optimizer::{branch_bound, dp, engine, exhaustive, greedy, ikkbz, pipeline, Optimum};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
@@ -208,6 +208,12 @@ pub struct QonDriverConfig {
     pub retry: RetryPolicy,
     /// Optional cooperative cancellation token.
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the exact tiers: `1` keeps the classic
+    /// sequential algorithms, `0` means one worker per hardware thread,
+    /// and `> 1` routes the DP tier to the two-phase parallel
+    /// [`aqo_optimizer::engine`] and branch-and-bound to its shared-bound
+    /// parallel variant. The optimal cost is identical in every mode.
+    pub threads: usize,
 }
 
 impl Default for QonDriverConfig {
@@ -218,6 +224,7 @@ impl Default for QonDriverConfig {
             allow_cartesian: true,
             retry: RetryPolicy::default(),
             cancel: None,
+            threads: 1,
         }
     }
 }
@@ -233,6 +240,10 @@ pub struct QohDriverConfig {
     pub retry: RetryPolicy,
     /// Optional cooperative cancellation token.
     pub cancel: Option<CancelToken>,
+    /// Worker threads for the exhaustive tier: `1` is sequential, `0`
+    /// means one worker per hardware thread. The parallel sweep returns
+    /// exactly the sequential winner (reduced by permutation index).
+    pub threads: usize,
 }
 
 impl Default for QohDriverConfig {
@@ -242,6 +253,7 @@ impl Default for QohDriverConfig {
             chain: QohTier::default_chain(),
             retry: RetryPolicy::default(),
             cancel: None,
+            threads: 1,
         }
     }
 }
@@ -365,6 +377,7 @@ pub fn optimize_qon(
 ) -> Result<QonOutcome, DriverError> {
     let budget = cfg.budget.build(cfg.cancel.clone());
     let allow = cfg.allow_cartesian;
+    let threads = cfg.threads;
     drive(
         &cfg.chain,
         &budget,
@@ -373,11 +386,24 @@ pub fn optimize_qon(
         QonTier::name,
         QonTier::is_exact,
         |tier, budget| match tier {
-            QonTier::Dp => dp::optimize_with_budget::<BigRational>(inst, allow, budget)
-                .map_err(TierFailure::Budget),
-            QonTier::BranchBound => {
+            QonTier::Dp if threads == 1 => {
+                dp::optimize_with_budget::<BigRational>(inst, allow, budget)
+                    .map_err(TierFailure::Budget)
+            }
+            QonTier::Dp => {
+                let opts = engine::DpOptions { allow_cartesian: allow, threads };
+                engine::optimize_two_phase::<BigRational>(inst, &opts, budget)
+                    .map_err(TierFailure::Budget)
+            }
+            QonTier::BranchBound if threads == 1 => {
                 branch_bound::optimize_with_budget::<BigRational>(inst, allow, budget)
                     .map_err(TierFailure::Budget)
+            }
+            QonTier::BranchBound => {
+                branch_bound::optimize_par_with_budget::<BigRational>(
+                    inst, allow, threads, budget,
+                )
+                .map_err(TierFailure::Budget)
             }
             QonTier::Ikkbz => Ok(Some(ikkbz::optimize(inst))),
             QonTier::Greedy => Ok(greedy::min_intermediate(inst, allow).map(|z| {
@@ -403,8 +429,14 @@ pub fn optimize_qoh(
         QohTier::name,
         QohTier::is_exact,
         |tier, budget| match tier {
-            QohTier::Exhaustive => pipeline::optimize_exhaustive_with_budget(inst, budget)
-                .map_err(TierFailure::Budget),
+            QohTier::Exhaustive if cfg.threads == 1 => {
+                pipeline::optimize_exhaustive_with_budget(inst, budget)
+                    .map_err(TierFailure::Budget)
+            }
+            QohTier::Exhaustive => {
+                pipeline::optimize_exhaustive_par_with_budget(inst, cfg.threads, budget)
+                    .map_err(TierFailure::Budget)
+            }
             QohTier::Greedy => Ok(pipeline::optimize_greedy(inst)),
         },
     )

@@ -9,9 +9,17 @@
 use crate::{greedy, Optimum};
 use aqo_bignum::BigUint;
 use aqo_core::budget::{Budget, BudgetExceeded};
+use aqo_core::parallel::{resolve_threads, run_workers, SharedBound};
 use aqo_core::qon::QoNInstance;
 use aqo_core::{CostScalar, JoinSequence};
 use aqo_graph::BitSet;
+
+/// Slack, in bits, added to the shared log₂ incumbent before pruning on it.
+/// The shared bound is the `f64` log₂ of some worker's *exact* incumbent;
+/// pruning only when the prefix exceeds it by more than this margin makes
+/// float rounding harmless: a pruned prefix is certainly no better than an
+/// incumbent some worker already holds exactly.
+const SHARED_BOUND_MARGIN_BITS: f64 = 1e-3;
 
 /// Exact optimum by branch-and-bound. `allow_cartesian = false` searches
 /// only cartesian-product-free sequences (returns `None` when none exists).
@@ -53,10 +61,95 @@ pub fn optimize_with_budget<S: CostScalar>(
             S::zero(),
             &mut best,
             budget,
+            None,
         );
         in_prefix.remove(start);
         prefix.pop();
         outcome?;
+    }
+    Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
+}
+
+/// Parallel branch-and-bound: root vertices are strided across a scoped
+/// worker pool and workers share the incumbent upper bound through a
+/// lock-free atomic ([`SharedBound`], log₂ domain), so a strong incumbent
+/// found by one worker immediately sharpens pruning in all the others.
+///
+/// Each worker keeps its *exact* local incumbent; the shared float bound
+/// only decides what gets pruned (with [`SHARED_BOUND_MARGIN_BITS`] of
+/// slack), never what is returned — so the returned cost equals the
+/// sequential optimum for every thread count. `threads = 0` means one
+/// worker per hardware thread.
+pub fn optimize_par<S: CostScalar + Send + Sync>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    threads: usize,
+) -> Option<Optimum<S>> {
+    optimize_par_with_budget(inst, allow_cartesian, threads, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// As [`optimize_par`], under a cooperative [`Budget`] shared by all
+/// workers (its interior is atomic). When the budget trips, every worker
+/// unwinds at its next tick and the scoped pool joins them all before the
+/// error is returned — no threads outlive the call.
+pub fn optimize_par_with_budget<S: CostScalar + Send + Sync>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let n = inst.n();
+    if n == 1 {
+        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
+    }
+    let threads = resolve_threads(threads).min(n);
+    // Per-worker scratch: prefix stack, membership bitset, incumbent order.
+    let scratch_per_worker = 2 * n * std::mem::size_of::<usize>() + n.div_ceil(8) + 64;
+    budget.charge_memory((threads * scratch_per_worker) as u64)?;
+    budget.checkpoint()?;
+
+    let warm = greedy::min_intermediate(inst, allow_cartesian);
+    let warm: Option<(Vec<usize>, S)> = warm.map(|z| (z.order().to_vec(), inst.total_cost(&z)));
+    let shared = SharedBound::unbounded();
+    if let Some((_, c)) = &warm {
+        shared.tighten(c.log2());
+    }
+
+    let outcomes = run_workers(threads, |t| -> Result<Option<(Vec<usize>, S)>, BudgetExceeded> {
+        let mut best = warm.clone();
+        let mut prefix = Vec::with_capacity(n);
+        let mut in_prefix = BitSet::new(n);
+        let mut start = t;
+        while start < n {
+            prefix.push(start);
+            in_prefix.insert(start);
+            let outcome = dfs(
+                inst,
+                allow_cartesian,
+                &mut prefix,
+                &mut in_prefix,
+                S::from_count(&inst.sizes()[start]),
+                S::zero(),
+                &mut best,
+                budget,
+                Some(&shared),
+            );
+            in_prefix.remove(start);
+            prefix.pop();
+            outcome?;
+            start += threads;
+        }
+        Ok(best)
+    });
+
+    let mut best: Option<(Vec<usize>, S)> = None;
+    for outcome in outcomes {
+        if let Some((order, cost)) = outcome? {
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                best = Some((order, cost));
+            }
+        }
     }
     Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
 }
@@ -71,6 +164,7 @@ fn dfs<S: CostScalar>(
     cost: S,
     best: &mut Option<(Vec<usize>, S)>,
     budget: &Budget,
+    shared: Option<&SharedBound>,
 ) -> Result<(), BudgetExceeded> {
     let n = inst.n();
     budget.tick()?;
@@ -79,8 +173,17 @@ fn dfs<S: CostScalar>(
             return Ok(());
         }
     }
+    if let Some(sb) = shared {
+        // Another worker's exact incumbent, as a float bound with slack.
+        if cost.log2() > sb.get() + SHARED_BOUND_MARGIN_BITS {
+            return Ok(());
+        }
+    }
     if prefix.len() == n {
         if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            if let Some(sb) = shared {
+                sb.tighten(cost.log2());
+            }
             *best = Some((prefix.clone(), cost));
         }
         return Ok(());
@@ -117,7 +220,7 @@ fn dfs<S: CostScalar>(
         prefix.push(j);
         in_prefix.insert(j);
         let outcome =
-            dfs(inst, allow_cartesian, prefix, in_prefix, new_n, new_cost, best, budget);
+            dfs(inst, allow_cartesian, prefix, in_prefix, new_n, new_cost, best, budget, shared);
         in_prefix.remove(j);
         prefix.pop();
         outcome?;
@@ -181,6 +284,41 @@ mod tests {
         let bb = optimize_with_budget::<BigRational>(&inst, true, &roomy).unwrap().unwrap();
         let free = optimize::<BigRational>(&inst, true).unwrap();
         assert_eq!(bb.cost, free.cost);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_thread_count() {
+        let inst = cycle(7);
+        for allow in [true, false] {
+            let seq = optimize::<BigRational>(&inst, allow).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let par = optimize_par::<BigRational>(&inst, allow, threads).unwrap();
+                assert_eq!(par.cost, seq.cost, "threads {threads}");
+                let recost: BigRational = inst.total_cost(&par.sequence);
+                assert_eq!(recost, par.cost);
+                if !allow {
+                    assert!(!inst.has_cartesian_product(&par.sequence));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_budget_trips_and_charges_worker_scratch() {
+        let inst = cycle(7);
+        let tiny = Budget::unlimited().with_max_expansions(5);
+        let err =
+            optimize_par_with_budget::<BigRational>(&inst, true, 4, &tiny).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+
+        // Scratch scales with the worker count, so a cap that admits one
+        // worker can reject eight.
+        let one = Budget::unlimited().with_max_memory_bytes(200);
+        assert!(optimize_par_with_budget::<BigRational>(&inst, true, 1, &one).is_ok());
+        let eight = Budget::unlimited().with_max_memory_bytes(200);
+        let err =
+            optimize_par_with_budget::<BigRational>(&inst, true, 7, &eight).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Memory);
     }
 
     #[test]

@@ -59,8 +59,13 @@ pub fn optimize_with_budget<S: CostScalar>(
         nsize[m] = Some(S::from_count(&inst.sizes()[v]));
     }
     for mask in 1..=full {
-        let Some(cost_s) = dp[mask].clone() else { continue };
-        let n_s = nsize[mask].clone().expect("N(S) set with dp");
+        // Every successor mask | 1 << j is strictly greater than mask, so
+        // splitting the tables at mask + 1 lets us read the source state by
+        // reference while mutating successors — no per-state clones.
+        let (dp_lo, dp_hi) = dp.split_at_mut(mask + 1);
+        let (ns_lo, ns_hi) = nsize.split_at_mut(mask + 1);
+        let Some(cost_s) = dp_lo[mask].as_ref() else { continue };
+        let n_s = ns_lo[mask].as_ref().expect("N(S) set with dp");
         for j in 0..n {
             if mask >> j & 1 == 1 {
                 continue;
@@ -96,9 +101,10 @@ pub fn optimize_with_budget<S: CostScalar>(
             let step = n_s.mul(&S::from_count(&w_min.expect("prefix nonempty")));
             let cand = cost_s.add(&step);
             let nm = mask | 1 << j;
-            if dp[nm].as_ref().is_none_or(|cur| cand < *cur) {
-                dp[nm] = Some(cand);
-                nsize[nm] = Some(new_n);
+            let slot = &mut dp_hi[nm - (mask + 1)];
+            if slot.as_ref().is_none_or(|cur| cand < *cur) {
+                *slot = Some(cand);
+                ns_hi[nm - (mask + 1)] = Some(new_n);
                 parent[nm] = j as u8;
             }
         }

@@ -1,0 +1,735 @@
+//! Parallel, allocation-lean two-phase subset-DP engine for QO_N.
+//!
+//! The classic subset DP in [`crate::dp`] is exact but single-threaded and
+//! clones big-number scalars in its `O(2^n · n²)` inner loop. This engine
+//! restructures the same recurrence for speed without giving up a single
+//! bit of exactness:
+//!
+//! 1. **Pull-style, layer-parallel evaluation.** Subsets of size `k`
+//!    depend only on subsets of size `k − 1`, so each layer is evaluated
+//!    in parallel over *target* subsets: a worker computes
+//!    `dp[T] = min_{j ∈ T} dp[T∖{j}] + N(T∖{j})·min_{k ∈ T∖{j}} w*(j,k)`
+//!    reading only the previous layer. Every target is written by exactly
+//!    one worker (disjoint `&mut` chunks of a layer buffer), so results
+//!    are bit-identical for every thread count.
+//! 2. **Incremental min-weight-into-prefix table.** Instead of rescanning
+//!    `min_{k ∈ S} w*(j,k)` per transition, the engine maintains, per
+//!    prefix `S` of the previous layer, the row `M[S][j]` via
+//!    `M[S][j] = min(M[S∖{lowest}][j], w*(j, lowest))` — one comparison
+//!    per relation per subset instead of one scan per transition (where
+//!    `w*(j,k) = w(j,k)` on query-graph edges and the default `t_j`
+//!    otherwise, exactly the cost model's access-path rule).
+//! 3. **Two-phase costing.** Phase A runs the whole DP in the `f64`
+//!    log-domain [`LogNum`] scalar, producing a candidate plan and, per
+//!    subset, a log-domain estimate of the cheapest way to reach it.
+//!    Phase B re-runs the DP in the caller's exact scalar, but *prunes*
+//!    every subset whose phase-A estimate exceeds the exact candidate
+//!    cost by more than [`PRUNE_MARGIN_BITS`] — on realistic instances
+//!    this skips the vast majority of subsets, eliminating almost all
+//!    big-number arithmetic while provably returning the true optimum
+//!    (see DESIGN.md §9 for the safety argument: phase-A error is bounded
+//!    far below the margin, and costs only grow along a sequence, so a
+//!    subset estimated more than the margin above the incumbent cannot
+//!    prefix any plan that beats the incumbent).
+//!
+//! Cancellation and deadlines keep working mid-layer: every worker ticks
+//! the shared [`Budget`] (atomic interior) and unwinds with
+//! [`BudgetExceeded`]; `std::thread::scope` joins every worker before the
+//! error surfaces, so no threads outlive the call.
+
+use crate::Optimum;
+use aqo_bignum::LogNum;
+use aqo_core::budget::{Budget, BudgetExceeded};
+use aqo_core::parallel::{par_chunks_zip, resolve_threads};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{CostScalar, JoinSequence};
+
+/// Hard cap on `n`, same as the sequential DP (a `2^n` table is allocated).
+pub const MAX_N: usize = crate::dp::MAX_N;
+
+/// Safety margin, in bits, added to the exact incumbent's log₂ cost when
+/// phase B prunes on phase-A estimates. Accumulated `f64` log-domain error
+/// over a DP path is below `n · 2⁻⁴⁰` bits for `n ≤ MAX_N` — more than
+/// nine orders of magnitude smaller than this margin — so no subset on an
+/// optimal path is ever pruned.
+pub const PRUNE_MARGIN_BITS: f64 = 0.5;
+
+/// Knobs for the engine.
+#[derive(Clone, Copy, Debug)]
+pub struct DpOptions {
+    /// Whether sequences with cartesian products are admissible.
+    pub allow_cartesian: bool,
+    /// Worker threads; `0` means one per available hardware thread.
+    pub threads: usize,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        DpOptions { allow_cartesian: true, threads: 0 }
+    }
+}
+
+/// All `2^n − 1` nonempty subset masks grouped by popcount ("layer"),
+/// ascending within each layer.
+struct Layers {
+    masks: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+impl Layers {
+    fn build(n: usize) -> Layers {
+        let full = (1usize << n) - 1;
+        let mut counts = vec![0usize; n + 1];
+        for m in 1..=full {
+            counts[m.count_ones() as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 2];
+        for k in 1..=n {
+            offsets[k + 1] = offsets[k] + counts[k];
+        }
+        let mut masks = vec![0u32; full];
+        let mut cursor: Vec<usize> = offsets[..=n].to_vec();
+        for m in 1..=full {
+            let k = m.count_ones() as usize;
+            masks[cursor[k]] = m as u32;
+            cursor[k] += 1;
+        }
+        Layers { masks, offsets }
+    }
+
+    fn layer(&self, k: usize) -> &[u32] {
+        &self.masks[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    fn widest_layer(&self) -> usize {
+        (1..self.offsets.len() - 1)
+            .map(|k| self.offsets[k + 1] - self.offsets[k])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Precomputed log-domain view of an instance: neighbour bitmasks and the
+/// `t`, `w*`, `s` scalars converted to [`LogNum`] once, so the phase-A hot
+/// loop allocates nothing and touches no big numbers.
+struct LogView {
+    nbr: Vec<u32>,
+    tlog: Vec<LogNum>,
+    /// `w*(j,k)` row-major; diagonal entries are `+inf` (never selected).
+    wlog: Vec<LogNum>,
+    /// Selectivities row-major; `1` off the query graph.
+    slog: Vec<LogNum>,
+}
+
+impl LogView {
+    fn build(inst: &QoNInstance) -> LogView {
+        let n = inst.n();
+        let mut nbr = vec![0u32; n];
+        for (j, b) in nbr.iter_mut().enumerate() {
+            for k in inst.graph().neighbors(j).iter() {
+                *b |= 1 << k;
+            }
+        }
+        let tlog: Vec<LogNum> =
+            inst.sizes().iter().map(<LogNum as CostScalar>::from_count).collect();
+        let mut wlog = vec![LogNum::INFINITY; n * n];
+        let mut slog = vec![LogNum::ONE; n * n];
+        for j in 0..n {
+            for k in 0..n {
+                if j == k {
+                    continue;
+                }
+                wlog[j * n + k] = <LogNum as CostScalar>::from_count(&inst.w(j, k));
+                if inst.graph().has_edge(j, k) {
+                    slog[j * n + k] =
+                        <LogNum as CostScalar>::from_ratio(&inst.selectivity().get(j, k));
+                }
+            }
+        }
+        LogView { nbr, tlog, wlog, slog }
+    }
+}
+
+/// Phase-A output: per-subset log-domain cost estimates (`+inf` =
+/// unreachable) and the winning predecessor per subset.
+struct LogDp {
+    dp: Vec<LogNum>,
+    parent: Vec<u8>,
+}
+
+impl LogDp {
+    fn reconstruct(&self, n: usize) -> Option<JoinSequence> {
+        let full = (1usize << n) - 1;
+        if self.dp[full].log2() == f64::INFINITY {
+            return None;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut mask = full;
+        while mask.count_ones() > 1 {
+            let j = self.parent[mask] as usize;
+            order.push(j);
+            mask &= !(1 << j);
+        }
+        order.push(mask.trailing_zeros() as usize);
+        order.reverse();
+        Some(JoinSequence::new(order))
+    }
+}
+
+#[inline]
+fn unreached(v: LogNum) -> bool {
+    v.log2() == f64::INFINITY
+}
+
+/// Phase A: the full subset DP in log domain, layer-parallel, with the
+/// incremental min-weight-into-prefix table.
+fn log_phase(
+    inst: &QoNInstance,
+    layers: &Layers,
+    allow_cartesian: bool,
+    threads: usize,
+    budget: &Budget,
+) -> Result<LogDp, BudgetExceeded> {
+    let n = inst.n();
+    let full = (1usize << n) - 1;
+    let view = LogView::build(inst);
+    let widest = layers.widest_layer();
+
+    // Charge every table this phase allocates — the shared 2^n arrays AND
+    // the per-layer worker scratch (result buffer + two min-weight table
+    // generations) — before allocating anything.
+    let scratch_bytes = widest * std::mem::size_of::<(LogNum, LogNum, u8)>()
+        + 2 * widest * n * std::mem::size_of::<LogNum>();
+    let table_bytes = (full + 1) * (2 * std::mem::size_of::<LogNum>() + 1 + 4)
+        + layers.masks.len() * 4
+        + (2 * n * n + n) * std::mem::size_of::<LogNum>();
+    budget.charge_memory((table_bytes + scratch_bytes) as u64)?;
+    budget.checkpoint()?;
+
+    let mut dp = vec![LogNum::INFINITY; full + 1];
+    let mut nlog = vec![LogNum::ZERO; full + 1];
+    let mut parent = vec![u8::MAX; full + 1];
+    // Layer 1 + its min-weight rows: M[{v}][j] = w*(j, v).
+    let mut m_prev: Vec<LogNum> = vec![LogNum::INFINITY; n * n];
+    for v in 0..n {
+        dp[1 << v] = LogNum::ZERO;
+        nlog[1 << v] = view.tlog[v];
+        for j in 0..n {
+            m_prev[v * n + j] = view.wlog[j * n + v];
+        }
+    }
+    let mut m_cur: Vec<LogNum> = Vec::new();
+    let mut results: Vec<(LogNum, LogNum, u8)> = Vec::new();
+    // Direct mask → index-within-its-layer table: replaces a binary search
+    // per predecessor in the hot loop with one array read. Refilled for the
+    // new "previous" layer between layers (one pass over 2^n total).
+    let mut pos = vec![0u32; full + 1];
+    for (i, &m) in layers.layer(1).iter().enumerate() {
+        pos[m as usize] = i as u32;
+    }
+
+    for k in 2..=n {
+        let targets = layers.layer(k);
+        results.clear();
+        results.resize(targets.len(), (LogNum::INFINITY, LogNum::ZERO, u8::MAX));
+        m_cur.clear();
+        m_cur.resize(targets.len() * n, LogNum::INFINITY);
+
+        par_layer(threads, targets, &mut results, &mut m_cur, n, |ts, res, rows| {
+            for (i, &tm) in ts.iter().enumerate() {
+                budget.tick_n(k as u64)?;
+                let t = tm as usize;
+                let lb = tm.trailing_zeros() as usize;
+                let s0 = t & (t - 1);
+                // Min-weight row for T from the canonical parent T∖{lowest}.
+                let p0 = pos[s0] as usize * n;
+                let row = &mut rows[i * n..(i + 1) * n];
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r = m_prev[p0 + j].min(view.wlog[j * n + lb]);
+                }
+                // N(T), order-invariant, from the same canonical parent.
+                let mut nl = nlog[s0] * view.tlog[lb];
+                let mut bits = view.nbr[lb] & s0 as u32;
+                while bits != 0 {
+                    let kk = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    nl = nl * view.slog[lb * n + kk];
+                }
+                // Relax over every last-joined relation j ∈ T.
+                let mut best = LogNum::INFINITY;
+                let mut bj = u8::MAX;
+                let mut tb = tm;
+                while tb != 0 {
+                    let j = tb.trailing_zeros() as usize;
+                    tb &= tb - 1;
+                    let s = t & !(1 << j);
+                    if unreached(dp[s]) {
+                        continue;
+                    }
+                    if !allow_cartesian && view.nbr[j] & s as u32 == 0 {
+                        continue;
+                    }
+                    let wmin = m_prev[pos[s] as usize * n + j];
+                    let cand = dp[s] + nlog[s] * wmin;
+                    if cand < best {
+                        best = cand;
+                        bj = j as u8;
+                    }
+                }
+                res[i] = (best, nl, bj);
+            }
+            Ok(())
+        })?;
+
+        for (i, &tm) in targets.iter().enumerate() {
+            let (c, nl, pj) = results[i];
+            dp[tm as usize] = c;
+            nlog[tm as usize] = nl;
+            parent[tm as usize] = pj;
+            pos[tm as usize] = i as u32;
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+    }
+    Ok(LogDp { dp, parent })
+}
+
+/// Runs `f(targets_chunk, results_chunk, mrows_chunk)` over aligned chunks
+/// of a layer on scoped workers; `mrows` carries `n` entries per target.
+fn par_layer<E: Send>(
+    threads: usize,
+    targets: &[u32],
+    results: &mut [(LogNum, LogNum, u8)],
+    mrows: &mut [LogNum],
+    n: usize,
+    f: impl Fn(&[u32], &mut [(LogNum, LogNum, u8)], &mut [LogNum]) -> Result<(), E> + Sync,
+) -> Result<(), E> {
+    if targets.is_empty() {
+        return Ok(());
+    }
+    let chunk = targets.len().div_ceil(threads.max(1));
+    if chunk >= targets.len() {
+        return f(targets, results, mrows);
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for ((tc, rc), mc) in
+            targets.chunks(chunk).zip(results.chunks_mut(chunk)).zip(mrows.chunks_mut(chunk * n))
+        {
+            handles.push(scope.spawn(move || f(tc, rc, mc)));
+        }
+        let mut result = Ok(());
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        result
+    })
+}
+
+/// Precomputed exact-scalar view: `t_j`, `w*(j,k)`, and edge selectivities
+/// embedded into `S` once, so phase B's loop clones nothing.
+struct ExactView<S> {
+    ts: Vec<S>,
+    wexs: Vec<S>,
+    sels: Vec<S>,
+}
+
+impl<S: CostScalar> ExactView<S> {
+    fn build(inst: &QoNInstance) -> ExactView<S> {
+        let n = inst.n();
+        let ts: Vec<S> = inst.sizes().iter().map(S::from_count).collect();
+        let mut wexs: Vec<S> = Vec::with_capacity(n * n);
+        let mut sels: Vec<S> = Vec::with_capacity(n * n);
+        for (j, tj) in ts.iter().enumerate() {
+            for k in 0..n {
+                if j == k {
+                    wexs.push(tj.clone()); // placeholder, never selected
+                    sels.push(S::one());
+                    continue;
+                }
+                wexs.push(S::from_count(&inst.w(j, k)));
+                sels.push(if inst.graph().has_edge(j, k) {
+                    S::from_ratio(&inst.selectivity().get(j, k))
+                } else {
+                    S::one()
+                });
+            }
+        }
+        ExactView { ts, wexs, sels }
+    }
+}
+
+/// Phase B: the exact DP, layer-parallel, skipping every subset whose
+/// phase-A estimate exceeds `bound_log2`.
+#[allow(clippy::too_many_arguments)]
+fn exact_phase<S: CostScalar + Send + Sync>(
+    inst: &QoNInstance,
+    layers: &Layers,
+    allow_cartesian: bool,
+    threads: usize,
+    budget: &Budget,
+    prune: Option<(&[LogNum], f64)>,
+    nbr: &[u32],
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let n = inst.n();
+    let full = (1usize << n) - 1;
+    let widest = layers.widest_layer();
+    let entry = std::mem::size_of::<Option<S>>();
+    let table_bytes = (full + 1) * (2 * entry + 1)
+        + widest * std::mem::size_of::<Option<(S, S, u8)>>()
+        + (2 * n * n + n) * entry;
+    budget.charge_memory(table_bytes as u64)?;
+    budget.checkpoint()?;
+
+    let view = ExactView::<S>::build(inst);
+    let mut dp: Vec<Option<S>> = vec![None; full + 1];
+    let mut nsize: Vec<Option<S>> = vec![None; full + 1];
+    let mut parent = vec![u8::MAX; full + 1];
+    for v in 0..n {
+        dp[1 << v] = Some(S::zero());
+        nsize[1 << v] = Some(S::from_count(&inst.sizes()[v]));
+    }
+    let mut results: Vec<Option<(S, S, u8)>> = Vec::new();
+
+    for k in 2..=n {
+        let targets = layers.layer(k);
+        results.clear();
+        results.resize(targets.len(), None);
+
+        par_chunks_zip(threads, targets, &mut results, |_, ts, res| {
+            for (i, &tm) in ts.iter().enumerate() {
+                let t = tm as usize;
+                if let Some((est, bound)) = prune {
+                    if est[t].log2() > bound {
+                        budget.tick_n(1)?;
+                        continue; // provably off every improving path
+                    }
+                }
+                budget.tick_n(k as u64)?;
+                let mut best: Option<(S, u8)> = None;
+                let mut tb = tm;
+                while tb != 0 {
+                    let j = tb.trailing_zeros() as usize;
+                    tb &= tb - 1;
+                    let s = t & !(1 << j);
+                    let Some(dps) = dp[s].as_ref() else { continue };
+                    if !allow_cartesian && nbr[j] & s as u32 == 0 {
+                        continue;
+                    }
+                    let ns = nsize[s].as_ref().expect("N(S) set with dp");
+                    // min_{k ∈ S} w*(j,k), by reference: zero clones.
+                    let mut sb = s as u32;
+                    let k0 = sb.trailing_zeros() as usize;
+                    sb &= sb - 1;
+                    let mut wmin = &view.wexs[j * n + k0];
+                    while sb != 0 {
+                        let kk = sb.trailing_zeros() as usize;
+                        sb &= sb - 1;
+                        let w = &view.wexs[j * n + kk];
+                        if w < wmin {
+                            wmin = w;
+                        }
+                    }
+                    let cand = dps.add(&ns.mul(wmin));
+                    if best.as_ref().is_none_or(|(b, _)| cand < *b) {
+                        best = Some((cand, j as u8));
+                    }
+                }
+                res[i] = best.map(|(cost, j)| {
+                    // N(T) once per subset, from the winning parent only.
+                    let s = t & !(1 << j as usize);
+                    let mut nn =
+                        nsize[s].as_ref().expect("winner has N(S)").mul(&view.ts[j as usize]);
+                    let mut bits = nbr[j as usize] & s as u32;
+                    while bits != 0 {
+                        let kk = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        nn = nn.mul(&view.sels[j as usize * n + kk]);
+                    }
+                    (cost, nn, j)
+                });
+            }
+            Ok(())
+        })?;
+
+        for (i, &tm) in targets.iter().enumerate() {
+            if let Some((c, nn, pj)) = results[i].take() {
+                dp[tm as usize] = Some(c);
+                nsize[tm as usize] = Some(nn);
+                parent[tm as usize] = pj;
+            }
+        }
+    }
+
+    let Some(cost) = dp[full].take() else { return Ok(None) };
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask.count_ones() > 1 {
+        let j = parent[mask] as usize;
+        order.push(j);
+        mask &= !(1 << j);
+    }
+    order.push(mask.trailing_zeros() as usize);
+    order.reverse();
+    Ok(Some(Optimum { sequence: JoinSequence::new(order), cost }))
+}
+
+/// Phase A alone: the layer-parallel log-domain DP. Fast and allocation
+/// free in the hot loop, but subject to `f64` rounding like any
+/// [`LogNum`] optimizer; use [`optimize_two_phase`] when exact optimality
+/// must be certified.
+pub fn optimize_log_parallel(
+    inst: &QoNInstance,
+    opts: &DpOptions,
+    budget: &Budget,
+) -> Result<Option<Optimum<LogNum>>, BudgetExceeded> {
+    let n = inst.n();
+    assert!((1..=MAX_N).contains(&n), "engine DP is for n in 1..={MAX_N}");
+    if n == 1 {
+        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: LogNum::ZERO }));
+    }
+    let threads = resolve_threads(opts.threads);
+    let layers = Layers::build(n);
+    let log = log_phase(inst, &layers, opts.allow_cartesian, threads, budget)?;
+    let full = (1usize << n) - 1;
+    Ok(log
+        .reconstruct(n)
+        .map(|sequence| Optimum { sequence, cost: log.dp[full] }))
+}
+
+/// The two-phase engine: log-domain phase A for a candidate and per-subset
+/// pruning estimates, exact phase B (in the caller's scalar `S`) that
+/// verifies or repairs the candidate and returns the certified optimum.
+///
+/// Bit-identical to [`crate::dp::optimize_with_budget`] in returned cost
+/// for every thread count; the plan is a valid sequence achieving that
+/// cost (tie-breaking may choose a different equal-cost plan).
+pub fn optimize_two_phase<S: CostScalar + Send + Sync>(
+    inst: &QoNInstance,
+    opts: &DpOptions,
+    budget: &Budget,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let n = inst.n();
+    assert!((1..=MAX_N).contains(&n), "engine DP is for n in 1..={MAX_N}");
+    if n == 1 {
+        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
+    }
+    let threads = resolve_threads(opts.threads);
+    let layers = Layers::build(n);
+    let log = log_phase(inst, &layers, opts.allow_cartesian, threads, budget)?;
+    let Some(candidate) = log.reconstruct(n) else {
+        // Unreachable full set is a combinatorial fact (disconnected graph
+        // under the no-cartesian rule), identical in both scalars.
+        return Ok(None);
+    };
+    let exact_candidate: S = inst.total_cost(&candidate);
+    let bound = exact_candidate.log2() + PRUNE_MARGIN_BITS;
+    let nbr: Vec<u32> = (0..n)
+        .map(|j| inst.graph().neighbors(j).iter().fold(0u32, |m, k| m | 1 << k))
+        .collect();
+    let opt = exact_phase::<S>(
+        inst,
+        &layers,
+        opts.allow_cartesian,
+        threads,
+        budget,
+        Some((&log.dp, bound)),
+        &nbr,
+    )?;
+    debug_assert!(opt.is_some(), "candidate path is never pruned");
+    Ok(opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use aqo_bignum::{BigInt, BigRational, BigUint};
+    use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+    use aqo_graph::Graph;
+
+    fn random_instance(seed: u64, n: usize, extra_edges: usize) -> QoNInstance {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge((next() % v as u64) as usize, v);
+        }
+        for _ in 0..extra_edges {
+            let u = (next() % n as u64) as usize;
+            let v = (next() % n as u64) as usize;
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(2 + next() % 40)).collect();
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 9));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    }
+
+    #[test]
+    fn two_phase_matches_sequential_dp_exactly() {
+        for seed in 0..10u64 {
+            let inst = random_instance(seed, 7, 7);
+            for allow in [true, false] {
+                let seq = dp::optimize::<BigRational>(&inst, allow);
+                for threads in [1usize, 2, 4] {
+                    let opts = DpOptions { allow_cartesian: allow, threads };
+                    let par = optimize_two_phase::<BigRational>(
+                        &inst,
+                        &opts,
+                        &Budget::unlimited(),
+                    )
+                    .unwrap();
+                    match (&seq, &par) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.cost, b.cost, "seed {seed} threads {threads}");
+                            let recost: BigRational = inst.total_cost(&b.sequence);
+                            assert_eq!(recost, b.cost);
+                            if !allow {
+                                assert!(!inst.has_cartesian_product(&b.sequence));
+                            }
+                        }
+                        (None, None) => {}
+                        other => panic!("feasibility mismatch: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_parallel_deterministic_and_close_to_sequential_log_dp() {
+        for seed in [3u64, 11, 29] {
+            let inst = random_instance(seed, 8, 6);
+            let seq = dp::optimize::<LogNum>(&inst, true).unwrap();
+            let mut baseline: Option<(u64, Vec<usize>)> = None;
+            for threads in [1usize, 2, 3, 7] {
+                let opts = DpOptions { allow_cartesian: true, threads };
+                let par =
+                    optimize_log_parallel(&inst, &opts, &Budget::unlimited()).unwrap().unwrap();
+                // The engine evaluates the same canonical recurrence for any
+                // thread count: bit-identical cost AND identical plan.
+                let fp = (par.cost.log2().to_bits(), par.sequence.order().to_vec());
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(b) => assert_eq!(*b, fp, "seed {seed} threads {threads}"),
+                }
+                // Against the sequential push-style log DP the association
+                // order of the f64 products differs, so agreement is to
+                // float precision, not to the bit.
+                assert!(
+                    (par.cost.log2() - seq.cost.log2()).abs() < 1e-9,
+                    "seed {seed}: engine {} vs dp {}",
+                    par.cost.log2(),
+                    seq.cost.log2()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_instances() {
+        let g = Graph::new(4);
+        let inst = QoNInstance::new(
+            g,
+            vec![BigUint::from(3u64); 4],
+            SelectivityMatrix::new(),
+            AccessCostMatrix::new(),
+        );
+        let opts = DpOptions { allow_cartesian: false, threads: 2 };
+        assert!(optimize_two_phase::<BigRational>(&inst, &opts, &Budget::unlimited())
+            .unwrap()
+            .is_none());
+        let opts = DpOptions { allow_cartesian: true, threads: 2 };
+        let opt = optimize_two_phase::<BigRational>(&inst, &opts, &Budget::unlimited())
+            .unwrap()
+            .unwrap();
+        let seq = dp::optimize::<BigRational>(&inst, true).unwrap();
+        assert_eq!(opt.cost, seq.cost);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let inst = QoNInstance::new(
+            Graph::new(1),
+            vec![BigUint::from(9u64)],
+            SelectivityMatrix::new(),
+            AccessCostMatrix::new(),
+        );
+        let opt = optimize_two_phase::<BigRational>(
+            &inst,
+            &DpOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap()
+        .unwrap();
+        assert!(opt.cost.is_zero());
+    }
+
+    #[test]
+    fn expansion_cap_trips_in_parallel_layers() {
+        let inst = random_instance(5, 9, 6);
+        let budget = Budget::unlimited().with_max_expansions(40);
+        let opts = DpOptions { allow_cartesian: true, threads: 4 };
+        let err = optimize_two_phase::<BigRational>(&inst, &opts, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+    }
+
+    #[test]
+    fn memory_cap_counts_worker_scratch() {
+        let inst = random_instance(6, 12, 8);
+        // The shared 2^n tables alone would fit; the scratch must push the
+        // charge over this cap.
+        let layers = Layers::build(12);
+        let shared = (4096 + 1) * (2 * std::mem::size_of::<LogNum>() + 1);
+        let scratch = layers.widest_layer() * std::mem::size_of::<(LogNum, LogNum, u8)>();
+        assert!(scratch > 0);
+        let budget = Budget::unlimited().with_max_memory_bytes((shared + scratch / 2) as u64);
+        let opts = DpOptions { allow_cartesian: true, threads: 2 };
+        let err = optimize_two_phase::<BigRational>(&inst, &opts, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Memory);
+        assert_eq!(err.expansions, 0, "charged before any expansion");
+    }
+
+    #[test]
+    fn layers_cover_all_masks_in_order() {
+        let l = Layers::build(5);
+        assert_eq!(l.masks.len(), 31);
+        let mut seen = std::collections::HashSet::new();
+        for k in 1..=5usize {
+            let layer = l.layer(k);
+            assert!(layer.windows(2).all(|w| w[0] < w[1]));
+            for &m in layer {
+                assert_eq!(m.count_ones() as usize, k);
+                assert!(seen.insert(m));
+            }
+        }
+        assert_eq!(seen.len(), 31);
+        assert_eq!(l.widest_layer(), 10);
+    }
+}

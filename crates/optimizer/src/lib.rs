@@ -10,7 +10,10 @@
 //!   - [`dp`] — Selinger-style dynamic programming over vertex subsets
 //!     (left-deep plans), exact for the QO_N cost model since both `N(X)`
 //!     and `min_k w_{jk}` depend on the prefix only through its *set*;
-//!   - [`branch_bound`] — DFS with the admissible partial-cost bound;
+//!   - [`branch_bound`] — DFS with the admissible partial-cost bound,
+//!     optionally parallel with a shared atomic incumbent bound;
+//!   - [`engine`] — the layer-parallel, allocation-lean two-phase
+//!     (log-domain then exact) subset DP engine;
 //!   - [`pipeline`] — QO_H: optimal pipeline decomposition of a given
 //!     sequence by interval DP with per-fragment optimal memory allocation;
 //!   - [`star`] — SQO−CP: subset DP over satellites, plus an exhaustive
@@ -27,6 +30,7 @@
 
 pub mod branch_bound;
 pub mod dp;
+pub mod engine;
 pub mod exhaustive;
 pub mod genetic;
 pub mod greedy;

@@ -95,6 +95,54 @@ pub fn optimize_exhaustive_with_budget(
     Ok(best)
 }
 
+/// Parallel [`optimize_exhaustive`]: worker `t` decomposes every feasible
+/// sequence whose lexicographic index is `≡ t (mod threads)` and workers
+/// are reduced by `(cost, index)` — the winner is the lowest-index sequence
+/// of minimal cost, exactly what the sequential scan returns, for every
+/// thread count. `threads = 0` means one worker per hardware thread.
+pub fn optimize_exhaustive_par_with_budget(
+    inst: &QoHInstance,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Option<QohPlan>, BudgetExceeded> {
+    use aqo_core::parallel::{resolve_threads, run_workers};
+    let n = inst.n();
+    assert!((2..=9).contains(&n), "exhaustive QO_H search is for n in 2..=9");
+    let threads = resolve_threads(threads);
+    let outcomes = run_workers(threads, |t| -> Result<Option<(QohPlan, usize)>, BudgetExceeded> {
+        let mut best: Option<(QohPlan, usize)> = None;
+        for (i, perm) in aqo_core::join::permutations(n).enumerate() {
+            if i % threads != t {
+                continue;
+            }
+            budget.tick()?;
+            let z = JoinSequence::new(perm);
+            if !inst.sequence_feasible(&z) {
+                continue;
+            }
+            if let Some((decomp, cost)) = best_decomposition(inst, &z) {
+                if best.as_ref().is_none_or(|(b, _)| cost < b.cost) {
+                    best = Some((QohPlan { sequence: z, decomposition: decomp, cost }, i));
+                }
+            }
+        }
+        Ok(best)
+    });
+    let mut best: Option<(QohPlan, usize)> = None;
+    for outcome in outcomes {
+        if let Some((plan, i)) = outcome? {
+            let better = match &best {
+                None => true,
+                Some((b, bi)) => plan.cost < b.cost || (plan.cost == b.cost && i < *bi),
+            };
+            if better {
+                best = Some((plan, i));
+            }
+        }
+    }
+    Ok(best.map(|(plan, _)| plan))
+}
+
 /// Polynomial-time QO_H heuristic: a greedy min-intermediate sequence
 /// (respecting feasibility — relations whose `hjmin` exceeds `M` must come
 /// first) followed by the exact decomposition DP, then improved by 2-opt
@@ -290,6 +338,28 @@ mod tests {
         let budgeted = optimize_exhaustive_with_budget(&inst, &roomy).unwrap().unwrap();
         let free = optimize_exhaustive(&inst).unwrap();
         assert_eq!(budgeted.cost, free.cost);
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_sequential_exactly() {
+        for mem in [60u64, 200, 700] {
+            let inst = path(5, mem);
+            let seq = optimize_exhaustive(&inst);
+            for threads in [1usize, 2, 4] {
+                let par =
+                    optimize_exhaustive_par_with_budget(&inst, threads, &Budget::unlimited())
+                        .unwrap();
+                match (&seq, &par) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.cost, b.cost, "mem={mem} threads={threads}");
+                        assert_eq!(a.sequence.order(), b.sequence.order());
+                        assert_eq!(a.decomposition.fragments(), b.decomposition.fragments());
+                    }
+                    (None, None) => {}
+                    other => panic!("feasibility mismatch: {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Budget cancellation under parallelism: a deadline or cancel token
+//! tripping *inside* a parallel layer must surface `BudgetExceeded`
+//! promptly, and `std::thread::scope` must join every worker before the
+//! error returns — no leaked threads, and the process stays healthy enough
+//! to run the same optimization again afterwards.
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::budget::{Budget, BudgetKind, CancelToken};
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+use aqo_graph::Graph;
+use aqo_optimizer::{branch_bound, engine};
+use std::time::{Duration, Instant};
+
+/// A clique-ish instance big enough that the DP has work spanning many
+/// layers (n = 15 → 32768 subsets) without being slow when unbudgeted.
+fn big_instance(n: usize) -> QoNInstance {
+    let mut g = Graph::new(n);
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    let sizes: Vec<BigUint> = (0..n).map(|i| BigUint::from(3 + (i as u64 % 7))).collect();
+    for v in 1..n {
+        for u in v.saturating_sub(3)..v {
+            g.add_edge(u, v);
+            let sel = BigRational::new(BigInt::one(), BigUint::from(3u64));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+    }
+    QoNInstance::new(g, sizes, s, w)
+}
+
+#[test]
+fn deadline_mid_layer_trips_promptly() {
+    let inst = big_instance(15);
+    let opts = engine::DpOptions { allow_cartesian: true, threads: 4 };
+    // A deadline far shorter than the full run: it expires while workers
+    // are deep inside some layer.
+    let budget = Budget::unlimited().with_timeout(Duration::from_millis(2));
+    std::thread::sleep(Duration::from_millis(3));
+    let start = Instant::now();
+    let err = engine::optimize_two_phase::<BigRational>(&inst, &opts, &budget).unwrap_err();
+    assert_eq!(err.kind, BudgetKind::Deadline);
+    // Promptness: workers notice within their next clock-check period, not
+    // after finishing the layer (the full unbudgeted run takes far longer).
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "cancellation took {:?}",
+        start.elapsed()
+    );
+    // The scoped pool joined everything: the same instance still optimizes
+    // to completion on a fresh budget in this very process.
+    let ok = engine::optimize_two_phase::<BigRational>(&inst, &opts, &Budget::unlimited())
+        .unwrap()
+        .unwrap();
+    let recost: BigRational = inst.total_cost(&ok.sequence);
+    assert_eq!(recost, ok.cost);
+}
+
+#[test]
+fn cancel_token_from_another_thread_stops_parallel_layers() {
+    let inst = big_instance(16);
+    let opts = engine::DpOptions { allow_cartesian: true, threads: 4 };
+    let token = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel_token(token.clone());
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+        })
+    };
+    let result = engine::optimize_two_phase::<BigRational>(&inst, &opts, &budget);
+    canceller.join().expect("canceller thread");
+    match result {
+        // The usual outcome: the token fires mid-DP and every worker
+        // unwinds with `Cancelled`.
+        Err(err) => assert_eq!(err.kind, BudgetKind::Cancelled),
+        // On a very fast machine the DP may legitimately finish first;
+        // then the answer must be a valid optimum.
+        Ok(Some(opt)) => {
+            let recost: BigRational = inst.total_cost(&opt.sequence);
+            assert_eq!(recost, opt.cost);
+        }
+        Ok(None) => panic!("connected instance reported infeasible"),
+    }
+}
+
+#[test]
+fn expansion_cap_shared_by_workers_trips_once() {
+    let inst = big_instance(12);
+    let opts = engine::DpOptions { allow_cartesian: true, threads: 4 };
+    let cap = 500;
+    let budget = Budget::unlimited().with_max_expansions(cap);
+    let err = engine::optimize_two_phase::<BigRational>(&inst, &opts, &budget).unwrap_err();
+    assert_eq!(err.kind, BudgetKind::Expansions);
+    // The counter is shared across workers: the recorded total reflects
+    // all of them and sits just past the cap, not `threads ×` past it.
+    assert!(err.expansions > cap);
+    assert!(
+        err.expansions < cap + 4 * 16,
+        "expansion accounting drifted: {} for cap {cap}",
+        err.expansions
+    );
+}
+
+#[test]
+fn parallel_bnb_deadline_trips_and_recovers() {
+    let inst = big_instance(13);
+    let budget = Budget::unlimited().with_timeout(Duration::from_millis(2));
+    std::thread::sleep(Duration::from_millis(3));
+    let err = branch_bound::optimize_par_with_budget::<BigRational>(&inst, true, 4, &budget)
+        .unwrap_err();
+    assert_eq!(err.kind, BudgetKind::Deadline);
+    // Fresh budget, same process: the pool was fully joined.
+    let seq = branch_bound::optimize_par_with_budget::<BigRational>(
+        &inst,
+        true,
+        4,
+        &Budget::unlimited(),
+    )
+    .unwrap()
+    .unwrap();
+    let recost: BigRational = inst.total_cost(&seq.sequence);
+    assert_eq!(recost, seq.cost);
+}
