@@ -22,6 +22,16 @@
 //! swallowed — goes to stderr; the plan goes to stdout as usual. The
 //! `AQO_FAULTS` environment variable arms fault-injection sites (see
 //! [`aqo_driver::faults`]).
+//!
+//! Observability: `--metrics` prints a metrics summary table to stderr,
+//! `--trace-json <path>` writes the structured event journal as JSON Lines,
+//! and `--report-json <path>` writes the driver report as JSON. Turning on
+//! `--metrics` or `--trace-json` without an explicit `--method` routes
+//! through the driver (so tier events appear in the trace) and forces the
+//! DP tier through the parallel engine even at `--threads 1`, keeping the
+//! deterministic `optimizer.engine.*` counters comparable across thread
+//! counts. `aqo trace-check <path>` validates a journal without external
+//! tools.
 
 use aqo_bignum::{BigRational, BigUint};
 use aqo_core::{textio, workloads, CostScalar};
@@ -95,7 +105,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum)."
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -147,6 +157,44 @@ fn driver_flags(args: &[String]) -> Result<Option<DriverFlags>, CliError> {
     }))
 }
 
+/// The observability flags shared by `optimize` and `optimize-qoh`.
+/// Parsing does not enable collection; callers do that once arguments are
+/// fully validated (so a usage error never leaves obs half-armed).
+struct ObsFlags {
+    metrics: bool,
+    trace_json: Option<String>,
+    report_json: Option<String>,
+}
+
+impl ObsFlags {
+    /// Whether metric/journal collection should be switched on.
+    fn collecting(&self) -> bool {
+        self.metrics || self.trace_json.is_some()
+    }
+}
+
+fn obs_flags(args: &[String]) -> Result<ObsFlags, CliError> {
+    Ok(ObsFlags {
+        metrics: args.iter().any(|a| a == "--metrics"),
+        trace_json: required_flag_value(args, "--trace-json")?.map(str::to_string),
+        report_json: required_flag_value(args, "--report-json")?.map(str::to_string),
+    })
+}
+
+/// Flushes the journal to `--trace-json` and the summary table to stderr
+/// for `--metrics`, after the optimization ran.
+fn finish_obs(obs: &ObsFlags) -> Result<(), CliError> {
+    if let Some(path) = &obs.trace_json {
+        let events = aqo_obs::journal::drain();
+        std::fs::write(path, aqo_obs::journal::to_jsonl(&events))
+            .map_err(|source| CliError::Io { path: path.clone(), source })?;
+    }
+    if obs.metrics {
+        eprint!("{}", aqo_obs::render_summary());
+    }
+    Ok(())
+}
+
 fn read_file(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path)
         .map_err(|source| CliError::Io { path: path.to_string(), source })
@@ -159,6 +207,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("optimize-qoh") => cmd_optimize_qoh(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
         Some("clique") => cmd_clique(&args[1..]),
         _ => Err(CliError::usage("missing or unknown subcommand")),
@@ -193,15 +242,31 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or_else(|| CliError::usage("optimize: missing file"))?;
-    let text = read_file(path)?;
-    let inst = textio::qon_from_text(&text)
-        .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
+    // Flags are validated before the file is touched: a malformed
+    // invocation is a usage error regardless of what the operand holds.
+    let method_given = flag_value(args, "--method").is_some();
     let method = flag_value(args, "--method").unwrap_or("dp");
     let allow_cartesian = !args.iter().any(|a| a == "--no-cartesian");
     let threads = threads_flag(args)?;
+    let obs = obs_flags(args)?;
+    let dflags = driver_flags(args)?;
+    let text = read_file(path)?;
+    let inst = textio::qon_from_text(&text)
+        .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
+    // Any driver flag, --report-json, or obs without an explicit --method
+    // routes through the driver (the trace then carries tier events).
+    let route_driver =
+        dflags.is_some() || obs.report_json.is_some() || (obs.collecting() && !method_given);
+    if obs.collecting() {
+        aqo_obs::set_enabled(true);
+    }
 
     let (label, sequence): (String, aqo_core::JoinSequence) =
-        if let Some(flags) = driver_flags(args)? {
+        if route_driver {
+            let flags = dflags.unwrap_or(DriverFlags {
+                budget: BudgetSpec::unlimited(),
+                fallback: None,
+            });
             let chain = match &flags.fallback {
                 Some(spec) => QonTier::parse_chain(spec)
                     .map_err(|e| CliError::usage(format!("--fallback: {e}")))?,
@@ -212,10 +277,15 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
                 chain,
                 allow_cartesian,
                 threads,
+                force_engine_dp: obs.collecting(),
                 ..QonDriverConfig::default()
             };
             let outcome = aqo_driver::optimize_qon(&inst, &cfg).map_err(CliError::Driver)?;
             eprintln!("driver: {}", outcome.report);
+            if let Some(path) = &obs.report_json {
+                std::fs::write(path, outcome.report.to_json())
+                    .map_err(|source| CliError::Io { path: path.clone(), source })?;
+            }
             (format!("driver ({} tier)", outcome.report.tier), outcome.optimum.sequence)
         } else {
             let mut rng = StdRng::seed_from_u64(0);
@@ -293,7 +363,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
         println!();
         print!("{}", aqo_core::explain::explain_qon(&inst, &sequence));
     }
-    Ok(())
+    finish_obs(&obs)
 }
 
 fn infeasible_qon() -> CliError {
@@ -302,13 +372,25 @@ fn infeasible_qon() -> CliError {
 
 fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
     let path = args.first().ok_or_else(|| CliError::usage("optimize-qoh: missing file"))?;
+    let method_given = flag_value(args, "--method").is_some();
+    let method = flag_value(args, "--method").unwrap_or("greedy");
+    let threads = threads_flag(args)?;
+    let obs = obs_flags(args)?;
+    let dflags = driver_flags(args)?;
     let text = read_file(path)?;
     let inst = textio::qoh_from_text(&text)
         .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
-    let method = flag_value(args, "--method").unwrap_or("greedy");
-    let threads = threads_flag(args)?;
+    let route_driver =
+        dflags.is_some() || obs.report_json.is_some() || (obs.collecting() && !method_given);
+    if obs.collecting() {
+        aqo_obs::set_enabled(true);
+    }
 
-    let (label, plan): (String, pipeline::QohPlan) = if let Some(flags) = driver_flags(args)? {
+    let (label, plan): (String, pipeline::QohPlan) = if route_driver {
+        let flags = dflags.unwrap_or(DriverFlags {
+            budget: BudgetSpec::unlimited(),
+            fallback: None,
+        });
         let chain = match &flags.fallback {
             Some(spec) => QohTier::parse_chain(spec)
                 .map_err(|e| CliError::usage(format!("--fallback: {e}")))?,
@@ -322,6 +404,10 @@ fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
         };
         let outcome = aqo_driver::optimize_qoh(&inst, &cfg).map_err(CliError::Driver)?;
         eprintln!("driver: {}", outcome.report);
+        if let Some(path) = &obs.report_json {
+            std::fs::write(path, outcome.report.to_json())
+                .map_err(|source| CliError::Io { path: path.clone(), source })?;
+        }
         (format!("driver ({} tier)", outcome.report.tier), outcome.plan)
     } else {
         let plan = match method {
@@ -356,6 +442,46 @@ fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {
             print!("{text}");
         }
     }
+    finish_obs(&obs)
+}
+
+/// Validates a `--trace-json` journal: every nonempty line must parse as a
+/// JSON object carrying a `type` field, and a healthy optimize trace must
+/// contain at least one `tier_start` and one `span` event. Prints per-type
+/// event counts; exits nonzero on any violation.
+fn cmd_trace_check(args: &[String]) -> Result<(), CliError> {
+    let path = args.first().ok_or_else(|| CliError::usage("trace-check: missing file"))?;
+    let text = read_file(path)?;
+    let mut counts: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = aqo_obs::json::parse(line).map_err(|e| CliError::Parse {
+            path: path.to_string(),
+            message: format!("line {}: {e}", i + 1),
+        })?;
+        let etype = doc.get("type").and_then(|v| v.as_str()).ok_or_else(|| CliError::Parse {
+            path: path.to_string(),
+            message: format!("line {}: event has no `type` field", i + 1),
+        })?;
+        *counts.entry(etype.to_string()).or_insert(0) += 1;
+        total += 1;
+    }
+    for (etype, n) in &counts {
+        println!("{etype:<18} {n}");
+    }
+    println!("{:<18} {total}", "total");
+    for required in ["tier_start", "span"] {
+        if counts.get(required).copied().unwrap_or(0) == 0 {
+            return Err(CliError::Parse {
+                path: path.to_string(),
+                message: format!("journal has no `{required}` events"),
+            });
+        }
+    }
+    println!("ok");
     Ok(())
 }
 

@@ -4,13 +4,16 @@
 //! trail; this module is the CI-friendly counterpart. It times the
 //! sequential and parallel optimizer engines over the deterministic
 //! workload generators and emits one JSON document
-//! (`BENCH_optimizer.json`, schema `aqo-bench-optimizer/v1`) with the
+//! (`BENCH_optimizer.json`, schema `aqo-bench-optimizer/v2`) with the
 //! median wall-time per `(family, n, algorithm, scalar, mode)` cell and
 //! the sequential-over-parallel speedup on every parallel record — so the
 //! perf trajectory is tracked across PRs regardless of which machine ran
 //! it. Every timed pair is also cross-checked for cost agreement: a bench
 //! run that observes a seq/par divergence panics rather than recording a
-//! lie.
+//! lie. Since v2 each record embeds the nonzero deterministic counters
+//! ([`aqo_obs::counters_snapshot`]) captured from its cross-check run;
+//! the timed runs themselves execute with collection disabled, so the
+//! medians measure the instrumented-but-disabled hot path.
 
 use aqo_bignum::{BigRational, LogNum};
 use aqo_core::budget::Budget;
@@ -53,6 +56,26 @@ pub struct BenchRecord {
     pub samples: usize,
     /// `seq_median / par_median`, present on `par` records only.
     pub speedup: Option<f64>,
+    /// Nonzero counters captured from this cell's (untimed) cross-check
+    /// run, sorted by name. Deterministic for the DP/engine algorithms.
+    pub metrics: Vec<(String, u64)>,
+}
+
+/// Runs `f` once with metric collection enabled and returns its result
+/// together with the nonzero counters it produced. The registry and the
+/// journal are cleared on both sides and collection is restored to its
+/// prior state, so the timed runs that follow measure the disabled path.
+fn capture_metrics<R>(f: impl FnOnce() -> R) -> (R, Vec<(String, u64)>) {
+    let was_enabled = aqo_obs::enabled();
+    aqo_obs::reset_metrics();
+    aqo_obs::journal::clear();
+    aqo_obs::set_enabled(true);
+    let r = f();
+    aqo_obs::set_enabled(was_enabled);
+    let counters = aqo_obs::counters_snapshot();
+    aqo_obs::reset_metrics();
+    aqo_obs::journal::clear();
+    (r, counters)
 }
 
 struct Family {
@@ -116,11 +139,13 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
         for &n in fam.lognum_ns {
             let inst = instance(fam.name, n, 42 + n as u64);
             let opts = engine::DpOptions { allow_cartesian: true, threads };
-            let seq_cost = dp::optimize::<LogNum>(&inst, true).expect("connected").cost;
-            let par_cost = engine::optimize_log_parallel(&inst, &opts, &budget)
-                .expect("unlimited")
-                .expect("connected")
-                .cost;
+            let (seq_run, seq_metrics) =
+                capture_metrics(|| dp::optimize::<LogNum>(&inst, true));
+            let seq_cost = seq_run.expect("connected").cost;
+            let (par_run, par_metrics) = capture_metrics(|| {
+                engine::optimize_log_parallel(&inst, &opts, &budget)
+            });
+            let par_cost = par_run.expect("unlimited").expect("connected").cost;
             assert!(
                 (seq_cost.log2() - par_cost.log2()).abs() < 1e-6,
                 "{} n={n}: log-domain seq/par cost divergence",
@@ -140,6 +165,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 median_ms: seq_ms,
                 samples,
                 speedup: None,
+                metrics: seq_metrics,
             });
             records.push(BenchRecord {
                 family: fam.name,
@@ -151,16 +177,19 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 median_ms: par_ms,
                 samples,
                 speedup: Some(seq_ms / par_ms.max(1e-9)),
+                metrics: par_metrics,
             });
         }
         for &n in fam.exact_ns {
             let inst = instance(fam.name, n, 42 + n as u64);
             let opts = engine::DpOptions { allow_cartesian: true, threads };
-            let seq_cost = dp::optimize::<BigRational>(&inst, true).expect("connected").cost;
-            let par_cost = engine::optimize_two_phase::<BigRational>(&inst, &opts, &budget)
-                .expect("unlimited")
-                .expect("connected")
-                .cost;
+            let (seq_run, seq_metrics) =
+                capture_metrics(|| dp::optimize::<BigRational>(&inst, true));
+            let seq_cost = seq_run.expect("connected").cost;
+            let (par_run, par_metrics) = capture_metrics(|| {
+                engine::optimize_two_phase::<BigRational>(&inst, &opts, &budget)
+            });
+            let par_cost = par_run.expect("unlimited").expect("connected").cost;
             assert_eq!(seq_cost, par_cost, "{} n={n}: exact seq/par cost divergence", fam.name);
             let seq_ms = median_ms(samples, || dp::optimize::<BigRational>(&inst, true));
             let par_ms = median_ms(samples, || {
@@ -176,6 +205,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 median_ms: seq_ms,
                 samples,
                 speedup: None,
+                metrics: seq_metrics,
             });
             records.push(BenchRecord {
                 family: fam.name,
@@ -187,16 +217,18 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 median_ms: par_ms,
                 samples,
                 speedup: Some(seq_ms / par_ms.max(1e-9)),
+                metrics: par_metrics,
             });
         }
         for &n in fam.bnb_ns {
             let inst = instance(fam.name, n, 42 + n as u64);
-            let seq_cost = branch_bound::optimize::<BigRational>(&inst, true)
-                .expect("connected")
-                .cost;
-            let par_cost = branch_bound::optimize_par::<BigRational>(&inst, true, threads)
-                .expect("connected")
-                .cost;
+            let (seq_run, seq_metrics) =
+                capture_metrics(|| branch_bound::optimize::<BigRational>(&inst, true));
+            let seq_cost = seq_run.expect("connected").cost;
+            let (par_run, par_metrics) = capture_metrics(|| {
+                branch_bound::optimize_par::<BigRational>(&inst, true, threads)
+            });
+            let par_cost = par_run.expect("connected").cost;
             assert_eq!(seq_cost, par_cost, "{} n={n}: B&B seq/par cost divergence", fam.name);
             let seq_ms =
                 median_ms(samples, || branch_bound::optimize::<BigRational>(&inst, true));
@@ -213,6 +245,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 median_ms: seq_ms,
                 samples,
                 speedup: None,
+                metrics: seq_metrics,
             });
             records.push(BenchRecord {
                 family: fam.name,
@@ -224,19 +257,20 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 median_ms: par_ms,
                 samples,
                 speedup: Some(seq_ms / par_ms.max(1e-9)),
+                metrics: par_metrics,
             });
         }
     }
     records
 }
 
-/// Serializes a bench run as the `aqo-bench-optimizer/v1` JSON document.
+/// Serializes a bench run as the `aqo-bench-optimizer/v2` JSON document.
 /// Hand-rolled (no serde in the tree); every string field is a controlled
-/// identifier, so no escaping is required.
+/// identifier (metric names included), so no escaping is required.
 pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
     let mut out = String::with_capacity(256 + records.len() * 160);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"aqo-bench-optimizer/v1\",\n");
+    out.push_str("  \"schema\": \"aqo-bench-optimizer/v2\",\n");
     out.push_str(&format!("  \"profile\": \"{}\",\n", if cfg.quick { "quick" } else { "full" }));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -256,7 +290,14 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
         if let Some(s) = r.speedup {
             out.push_str(&format!(", \"speedup\": {s:.3}"));
         }
-        out.push('}');
+        out.push_str(", \"metrics\": {");
+        for (j, (name, value)) in r.metrics.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push_str("}}");
         if i + 1 < records.len() {
             out.push(',');
         }
@@ -313,6 +354,7 @@ mod tests {
                 median_ms: 1.25,
                 samples: 3,
                 speedup: None,
+                metrics: vec![("optimizer.dp.subsets_expanded".to_string(), 511)],
             },
             BenchRecord {
                 family: "chain",
@@ -324,11 +366,14 @@ mod tests {
                 median_ms: 0.5,
                 samples: 3,
                 speedup: Some(2.5),
+                metrics: Vec::new(),
             },
         ];
         let json = to_json(&cfg, &records);
-        assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v1\""));
+        assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v2\""));
         assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"metrics\": {\"optimizer.dp.subsets_expanded\": 511}"));
+        assert!(json.contains("\"metrics\": {}"));
         // Balanced braces/brackets and no trailing comma before closers.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -99,10 +99,15 @@ fn bench_quick_writes_wellformed_json() {
     assert!(ok, "bench failed: {err}");
     assert!(stdout.contains("wrote"), "stdout: {stdout}");
     let json = std::fs::read_to_string(&out_path).expect("bench JSON written");
-    assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v1\""), "json: {json}");
+    assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v2\""), "json: {json}");
     assert!(json.contains("\"records\""));
     assert!(json.contains("\"median_ms\""));
     assert!(json.contains("\"speedup\""));
+    assert!(json.contains("\"metrics\""), "v2 records embed metrics: {json}");
+    assert!(
+        json.contains("optimizer.dp.subsets_expanded"),
+        "dp cross-check run captured counters: {json}"
+    );
     // Structural sanity: balanced braces/brackets, non-empty records array.
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -114,6 +119,140 @@ fn unknown_subcommand_fails_with_usage() {
     let (ok, _, err) = aqo(&["frobnicate"]);
     assert!(!ok);
     assert!(err.contains("usage"));
+}
+
+#[test]
+fn value_flags_without_value_are_usage_errors() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("badflags.qon");
+    let (ok, instance, _) = aqo(&["gen", "chain", "4", "1"]);
+    assert!(ok);
+    std::fs::write(&path, &instance).unwrap();
+
+    for flag in [
+        "--trace-json",
+        "--report-json",
+        "--threads",
+        "--timeout-ms",
+        "--max-expansions",
+        "--fallback",
+    ] {
+        let (ok, _, err) = aqo(&["optimize", path.to_str().unwrap(), flag]);
+        assert!(!ok, "{flag} without value should fail");
+        assert!(err.contains("requires a value"), "{flag}: stderr was {err}");
+        let (ok, _, err) = aqo(&["optimize-qoh", path.to_str().unwrap(), flag]);
+        assert!(!ok, "optimize-qoh {flag} without value should fail");
+        assert!(err.contains("requires a value"), "{flag}: stderr was {err}");
+    }
+    let (ok, _, err) = aqo(&["bench", "--out"]);
+    assert!(!ok, "--out without value should fail");
+    assert!(err.contains("requires a value"), "stderr was {err}");
+}
+
+#[test]
+fn trace_json_and_metrics_roundtrip_through_trace_check() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let qon = dir.join("trace8.qon");
+    let trace = dir.join("trace8.jsonl");
+    let (ok, instance, _) = aqo(&["gen", "chain", "8", "5"]);
+    assert!(ok);
+    std::fs::write(&qon, &instance).unwrap();
+
+    let (ok, _, err) = aqo(&[
+        "optimize",
+        qon.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--metrics",
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(err.contains("metrics:"), "--metrics prints the summary: {err}");
+    assert!(err.contains("optimizer.engine.subsets_expanded"), "stderr: {err}");
+
+    let (ok, out, err) = aqo(&["trace-check", trace.to_str().unwrap()]);
+    assert!(ok, "trace-check failed: {err}");
+    assert!(out.contains("tier_start"), "stdout: {out}");
+    assert!(out.contains("span"), "stdout: {out}");
+    assert!(out.trim_end().ends_with("ok"), "stdout: {out}");
+}
+
+#[test]
+fn trace_check_rejects_garbage_and_missing_events() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("garbage.jsonl");
+    std::fs::write(&bad, "not json at all\n").unwrap();
+    let (ok, _, _) = aqo(&["trace-check", bad.to_str().unwrap()]);
+    assert!(!ok, "garbage journal must fail validation");
+
+    let empty_types = dir.join("nospans.jsonl");
+    std::fs::write(&empty_types, "{\"seq\": 0, \"us\": 1, \"type\": \"budget\"}\n").unwrap();
+    let (ok, _, err) = aqo(&["trace-check", empty_types.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("tier_start"), "stderr: {err}");
+}
+
+#[test]
+fn report_json_is_machine_readable() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let qon = dir.join("report6.qon");
+    let report = dir.join("report6.json");
+    let (ok, instance, _) = aqo(&["gen", "chain", "6", "2"]);
+    assert!(ok);
+    std::fs::write(&qon, &instance).unwrap();
+
+    let (ok, _, err) = aqo(&[
+        "optimize",
+        qon.to_str().unwrap(),
+        "--report-json",
+        report.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"tier\": \"dp\""), "json: {json}");
+    assert!(json.contains("\"exact\": true"), "json: {json}");
+    assert!(json.contains("\"failures\": []"), "json: {json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn injected_faults_appear_in_trace_journal() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let qon = dir.join("faults6.qon");
+    let trace = dir.join("faults6.jsonl");
+    let (ok, instance, _) = aqo(&["gen", "chain", "6", "9"]);
+    assert!(ok);
+    std::fs::write(&qon, &instance).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_aqo"))
+        .args([
+            "optimize",
+            qon.to_str().unwrap(),
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "--metrics",
+        ])
+        .env("AQO_FAULTS", "qon::dp=err*2")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("faults.injected.qon::dp"), "stderr: {stderr}");
+
+    let journal = std::fs::read_to_string(&trace).expect("trace written");
+    let injected = journal
+        .lines()
+        .filter(|l| l.contains("\"type\": \"fault_injected\""))
+        .count();
+    assert_eq!(injected, 2, "two transient faults were injected: {journal}");
+    let retries = journal.lines().filter(|l| l.contains("\"type\": \"retry\"")).count();
+    assert_eq!(retries, 2, "each injection triggered a retry: {journal}");
 }
 
 #[test]

@@ -188,7 +188,21 @@ impl Budget {
     }
 
     fn exceeded(&self, kind: BudgetKind) -> BudgetExceeded {
-        BudgetExceeded { kind, expansions: self.expansions_used(), elapsed: self.elapsed() }
+        let err =
+            BudgetExceeded { kind, expansions: self.expansions_used(), elapsed: self.elapsed() };
+        // Cold path: a budget trips at most once per optimizer attempt.
+        if aqo_obs::enabled() {
+            aqo_obs::counter(&format!("budget.exceeded.{kind}")).inc();
+            aqo_obs::journal::event(
+                "budget_exceeded",
+                vec![
+                    ("kind", format!("{kind}").into()),
+                    ("expansions", err.expansions.into()),
+                    ("elapsed_ms", (err.elapsed.as_secs_f64() * 1e3).into()),
+                ],
+            );
+        }
+        err
     }
 
     /// Records one search expansion and checks every limit. Call this in
@@ -259,12 +273,39 @@ impl Budget {
     /// table alone would blow the cap fails fast instead of OOMing.
     pub fn charge_memory(&self, bytes: u64) -> Result<(), BudgetExceeded> {
         let total = self.memory_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        // Charges happen once per table/phase, never per expansion, so the
+        // journal append is off the hot path.
+        if aqo_obs::enabled() {
+            aqo_obs::counter_handle!("budget.memory_charged_bytes").add(bytes);
+            aqo_obs::journal::event(
+                "budget_charge",
+                vec![("bytes", bytes.into()), ("total", total.into())],
+            );
+        }
         if let Some(cap) = self.max_memory_bytes {
             if total > cap {
                 return Err(self.exceeded(BudgetKind::Memory));
             }
         }
         Ok(())
+    }
+
+    /// Emits a `budget` journal event attributing the expansions and memory
+    /// consumed so far to `label` (the driver calls this after each tier so
+    /// the journal records where the shared budget went). No-op while
+    /// collection is disabled.
+    pub fn observe(&self, label: &str) {
+        if aqo_obs::enabled() {
+            aqo_obs::journal::event(
+                "budget",
+                vec![
+                    ("label", label.to_string().into()),
+                    ("expansions", self.expansions_used().into()),
+                    ("memory_bytes", self.memory_charged().into()),
+                    ("elapsed_ms", (self.elapsed().as_secs_f64() * 1e3).into()),
+                ],
+            );
+        }
     }
 }
 

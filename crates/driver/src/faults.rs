@@ -89,17 +89,40 @@ pub fn hits(site: &str) -> u64 {
 }
 
 /// The fail point itself: a no-op unless `site` is armed with fires left.
+///
+/// Every hit at an *armed* site increments the `faults.hit.<site>` counter;
+/// hits that actually fire additionally increment `faults.injected.<site>`
+/// and journal a `fault_injected` event. Both happen after the registry
+/// lock is released and before the fault takes effect, so the metrics are
+/// visible even when the fault panics.
 pub fn fail_point(site: &str) -> Result<(), InjectedFault> {
     let action = {
         let mut reg = lock();
         let Some(spec) = reg.get_mut(site) else { return Ok(()) };
         spec.hits += 1;
         if spec.remaining == 0 {
-            return Ok(());
+            None
+        } else {
+            spec.remaining -= 1;
+            Some(spec.kind)
         }
-        spec.remaining -= 1;
-        spec.kind
     };
+    if aqo_obs::enabled() {
+        aqo_obs::counter(&format!("faults.hit.{site}")).inc();
+    }
+    let Some(action) = action else { return Ok(()) };
+    if aqo_obs::enabled() {
+        aqo_obs::counter(&format!("faults.injected.{site}")).inc();
+        let kind = match action {
+            FaultKind::Panic => "panic",
+            FaultKind::Error => "err",
+            FaultKind::Delay(_) => "delay",
+        };
+        aqo_obs::journal::event(
+            "fault_injected",
+            vec![("site", site.into()), ("kind", kind.into())],
+        );
+    }
     match action {
         FaultKind::Panic => panic!("injected panic at fail point `{site}`"),
         FaultKind::Error => Err(InjectedFault { site: site.to_string() }),

@@ -214,6 +214,12 @@ pub struct QonDriverConfig {
     /// [`aqo_optimizer::engine`] and branch-and-bound to its shared-bound
     /// parallel variant. The optimal cost is identical in every mode.
     pub threads: usize,
+    /// Route the DP tier through the two-phase [`aqo_optimizer::engine`]
+    /// even at `threads == 1` (by default one thread runs the classic
+    /// sequential DP, which reproduces `dp::optimize` bit for bit). The CLI
+    /// sets this when metrics or tracing are on so the deterministic
+    /// `optimizer.engine.*` counters are comparable across thread counts.
+    pub force_engine_dp: bool,
 }
 
 impl Default for QonDriverConfig {
@@ -225,6 +231,7 @@ impl Default for QonDriverConfig {
             retry: RetryPolicy::default(),
             cancel: None,
             threads: 1,
+            force_engine_dp: false,
         }
     }
 }
@@ -289,12 +296,19 @@ fn drive<T, Tier: Copy>(
 ) -> Result<(T, DriverReport), DriverError> {
     let mut failures: Vec<Attempt> = Vec::new();
     let mut retries = 0u32;
-    for &tier in chain {
+    for (chain_pos, &tier) in chain.iter().enumerate() {
         let site = format!("{site_prefix}::{}", name(tier));
         let mut backoff = retry.initial_backoff;
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            if aqo_obs::enabled() {
+                aqo_obs::counter_handle!("driver.tier_start").inc();
+                aqo_obs::journal::event(
+                    "tier_start",
+                    vec![("tier", name(tier).into()), ("attempt", attempt.into())],
+                );
+            }
             let outcome = with_quiet_panics(|| {
                 catch_unwind(AssertUnwindSafe(|| {
                     faults::fail_point(&site)
@@ -304,6 +318,14 @@ fn drive<T, Tier: Copy>(
             });
             let failure = match outcome {
                 Ok(Ok(Some(answer))) => {
+                    if aqo_obs::enabled() {
+                        aqo_obs::counter_handle!("driver.tier_success").inc();
+                        aqo_obs::journal::event(
+                            "tier_success",
+                            vec![("tier", name(tier).into()), ("attempt", attempt.into())],
+                        );
+                        budget.observe(name(tier));
+                    }
                     let report = DriverReport {
                         tier: name(tier),
                         exact: exact(tier),
@@ -320,14 +342,49 @@ fn drive<T, Tier: Copy>(
                 Err(payload) => TierFailure::Panic(panic_message(payload)),
             };
             let transient = matches!(failure, TierFailure::Injected(_));
+            if aqo_obs::enabled() {
+                aqo_obs::counter_handle!("driver.tier_failure").inc();
+                aqo_obs::journal::event(
+                    "tier_failure",
+                    vec![
+                        ("tier", name(tier).into()),
+                        ("attempt", attempt.into()),
+                        ("kind", failure.kind_str().into()),
+                    ],
+                );
+            }
             failures.push(Attempt { tier: name(tier), attempt, failure });
             if transient && attempt <= retry.max_retries {
+                if aqo_obs::enabled() {
+                    aqo_obs::counter_handle!("driver.retries").inc();
+                    aqo_obs::journal::event(
+                        "retry",
+                        vec![
+                            ("tier", name(tier).into()),
+                            ("attempt", attempt.into()),
+                            ("backoff_ms", (backoff.as_millis() as u64).into()),
+                        ],
+                    );
+                }
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
                 retries += 1;
                 continue;
             }
             break; // degrade to the next tier
+        }
+        if aqo_obs::enabled() {
+            budget.observe(name(tier));
+            if chain_pos + 1 < chain.len() {
+                aqo_obs::counter_handle!("driver.fallbacks").inc();
+                aqo_obs::journal::event(
+                    "fallback",
+                    vec![
+                        ("from_tier", name(tier).into()),
+                        ("to_tier", name(chain[chain_pos + 1]).into()),
+                    ],
+                );
+            }
         }
     }
     Err(DriverError { failures })
@@ -375,9 +432,11 @@ pub fn optimize_qon(
     inst: &QoNInstance,
     cfg: &QonDriverConfig,
 ) -> Result<QonOutcome, DriverError> {
+    let _span = aqo_obs::span("driver.optimize_qon");
     let budget = cfg.budget.build(cfg.cancel.clone());
     let allow = cfg.allow_cartesian;
     let threads = cfg.threads;
+    let force_engine = cfg.force_engine_dp;
     drive(
         &cfg.chain,
         &budget,
@@ -386,7 +445,7 @@ pub fn optimize_qon(
         QonTier::name,
         QonTier::is_exact,
         |tier, budget| match tier {
-            QonTier::Dp if threads == 1 => {
+            QonTier::Dp if threads == 1 && !force_engine => {
                 dp::optimize_with_budget::<BigRational>(inst, allow, budget)
                     .map_err(TierFailure::Budget)
             }
@@ -420,6 +479,7 @@ pub fn optimize_qoh(
     inst: &QoHInstance,
     cfg: &QohDriverConfig,
 ) -> Result<QohOutcome, DriverError> {
+    let _span = aqo_obs::span("driver.optimize_qoh");
     let budget = cfg.budget.build(cfg.cancel.clone());
     drive(
         &cfg.chain,

@@ -17,6 +17,19 @@ pub enum TierFailure {
     NoPlan,
 }
 
+impl TierFailure {
+    /// Stable machine-readable discriminant, used in trace events, fault
+    /// counters and the JSON report.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            TierFailure::Budget(_) => "budget",
+            TierFailure::Panic(_) => "panic",
+            TierFailure::Injected(_) => "injected",
+            TierFailure::NoPlan => "no_plan",
+        }
+    }
+}
+
 impl fmt::Display for TierFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -88,6 +101,43 @@ impl fmt::Display for DriverReport {
             write!(f, "{a}")?;
         }
         write!(f, "]")
+    }
+}
+
+impl DriverReport {
+    /// Machine-readable JSON rendering of the report (hand-rolled, no
+    /// serialization dependency). [`Display`](fmt::Display) stays the
+    /// human-facing form; this is what `--report-json` writes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"tier\": \"{}\",\n", self.tier));
+        out.push_str(&format!("  \"exact\": {},\n", self.exact));
+        out.push_str(&format!("  \"expansions\": {},\n", self.expansions));
+        out.push_str(&format!("  \"memory_bytes\": {},\n", self.memory_bytes));
+        out.push_str(&format!(
+            "  \"elapsed_ms\": {:.3},\n",
+            self.elapsed.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("  \"retries\": {},\n", self.retries));
+        out.push_str("  \"failures\": [");
+        for (i, a) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"tier\": \"{}\", ", a.tier));
+            out.push_str(&format!("\"attempt\": {}, ", a.attempt));
+            out.push_str(&format!("\"kind\": \"{}\", ", a.failure.kind_str()));
+            out.push_str("\"detail\": \"");
+            aqo_obs::json::escape_into(&mut out, &a.failure.to_string());
+            out.push_str("\"}");
+        }
+        if !self.failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 }
 

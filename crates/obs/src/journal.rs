@@ -1,0 +1,192 @@
+//! Structured event journal serializing to JSON Lines.
+//!
+//! Events are appended by instrumentation sites while collection is
+//! [`enabled`](crate::enabled) and drained once at the end of a run (the
+//! CLI's `--trace-json`). Appends take a global mutex — every emitting
+//! site is *cold* (per tier attempt, per DP layer, per budget trip, per
+//! span), never per search node, so contention is irrelevant; the hot
+//! loops accumulate into locals and emit one event per run instead.
+//!
+//! Each event serializes as one JSON object per line with the reserved
+//! keys `seq` (global append order), `us` (microseconds since the first
+//! event of the process) and `type`, followed by the event's own fields.
+
+use crate::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A field value in a journal event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized with enough digits to round-trip sanely).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on serialization).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Global append order (gap-free per process, monotone).
+    pub seq: u64,
+    /// Microseconds since the journal epoch (first use in this process).
+    pub us: u64,
+    /// Event type (`tier_start`, `span`, `dp_layer`, ...).
+    pub etype: &'static str,
+    /// Event-specific fields, serialized in order after the reserved keys.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn events() -> MutexGuard<'static, Vec<Event>> {
+    static EVENTS: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Appends an event (no-op while collection is disabled).
+pub fn event(etype: &'static str, fields: Vec<(&'static str, Value)>) {
+    if !crate::enabled() {
+        return;
+    }
+    let us = epoch().elapsed().as_micros() as u64;
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    events().push(Event { seq, us, etype, fields });
+}
+
+/// Removes and returns every buffered event, in append order.
+pub fn drain() -> Vec<Event> {
+    std::mem::take(&mut *events())
+}
+
+/// Clones every buffered event without removing it.
+pub fn snapshot_events() -> Vec<Event> {
+    events().clone()
+}
+
+/// Discards every buffered event.
+pub fn clear() {
+    events().clear();
+}
+
+/// Serializes events as JSON Lines (one object per line, trailing
+/// newline).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&format!("{{\"seq\": {}, \"us\": {}, \"type\": ", e.seq, e.us));
+        json::escape_into(&mut out, e.etype);
+        for (key, value) in &e.fields {
+            out.push_str(", ");
+            json::escape_into(&mut out, key);
+            out.push_str(": ");
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) if v.is_finite() => out.push_str(&format!("{v:.6}")),
+                Value::F64(_) => out.push_str("null"),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(s) => json::escape_into(&mut out, s),
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let events = vec![
+            Event {
+                seq: 0,
+                us: 12,
+                etype: "tier_start",
+                fields: vec![("tier", Value::from("dp")), ("attempt", Value::from(1u64))],
+            },
+            Event {
+                seq: 1,
+                us: 99,
+                etype: "weird",
+                fields: vec![
+                    ("msg", Value::from("a \"quoted\"\nline")),
+                    ("x", Value::from(-3i64)),
+                    ("f", Value::from(1.5f64)),
+                    ("ok", Value::from(true)),
+                    ("nan", Value::F64(f64::NAN)),
+                ],
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let v = json::parse(line).expect("line parses");
+            assert!(v.get("type").is_some());
+        }
+        let second = json::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(second.get("msg").and_then(json::JsonValue::as_str), Some("a \"quoted\"\nline"));
+    }
+}

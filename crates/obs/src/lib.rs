@@ -1,0 +1,476 @@
+//! `aqo-obs` — zero-dependency observability for the aqo workspace.
+//!
+//! Three facilities, all process-global and safe under `std::thread::scope`
+//! workers:
+//!
+//! * a **metrics registry** of named [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s backed by relaxed atomics (no locks on the update
+//!   path — the registry mutex is taken only when a handle is first
+//!   created or a snapshot is read);
+//! * **span timers** ([`span`]) that record wall time into a histogram
+//!   and emit a `span` event into the journal when dropped;
+//! * a **structured event journal** ([`journal`]) serializing to JSON
+//!   Lines through the hand-rolled encoder in [`json`] (same
+//!   no-serde policy as the rest of the workspace).
+//!
+//! Everything is gated on one global flag: when [`enabled`] is `false`
+//! (the default) every metric mutation and journal append reduces to a
+//! single relaxed atomic load and a predictable branch, so instrumented
+//! hot loops keep their uninstrumented performance. Instrumentation sites
+//! in the optimizers additionally accumulate into plain locals and flush
+//! once per run/worker, so the per-iteration cost is zero even when
+//! enabled — see `docs/OBSERVABILITY.md` for the catalog and
+//! `DESIGN.md` §10 for the architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is collecting. One relaxed load; this is the
+/// entire cost of a disabled metric mutation or journal append.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off globally. Off is the default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing counter. Handles are cheap `Arc` clones of
+/// the registered atomic; updates are relaxed adds guarded by [`enabled`].
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` (no-op while collection is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 (no-op while collection is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-wins (or running-max) value.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `v` (no-op while collection is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (no-op while disabled).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if enabled() {
+            self.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket count for [`Histogram`]; bucket `b` holds values in
+/// `[2^(b-1), 2^b)` (bucket 0 holds zero).
+const HIST_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistogramInner {
+    fn new() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A histogram over `u64` samples (span timers record microseconds) with
+/// power-of-two buckets plus exact count/sum/max.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one sample (no-op while collection is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let h = &*self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        let b = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        h.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(count, sum, max)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let h = &*self.0;
+        (
+            h.count.load(Ordering::Relaxed),
+            h.sum.load(Ordering::Relaxed),
+            h.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Gets or creates the counter named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        other => panic!("metric `{name}` already registered as {other:?}"),
+    }
+}
+
+/// Gets or creates the gauge named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        other => panic!("metric `{name}` already registered as {other:?}"),
+    }
+}
+
+/// Gets or creates the histogram named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(HistogramInner::new()))))
+    {
+        Metric::Histogram(h) => h.clone(),
+        other => panic!("metric `{name}` already registered as {other:?}"),
+    }
+}
+
+/// Caches a [`Counter`] handle in a function-local static, so repeated
+/// passes through an instrumentation site skip the registry lock.
+#[macro_export]
+macro_rules! counter_handle {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram `(count, sum, max)`.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+        /// Largest sample.
+        max: u64,
+    },
+}
+
+/// A named metric value, as returned by [`snapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// Every registered metric, sorted by name.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    registry()
+        .iter()
+        .map(|(name, m)| MetricSnapshot {
+            name: name.clone(),
+            value: match m {
+                Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                Metric::Histogram(h) => {
+                    let (count, sum, max) = h.stats();
+                    SnapshotValue::Histogram { count, sum, max }
+                }
+            },
+        })
+        .collect()
+}
+
+/// Every counter with a nonzero total, sorted by name. The deterministic
+/// subset of the registry — what the bench harness embeds per data point.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    registry()
+        .iter()
+        .filter_map(|(name, m)| match m {
+            Metric::Counter(c) if c.get() > 0 => Some((name.clone(), c.get())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Zeroes every registered metric (handles stay valid — they share the
+/// same atomics). Does not touch the journal; see [`journal::clear`].
+pub fn reset_metrics() {
+    for m in registry().values() {
+        match m {
+            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.0.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                h.0.count.store(0, Ordering::Relaxed);
+                h.0.sum.store(0, Ordering::Relaxed);
+                h.0.max.store(0, Ordering::Relaxed);
+                for b in &h.0.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Renders the registry as a human-readable summary table (the CLI's
+/// `--metrics` output). Zero-valued counters are omitted.
+pub fn render_summary() -> String {
+    let mut out = String::from("metrics:\n");
+    let mut any = false;
+    for s in snapshot() {
+        let line = match s.value {
+            SnapshotValue::Counter(0) => continue,
+            SnapshotValue::Counter(v) => format!("  {:<44} {v}\n", s.name),
+            SnapshotValue::Gauge(v) => format!("  {:<44} {v} (gauge)\n", s.name),
+            SnapshotValue::Histogram { count: 0, .. } => continue,
+            SnapshotValue::Histogram { count, sum, max } => format!(
+                "  {:<44} count={count} mean={:.1}us max={max}us\n",
+                s.name,
+                sum as f64 / count as f64
+            ),
+        };
+        out.push_str(&line);
+        any = true;
+    }
+    if !any {
+        out.push_str("  (none recorded)\n");
+    }
+    out
+}
+
+/// A live span timer: created by [`span`], it records its wall time into
+/// the `span.<name>` histogram and emits a `span` journal event on drop.
+/// Inert (no clock read at all) when collection is disabled at creation.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a span named `name`. Hold the returned guard for the measured
+/// region; drop ends it.
+pub fn span(name: &'static str) -> Span {
+    Span { name, start: enabled().then(Instant::now) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let us = start.elapsed().as_micros() as u64;
+            histogram(&format!("span.{}", self.name)).record(us);
+            journal::event(
+                "span",
+                vec![("name", journal::Value::from(self.name)), ("us", journal::Value::from(us))],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry and flag are process-global; serialize tests touching
+    // them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_counter_does_not_move() {
+        let _g = lock();
+        set_enabled(false);
+        let c = counter("obs-test.disabled");
+        let before = c.get();
+        c.add(5);
+        assert_eq!(c.get(), before);
+    }
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let _g = lock();
+        set_enabled(true);
+        let c = counter("obs-test.counter");
+        let before = c.get();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), before + 4);
+        set_enabled(false);
+        reset_metrics();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_handle_macro_caches() {
+        let _g = lock();
+        set_enabled(true);
+        counter_handle!("obs-test.macro").add(2);
+        counter_handle!("obs-test.macro").add(2);
+        assert_eq!(counter("obs-test.macro").get(), 4);
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn counters_visible_from_scoped_threads() {
+        let _g = lock();
+        set_enabled(true);
+        let c = counter("obs-test.scoped");
+        c.add(0);
+        reset_metrics();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter("obs-test.scoped").add(10));
+            }
+        });
+        assert_eq!(c.get(), 40);
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn histogram_stats_and_summary() {
+        let _g = lock();
+        set_enabled(true);
+        reset_metrics();
+        let h = histogram("obs-test.hist");
+        h.record(1);
+        h.record(7);
+        h.record(100);
+        let (count, sum, max) = h.stats();
+        assert_eq!((count, sum, max), (3, 108, 100));
+        let table = render_summary();
+        assert!(table.contains("obs-test.hist"), "{table}");
+        assert!(table.contains("count=3"), "{table}");
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn span_records_histogram_and_event() {
+        let _g = lock();
+        set_enabled(true);
+        reset_metrics();
+        journal::clear();
+        {
+            let _s = span("obs-test-span");
+        }
+        let (count, _, _) = histogram("span.obs-test-span").stats();
+        assert_eq!(count, 1);
+        let events = journal::drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].etype, "span");
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let _g = lock();
+        set_enabled(true);
+        reset_metrics();
+        counter("obs-test.z").inc();
+        gauge("obs-test.a").set(9);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(snap
+            .iter()
+            .any(|s| s.name == "obs-test.a" && s.value == SnapshotValue::Gauge(9)));
+        set_enabled(false);
+        reset_metrics();
+    }
+}

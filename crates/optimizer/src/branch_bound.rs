@@ -21,6 +21,50 @@ use aqo_graph::BitSet;
 /// incumbent some worker already holds exactly.
 const SHARED_BOUND_MARGIN_BITS: f64 = 1e-3;
 
+/// Per-search tallies, accumulated in plain locals on each worker (zero
+/// atomic traffic in the DFS) and flushed to the metrics registry once.
+/// Node and prune counts depend on incumbent timing, so under parallel
+/// search they are *not* deterministic across thread counts — unlike the
+/// engine's layer counters (see docs/OBSERVABILITY.md).
+#[derive(Clone, Copy, Debug, Default)]
+struct SearchStats {
+    nodes: u64,
+    incumbent_improvements: u64,
+    bound_prunes: u64,
+    shared_prunes: u64,
+}
+
+impl SearchStats {
+    fn merge(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.incumbent_improvements += other.incumbent_improvements;
+        self.bound_prunes += other.bound_prunes;
+        self.shared_prunes += other.shared_prunes;
+    }
+
+    fn flush(&self, mode: &'static str, workers: usize) {
+        if !aqo_obs::enabled() {
+            return;
+        }
+        aqo_obs::counter_handle!("optimizer.bnb.nodes").add(self.nodes);
+        aqo_obs::counter_handle!("optimizer.bnb.incumbent_improvements")
+            .add(self.incumbent_improvements);
+        aqo_obs::counter_handle!("optimizer.bnb.bound_prunes").add(self.bound_prunes);
+        aqo_obs::counter_handle!("optimizer.bnb.shared_prunes").add(self.shared_prunes);
+        aqo_obs::journal::event(
+            "bnb_done",
+            vec![
+                ("mode", mode.into()),
+                ("workers", workers.into()),
+                ("nodes", self.nodes.into()),
+                ("incumbent_improvements", self.incumbent_improvements.into()),
+                ("bound_prunes", self.bound_prunes.into()),
+                ("shared_prunes", self.shared_prunes.into()),
+            ],
+        );
+    }
+}
+
 /// Exact optimum by branch-and-bound. `allow_cartesian = false` searches
 /// only cartesian-product-free sequences (returns `None` when none exists).
 pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Option<Optimum<S>> {
@@ -37,6 +81,7 @@ pub fn optimize_with_budget<S: CostScalar>(
     allow_cartesian: bool,
     budget: &Budget,
 ) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let _span = aqo_obs::span("bnb.optimize");
     let n = inst.n();
     if n == 1 {
         return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
@@ -47,6 +92,7 @@ pub fn optimize_with_budget<S: CostScalar>(
     let mut best: Option<(Vec<usize>, S)> =
         warm.map(|z| (z.order().to_vec(), inst.total_cost(&z)));
 
+    let mut stats = SearchStats::default();
     let mut prefix = Vec::with_capacity(n);
     let mut in_prefix = BitSet::new(n);
     for start in 0..n {
@@ -62,11 +108,13 @@ pub fn optimize_with_budget<S: CostScalar>(
             &mut best,
             budget,
             None,
+            &mut stats,
         );
         in_prefix.remove(start);
         prefix.pop();
         outcome?;
     }
+    stats.flush("seq", 1);
     Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
 }
 
@@ -116,8 +164,10 @@ pub fn optimize_par_with_budget<S: CostScalar + Send + Sync>(
         shared.tighten(c.log2());
     }
 
-    let outcomes = run_workers(threads, |t| -> Result<Option<(Vec<usize>, S)>, BudgetExceeded> {
+    type WorkerOut<S> = (Option<(Vec<usize>, S)>, SearchStats);
+    let outcomes = run_workers(threads, |t| -> Result<WorkerOut<S>, BudgetExceeded> {
         let mut best = warm.clone();
+        let mut stats = SearchStats::default();
         let mut prefix = Vec::with_capacity(n);
         let mut in_prefix = BitSet::new(n);
         let mut start = t;
@@ -134,23 +184,28 @@ pub fn optimize_par_with_budget<S: CostScalar + Send + Sync>(
                 &mut best,
                 budget,
                 Some(&shared),
+                &mut stats,
             );
             in_prefix.remove(start);
             prefix.pop();
             outcome?;
             start += threads;
         }
-        Ok(best)
+        Ok((best, stats))
     });
 
     let mut best: Option<(Vec<usize>, S)> = None;
+    let mut stats = SearchStats::default();
     for outcome in outcomes {
-        if let Some((order, cost)) = outcome? {
+        let (worker_best, worker_stats) = outcome?;
+        stats.merge(&worker_stats);
+        if let Some((order, cost)) = worker_best {
             if best.as_ref().is_none_or(|(_, b)| cost < *b) {
                 best = Some((order, cost));
             }
         }
     }
+    stats.flush("par", threads);
     Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
 }
 
@@ -165,17 +220,21 @@ fn dfs<S: CostScalar>(
     best: &mut Option<(Vec<usize>, S)>,
     budget: &Budget,
     shared: Option<&SharedBound>,
+    stats: &mut SearchStats,
 ) -> Result<(), BudgetExceeded> {
     let n = inst.n();
     budget.tick()?;
+    stats.nodes += 1;
     if let Some((_, b)) = best {
         if cost >= *b {
+            stats.bound_prunes += 1;
             return Ok(());
         }
     }
     if let Some(sb) = shared {
         // Another worker's exact incumbent, as a float bound with slack.
         if cost.log2() > sb.get() + SHARED_BOUND_MARGIN_BITS {
+            stats.shared_prunes += 1;
             return Ok(());
         }
     }
@@ -184,6 +243,7 @@ fn dfs<S: CostScalar>(
             if let Some(sb) = shared {
                 sb.tighten(cost.log2());
             }
+            stats.incumbent_improvements += 1;
             *best = Some((prefix.clone(), cost));
         }
         return Ok(());
@@ -219,8 +279,18 @@ fn dfs<S: CostScalar>(
         let new_cost = cost.add(&n_x.mul(&S::from_count(&w_min.expect("prefix nonempty"))));
         prefix.push(j);
         in_prefix.insert(j);
-        let outcome =
-            dfs(inst, allow_cartesian, prefix, in_prefix, new_n, new_cost, best, budget, shared);
+        let outcome = dfs(
+            inst,
+            allow_cartesian,
+            prefix,
+            in_prefix,
+            new_n,
+            new_cost,
+            best,
+            budget,
+            shared,
+            stats,
+        );
         in_prefix.remove(j);
         prefix.pop();
         outcome?;

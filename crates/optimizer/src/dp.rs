@@ -39,6 +39,7 @@ pub fn optimize_with_budget<S: CostScalar>(
     allow_cartesian: bool,
     budget: &Budget,
 ) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let _span = aqo_obs::span("dp.optimize");
     let n = inst.n();
     assert!((1..=MAX_N).contains(&n), "subset DP is for n in 1..={MAX_N}");
     if n == 1 {
@@ -58,6 +59,10 @@ pub fn optimize_with_budget<S: CostScalar>(
         dp[m] = Some(S::zero());
         nsize[m] = Some(S::from_count(&inst.sizes()[v]));
     }
+    // Plain locals in the hot loop, flushed to the metrics registry once
+    // at the end — counting costs nothing per transition.
+    let mut subsets_expanded = 0u64;
+    let mut transitions = 0u64;
     for mask in 1..=full {
         // Every successor mask | 1 << j is strictly greater than mask, so
         // splitting the tables at mask + 1 lets us read the source state by
@@ -66,11 +71,13 @@ pub fn optimize_with_budget<S: CostScalar>(
         let (ns_lo, ns_hi) = nsize.split_at_mut(mask + 1);
         let Some(cost_s) = dp_lo[mask].as_ref() else { continue };
         let n_s = ns_lo[mask].as_ref().expect("N(S) set with dp");
+        subsets_expanded += 1;
         for j in 0..n {
             if mask >> j & 1 == 1 {
                 continue;
             }
             budget.tick()?;
+            transitions += 1;
             // Neighbours of j inside S.
             let mut w_min: Option<BigUint> = None;
             let mut nbr_count = 0usize;
@@ -108,6 +115,17 @@ pub fn optimize_with_budget<S: CostScalar>(
                 parent[nm] = j as u8;
             }
         }
+    }
+    if aqo_obs::enabled() {
+        aqo_obs::counter_handle!("optimizer.dp.subsets_expanded").add(subsets_expanded);
+        aqo_obs::counter_handle!("optimizer.dp.transitions").add(transitions);
+        aqo_obs::journal::event(
+            "dp_done",
+            vec![
+                ("subsets_expanded", subsets_expanded.into()),
+                ("transitions", transitions.into()),
+            ],
+        );
     }
     let Some(cost) = dp[full].clone() else { return Ok(None) };
     // Reconstruct the sequence.

@@ -190,6 +190,7 @@ fn log_phase(
     threads: usize,
     budget: &Budget,
 ) -> Result<LogDp, BudgetExceeded> {
+    let _span = aqo_obs::span("engine.log_phase");
     let n = inst.n();
     let full = (1usize << n) - 1;
     let view = LogView::build(inst);
@@ -289,6 +290,25 @@ fn log_phase(
             pos[tm as usize] = i as u32;
         }
         std::mem::swap(&mut m_prev, &mut m_cur);
+        // Layer stats are pure functions of the layer geometry, recorded
+        // once per layer on the coordinating thread — deterministic for
+        // every thread count, zero cost inside the worker hot loop.
+        if aqo_obs::enabled() {
+            let width = targets.len();
+            aqo_obs::counter_handle!("optimizer.engine.subsets_expanded").add(width as u64);
+            aqo_obs::counter_handle!("optimizer.engine.transitions").add((width * k) as u64);
+            let chunk = width.div_ceil(threads.max(1));
+            let chunks = if chunk >= width { 1 } else { width.div_ceil(chunk) };
+            aqo_obs::journal::event(
+                "dp_layer",
+                vec![
+                    ("phase", "log".into()),
+                    ("k", k.into()),
+                    ("width", width.into()),
+                    ("chunks", chunks.into()),
+                ],
+            );
+        }
     }
     Ok(LogDp { dp, parent })
 }
@@ -383,6 +403,7 @@ fn exact_phase<S: CostScalar + Send + Sync>(
     prune: Option<(&[LogNum], f64)>,
     nbr: &[u32],
 ) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let _span = aqo_obs::span("engine.exact_phase");
     let n = inst.n();
     let full = (1usize << n) - 1;
     let widest = layers.widest_layer();
@@ -471,6 +492,36 @@ fn exact_phase<S: CostScalar + Send + Sync>(
                 parent[tm as usize] = pj;
             }
         }
+        // Prune/recost counts are a pure function of the phase-A estimates
+        // and the bound — replayed here on the coordinating thread so the
+        // totals are deterministic for every thread count.
+        if aqo_obs::enabled() {
+            let (mut pruned, mut recosted) = (0u64, 0u64);
+            match prune {
+                Some((est, bound)) => {
+                    for &tm in targets {
+                        if est[tm as usize].log2() > bound {
+                            pruned += 1;
+                        } else {
+                            recosted += 1;
+                        }
+                    }
+                }
+                None => recosted = targets.len() as u64,
+            }
+            aqo_obs::counter_handle!("optimizer.engine.exact_recosts").add(recosted);
+            aqo_obs::counter_handle!("optimizer.engine.pruned").add(pruned);
+            aqo_obs::journal::event(
+                "dp_layer",
+                vec![
+                    ("phase", "exact".into()),
+                    ("k", k.into()),
+                    ("width", targets.len().into()),
+                    ("recosted", recosted.into()),
+                    ("pruned", pruned.into()),
+                ],
+            );
+        }
     }
 
     let Some(cost) = dp[full].take() else { return Ok(None) };
@@ -521,11 +572,13 @@ pub fn optimize_two_phase<S: CostScalar + Send + Sync>(
     opts: &DpOptions,
     budget: &Budget,
 ) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let _span = aqo_obs::span("engine.two_phase");
     let n = inst.n();
     assert!((1..=MAX_N).contains(&n), "engine DP is for n in 1..={MAX_N}");
     if n == 1 {
         return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
     }
+    aqo_obs::counter_handle!("optimizer.engine.runs").inc();
     let threads = resolve_threads(opts.threads);
     let layers = Layers::build(n);
     let log = log_phase(inst, &layers, opts.allow_cartesian, threads, budget)?;
@@ -536,6 +589,7 @@ pub fn optimize_two_phase<S: CostScalar + Send + Sync>(
     };
     let exact_candidate: S = inst.total_cost(&candidate);
     let bound = exact_candidate.log2() + PRUNE_MARGIN_BITS;
+    aqo_obs::journal::event("engine_bound", vec![("bound_log2", bound.into())]);
     let nbr: Vec<u32> = (0..n)
         .map(|j| inst.graph().neighbors(j).iter().fold(0u32, |m, k| m | 1 << k))
         .collect();

@@ -10,6 +10,15 @@ use aqo_core::{CostScalar, JoinSequence};
 /// Maximum `n` accepted; `12! ≈ 4.8·10⁸` is already past the point of sanity.
 pub const MAX_N: usize = 10;
 
+/// Flush a locally accumulated permutation count to the metrics registry.
+/// Workers call this once on successful completion, so a sweep that trips
+/// the budget contributes nothing (see docs/OBSERVABILITY.md).
+fn flush_perms_costed(costed: u64) {
+    if aqo_obs::enabled() && costed > 0 {
+        aqo_obs::counter_handle!("optimizer.exhaustive.perms_costed").add(costed);
+    }
+}
+
 /// Finds an optimal sequence by trying every permutation. Panics for
 /// `n > `[`MAX_N`] — use [`crate::dp`] instead.
 pub fn optimize<S: CostScalar>(inst: &QoNInstance) -> Optimum<S> {
@@ -26,8 +35,10 @@ pub fn optimize_with_budget<S: CostScalar>(
     let n = inst.n();
     assert!((1..=MAX_N).contains(&n), "exhaustive search is for n in 1..={MAX_N}");
     let mut best: Option<Optimum<S>> = None;
+    let mut costed = 0u64;
     for perm in permutations(n) {
         budget.tick()?;
+        costed += 1;
         let z = JoinSequence::new(perm);
         let cost: S = inst.total_cost(&z);
         let better = match &best {
@@ -38,6 +49,7 @@ pub fn optimize_with_budget<S: CostScalar>(
             best = Some(Optimum { sequence: z, cost });
         }
     }
+    flush_perms_costed(costed);
     Ok(best.expect("at least one permutation"))
 }
 
@@ -56,17 +68,20 @@ pub fn optimize_par_with_budget<S: CostScalar + Send + Sync>(
     let threads = resolve_threads(threads);
     let outcomes = run_workers(threads, |t| -> Result<Option<(S, usize, Vec<usize>)>, BudgetExceeded> {
         let mut best: Option<(S, usize, Vec<usize>)> = None;
+        let mut costed = 0u64;
         for (i, perm) in permutations(n).enumerate() {
             if i % threads != t {
                 continue;
             }
             budget.tick()?;
+            costed += 1;
             let z = JoinSequence::new(perm);
             let cost: S = inst.total_cost(&z);
             if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
                 best = Some((cost, i, z.order().to_vec()));
             }
         }
+        flush_perms_costed(costed);
         Ok(best)
     });
     let mut best: Option<(S, usize, Vec<usize>)> = None;
@@ -101,17 +116,20 @@ pub fn optimize_no_cartesian_with_budget<S: CostScalar>(
     let n = inst.n();
     assert!((1..=MAX_N).contains(&n), "exhaustive search is for n in 1..={MAX_N}");
     let mut best: Option<Optimum<S>> = None;
+    let mut costed = 0u64;
     for perm in permutations(n) {
         budget.tick()?;
         let z = JoinSequence::new(perm);
         if n > 1 && inst.has_cartesian_product(&z) {
             continue;
         }
+        costed += 1;
         let cost: S = inst.total_cost(&z);
         if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(Optimum { sequence: z, cost });
         }
     }
+    flush_perms_costed(costed);
     Ok(best)
 }
 
@@ -127,6 +145,7 @@ pub fn optimize_no_cartesian_par_with_budget<S: CostScalar + Send + Sync>(
     let threads = resolve_threads(threads);
     let outcomes = run_workers(threads, |t| -> Result<Option<(S, usize, Vec<usize>)>, BudgetExceeded> {
         let mut best: Option<(S, usize, Vec<usize>)> = None;
+        let mut costed = 0u64;
         for (i, perm) in permutations(n).enumerate() {
             if i % threads != t {
                 continue;
@@ -136,11 +155,13 @@ pub fn optimize_no_cartesian_par_with_budget<S: CostScalar + Send + Sync>(
             if n > 1 && inst.has_cartesian_product(&z) {
                 continue;
             }
+            costed += 1;
             let cost: S = inst.total_cost(&z);
             if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
                 best = Some((cost, i, z.order().to_vec()));
             }
         }
+        flush_perms_costed(costed);
         Ok(best)
     });
     let mut best: Option<(S, usize, Vec<usize>)> = None;

@@ -13,6 +13,21 @@ use aqo_core::budget::{Budget, BudgetExceeded};
 use aqo_core::qoh::{PipelineDecomposition, QoHInstance};
 use aqo_core::JoinSequence;
 
+/// Flush locally accumulated sequence tallies to the metrics registry.
+/// Called once per run (or per worker, on successful completion), so a
+/// budget-tripped sweep contributes nothing (see docs/OBSERVABILITY.md).
+fn flush_sequence_counts(costed: u64, infeasible: u64) {
+    if !aqo_obs::enabled() {
+        return;
+    }
+    if costed > 0 {
+        aqo_obs::counter_handle!("optimizer.pipeline.sequences_costed").add(costed);
+    }
+    if infeasible > 0 {
+        aqo_obs::counter_handle!("optimizer.pipeline.sequences_infeasible").add(infeasible);
+    }
+}
+
 /// A fully resolved QO_H plan.
 #[derive(Clone, Debug)]
 pub struct QohPlan {
@@ -80,18 +95,23 @@ pub fn optimize_exhaustive_with_budget(
     let n = inst.n();
     assert!((2..=9).contains(&n), "exhaustive QO_H search is for n in 2..=9");
     let mut best: Option<QohPlan> = None;
+    let mut costed = 0u64;
+    let mut infeasible = 0u64;
     for perm in aqo_core::join::permutations(n) {
         budget.tick()?;
         let z = JoinSequence::new(perm);
         if !inst.sequence_feasible(&z) {
+            infeasible += 1;
             continue;
         }
+        costed += 1;
         if let Some((decomp, cost)) = best_decomposition(inst, &z) {
             if best.as_ref().is_none_or(|b| cost < b.cost) {
                 best = Some(QohPlan { sequence: z, decomposition: decomp, cost });
             }
         }
     }
+    flush_sequence_counts(costed, infeasible);
     Ok(best)
 }
 
@@ -111,6 +131,8 @@ pub fn optimize_exhaustive_par_with_budget(
     let threads = resolve_threads(threads);
     let outcomes = run_workers(threads, |t| -> Result<Option<(QohPlan, usize)>, BudgetExceeded> {
         let mut best: Option<(QohPlan, usize)> = None;
+        let mut costed = 0u64;
+        let mut infeasible = 0u64;
         for (i, perm) in aqo_core::join::permutations(n).enumerate() {
             if i % threads != t {
                 continue;
@@ -118,14 +140,17 @@ pub fn optimize_exhaustive_par_with_budget(
             budget.tick()?;
             let z = JoinSequence::new(perm);
             if !inst.sequence_feasible(&z) {
+                infeasible += 1;
                 continue;
             }
+            costed += 1;
             if let Some((decomp, cost)) = best_decomposition(inst, &z) {
                 if best.as_ref().is_none_or(|(b, _)| cost < b.cost) {
                     best = Some((QohPlan { sequence: z, decomposition: decomp, cost }, i));
                 }
             }
         }
+        flush_sequence_counts(costed, infeasible);
         Ok(best)
     });
     let mut best: Option<(QohPlan, usize)> = None;

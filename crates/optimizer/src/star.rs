@@ -86,7 +86,8 @@ pub fn optimize_with_budget(
         }
     }
 
-    // Transitions.
+    // Transitions. Counted in a plain local and flushed once below.
+    let mut transitions = 0u64;
     let ks_minus_1 = BigRational::from(inst.ks() - 1);
     for set in 1..=full {
         let Some(base) = dp[set].clone() else { continue };
@@ -97,6 +98,7 @@ pub fn optimize_with_budget(
                 continue;
             }
             budget.tick()?;
+            transitions += 1;
             let nl = nx * &BigRational::from(inst.w(t).clone());
             let sm = nx * &ks_minus_1 + BigRational::from(inst.sort_cost(t).clone());
             for (step, method) in [(nl, JoinMethod::NestedLoops), (sm, JoinMethod::SortMerge)] {
@@ -108,6 +110,10 @@ pub fn optimize_with_budget(
                 }
             }
         }
+    }
+
+    if aqo_obs::enabled() {
+        aqo_obs::counter_handle!("optimizer.star.transitions").add(transitions);
     }
 
     // Reconstruct.
@@ -153,6 +159,7 @@ pub fn optimize_exhaustive_with_budget(
     let m = inst.m();
     assert!((1..=7).contains(&m), "exhaustive star search is for m in 1..=7");
     let mut best: Option<(StarPlan, BigRational)> = None;
+    let mut plans_costed = 0u64;
     for perm in aqo_core::join::permutations(m + 1) {
         let pos0 = perm.iter().position(|&v| v == 0).expect("0 present");
         if pos0 > 1 {
@@ -160,6 +167,7 @@ pub fn optimize_exhaustive_with_budget(
         }
         for mask in 0u32..(1 << m) {
             budget.tick()?;
+            plans_costed += 1;
             let methods: Vec<JoinMethod> = (0..m)
                 .map(|i| {
                     if mask >> i & 1 == 1 {
@@ -175,6 +183,9 @@ pub fn optimize_exhaustive_with_budget(
                 best = Some((plan, cost));
             }
         }
+    }
+    if aqo_obs::enabled() {
+        aqo_obs::counter_handle!("optimizer.star.plans_costed").add(plans_costed);
     }
     Ok(best.expect("at least one feasible plan"))
 }

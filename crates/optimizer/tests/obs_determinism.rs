@@ -1,0 +1,120 @@
+//! Thread-count invariance of the deterministic observability counters:
+//! the two-phase engine's `optimizer.engine.*` counters are computed on
+//! the coordinating thread from layer geometry and phase-A estimates, so
+//! they must be *identical* for every `threads` setting — the property the
+//! CLI's `--metrics` comparison across `--threads 1` / `--threads 4` rests
+//! on.
+
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::budget::Budget;
+use aqo_core::qon::QoNInstance;
+use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+use aqo_graph::Graph;
+use aqo_optimizer::engine;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The metrics registry and enable flag are process-global; every test in
+/// this file mutates them, so they serialize on this lock.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A QO_N instance on `n` vertices; `connected = false` leaves the last
+/// vertex isolated so the graph has two components.
+fn random_instance(seed: u64, n: usize, connected: bool) -> QoNInstance {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut g = Graph::new(n);
+    let limit = if connected { n } else { n - 1 };
+    for v in 1..limit {
+        g.add_edge((next() % v as u64) as usize, v);
+    }
+    for _ in 0..n / 2 {
+        let u = (next() % limit as u64) as usize;
+        let v = (next() % limit as u64) as usize;
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(2 + next() % 60)).collect();
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 12));
+        s.set(u, v, sel.clone());
+        for (j, k) in [(u, v), (v, u)] {
+            let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+            w.set(j, k, lower.magnitude().clone());
+        }
+    }
+    QoNInstance::new(g, sizes, s, w)
+}
+
+/// Runs the two-phase engine with collection on and returns the
+/// `optimizer.engine.*` counters it produced. Caller holds [`OBS_LOCK`].
+fn engine_counters(
+    inst: &QoNInstance,
+    threads: usize,
+    allow_cartesian: bool,
+) -> Vec<(String, u64)> {
+    aqo_obs::reset_metrics();
+    aqo_obs::journal::clear();
+    aqo_obs::set_enabled(true);
+    let opts = engine::DpOptions { allow_cartesian, threads };
+    let _ = engine::optimize_two_phase::<BigRational>(inst, &opts, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded");
+    aqo_obs::set_enabled(false);
+    let counters = aqo_obs::counters_snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("optimizer.engine."))
+        .collect();
+    aqo_obs::reset_metrics();
+    aqo_obs::journal::clear();
+    counters
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engine_counters_invariant_under_thread_count(
+        seed in any::<u64>(),
+        n in 4usize..=8,
+        connected in any::<bool>(),
+        allow_cartesian in any::<bool>(),
+    ) {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let inst = random_instance(seed, n, connected);
+        let base = engine_counters(&inst, 1, allow_cartesian);
+        prop_assert!(
+            base.iter().any(|(k, _)| k == "optimizer.engine.subsets_expanded"),
+            "expansion counter missing: {base:?}"
+        );
+        for threads in [2usize, 4] {
+            let got = engine_counters(&inst, threads, allow_cartesian);
+            prop_assert_eq!(
+                &base, &got,
+                "connected={} allow={} threads={}", connected, allow_cartesian, threads
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_recosts_counted_and_invariant() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let inst = random_instance(7, 9, true);
+    let base = engine_counters(&inst, 1, true);
+    let recosts = |cs: &[(String, u64)]| {
+        cs.iter().find(|(k, _)| k == "optimizer.engine.exact_recosts").map(|(_, v)| *v)
+    };
+    let base_recosts = recosts(&base).expect("two-phase run recosts at least the optimum layer");
+    assert!(base_recosts > 0);
+    for threads in [2usize, 3, 4] {
+        let got = engine_counters(&inst, threads, true);
+        assert_eq!(recosts(&got), Some(base_recosts), "threads {threads}");
+        assert_eq!(base, got, "full counter set diverged at threads {threads}");
+    }
+}
