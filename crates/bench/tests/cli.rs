@@ -193,7 +193,47 @@ fn trace_check_rejects_garbage_and_missing_events() {
     std::fs::write(&empty_types, "{\"seq\": 0, \"us\": 1, \"type\": \"budget\"}\n").unwrap();
     let (ok, _, err) = aqo(&["trace-check", empty_types.to_str().unwrap()]);
     assert!(!ok);
+    assert!(err.contains("span"), "stderr: {err}");
+
+    // A journal with driver activity but no tier_start is broken.
+    let no_tier_start = dir.join("notierstart.jsonl");
+    std::fs::write(
+        &no_tier_start,
+        "{\"seq\": 0, \"us\": 1, \"type\": \"span\", \"name\": \"x\"}\n\
+         {\"seq\": 1, \"us\": 2, \"type\": \"fallback\"}\n",
+    )
+    .unwrap();
+    let (ok, _, err) = aqo(&["trace-check", no_tier_start.to_str().unwrap()]);
+    assert!(!ok);
     assert!(err.contains("tier_start"), "stderr: {err}");
+}
+
+#[test]
+fn trace_check_accepts_explicit_method_journal() {
+    // `--method dp` bypasses the driver, so its journal has spans but no
+    // tier events; trace-check must still accept what the tool itself wrote.
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let qon = dir.join("explicit8.qon");
+    let trace = dir.join("explicit8.jsonl");
+    let (ok, instance, _) = aqo(&["gen", "chain", "8", "3"]);
+    assert!(ok);
+    std::fs::write(&qon, &instance).unwrap();
+
+    let (ok, _, err) = aqo(&[
+        "optimize",
+        qon.to_str().unwrap(),
+        "--method",
+        "dp",
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {err}");
+
+    let (ok, out, err) = aqo(&["trace-check", trace.to_str().unwrap()]);
+    assert!(ok, "trace-check rejected an explicit-method journal: {err}");
+    assert!(out.contains("span"), "stdout: {out}");
+    assert!(out.trim_end().ends_with("ok"), "stdout: {out}");
 }
 
 #[test]

@@ -129,9 +129,9 @@ impl DriverReport {
             out.push_str(&format!("\"tier\": \"{}\", ", a.tier));
             out.push_str(&format!("\"attempt\": {}, ", a.attempt));
             out.push_str(&format!("\"kind\": \"{}\", ", a.failure.kind_str()));
-            out.push_str("\"detail\": \"");
+            out.push_str("\"detail\": ");
             aqo_obs::json::escape_into(&mut out, &a.failure.to_string());
-            out.push_str("\"}");
+            out.push('}');
         }
         if !self.failures.is_empty() {
             out.push_str("\n  ");
@@ -162,3 +162,55 @@ impl fmt::Display for DriverError {
 }
 
 impl std::error::Error for DriverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqo_obs::json::{self, JsonValue};
+
+    #[test]
+    fn to_json_with_failures_parses() {
+        let report = DriverReport {
+            tier: "bnb",
+            exact: true,
+            expansions: 42,
+            memory_bytes: 1024,
+            elapsed: Duration::from_millis(7),
+            retries: 1,
+            failures: vec![
+                Attempt {
+                    tier: "dp",
+                    attempt: 1,
+                    failure: TierFailure::Injected("spurious \"io\" error".into()),
+                },
+                Attempt { tier: "dp", attempt: 2, failure: TierFailure::NoPlan },
+            ],
+        };
+        let doc = json::parse(&report.to_json()).expect("report JSON parses");
+        assert_eq!(doc.get("tier").and_then(JsonValue::as_str), Some("bnb"));
+        assert_eq!(doc.get("retries").and_then(JsonValue::as_num), Some(1.0));
+        let failures = doc.get("failures").and_then(JsonValue::as_arr).expect("failures array");
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].get("kind").and_then(JsonValue::as_str), Some("injected"));
+        assert_eq!(
+            failures[0].get("detail").and_then(JsonValue::as_str),
+            Some("injected: spurious \"io\" error"),
+        );
+        assert_eq!(failures[1].get("detail").and_then(JsonValue::as_str), Some("no feasible plan"));
+    }
+
+    #[test]
+    fn to_json_without_failures_parses() {
+        let report = DriverReport {
+            tier: "dp",
+            exact: true,
+            expansions: 0,
+            memory_bytes: 0,
+            elapsed: Duration::ZERO,
+            retries: 0,
+            failures: Vec::new(),
+        };
+        let doc = json::parse(&report.to_json()).expect("report JSON parses");
+        assert_eq!(doc.get("failures").and_then(JsonValue::as_arr).map(<[_]>::len), Some(0));
+    }
+}

@@ -110,8 +110,11 @@ pub fn event(etype: &'static str, fields: Vec<(&'static str, Value)>) {
         return;
     }
     let us = epoch().elapsed().as_micros() as u64;
+    let mut events = events();
+    // seq is claimed under the events lock so buffer order always agrees
+    // with seq order, even with concurrent emitters.
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-    events().push(Event { seq, us, etype, fields });
+    events.push(Event { seq, us, etype, fields });
 }
 
 /// Removes and returns every buffered event, in append order.
@@ -143,7 +146,9 @@ pub fn to_jsonl(events: &[Event]) -> String {
             match value {
                 Value::U64(v) => out.push_str(&v.to_string()),
                 Value::I64(v) => out.push_str(&v.to_string()),
-                Value::F64(v) if v.is_finite() => out.push_str(&format!("{v:.6}")),
+                // `{v:?}` is Rust's shortest round-trip float form and is
+                // valid JSON for all finite values (e.g. `1.5`, `1e300`).
+                Value::F64(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
                 Value::F64(_) => out.push_str("null"),
                 Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
                 Value::Str(s) => json::escape_into(&mut out, s),
@@ -188,5 +193,21 @@ mod tests {
         }
         let second = json::parse(text.lines().nth(1).unwrap()).unwrap();
         assert_eq!(second.get("msg").and_then(json::JsonValue::as_str), Some("a \"quoted\"\nline"));
+    }
+
+    #[test]
+    fn f64_serialization_round_trips_exactly() {
+        for v in [0.1f64, 1.0 / 3.0, 1e300, 5e-324, -123_456_789.123_456_7, 27.0] {
+            let events = vec![Event {
+                seq: 0,
+                us: 0,
+                etype: "f",
+                fields: vec![("v", Value::from(v))],
+            }];
+            let text = to_jsonl(&events);
+            let parsed = json::parse(text.trim_end()).unwrap();
+            let back = parsed.get("v").and_then(json::JsonValue::as_num).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "lossy round-trip for {v}: {text}");
+        }
     }
 }
