@@ -1,0 +1,186 @@
+//! The committed-baseline gate: `aqo analyze` fails only on *regressions*
+//! against `analyze-baseline.json`, so the rule catalog can be stricter
+//! than the legacy code without blocking CI on day one.
+//!
+//! Baseline entries are `(rule, path, count)` — deliberately not
+//! line-anchored, so unrelated edits that shift line numbers don't churn
+//! the file. A regression is a `(rule, path)` pair whose finding count
+//! exceeds its baseline allowance (new pairs have allowance 0). Pairs
+//! that now undershoot their allowance are reported as *stale* so the
+//! baseline gets re-tightened (`--write-baseline`), but staleness never
+//! fails the gate.
+
+use crate::rules::Finding;
+use aqo_obs::json::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// Document schema identifier for the baseline file.
+pub const SCHEMA: &str = "aqo-analyze-baseline/v1";
+
+/// Allowed finding counts keyed by `(rule, path)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+/// The outcome of gating findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Gate {
+    /// `(rule, path, found, allowed)` for every pair over its allowance.
+    pub regressions: Vec<(String, String, u64, u64)>,
+    /// `(rule, path, found, allowed)` for every pair under its allowance.
+    pub stale: Vec<(String, String, u64, u64)>,
+}
+
+impl Baseline {
+    /// An empty baseline (every finding is a regression).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Captures the current findings as the new baseline.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *entries.entry((f.rule.to_string(), f.path.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parses the baseline document written by [`Baseline::to_json`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text)?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(SCHEMA) => {}
+            other => return Err(format!("bad baseline schema {other:?} (want {SCHEMA})")),
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(JsonValue::as_arr)
+            .ok_or("baseline has no `entries` array")?;
+        let mut out = BTreeMap::new();
+        for e in entries {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry missing `{k}`"))
+            };
+            let count = e
+                .get("count")
+                .and_then(JsonValue::as_num)
+                .ok_or("baseline entry missing `count`")? as u64;
+            out.insert((field("rule")?, field("path")?), count);
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Serializes as a stable, diff-friendly JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": ");
+        json::escape_into(&mut out, SCHEMA);
+        out.push_str(",\n  \"entries\": [");
+        for (i, ((rule, path), count)) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"rule\": ");
+            json::escape_into(&mut out, rule);
+            out.push_str(", \"path\": ");
+            json::escape_into(&mut out, path);
+            out.push_str(&format!(", \"count\": {count}}}"));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Gates `findings`: anything over its `(rule, path)` allowance is a
+    /// regression, anything under is stale.
+    pub fn gate(&self, findings: &[Finding]) -> Gate {
+        let current = Baseline::from_findings(findings);
+        let mut gate = Gate::default();
+        for ((rule, path), &found) in &current.entries {
+            let allowed = self.entries.get(&(rule.clone(), path.clone())).copied().unwrap_or(0);
+            if found > allowed {
+                gate.regressions.push((rule.clone(), path.clone(), found, allowed));
+            } else if found < allowed {
+                gate.stale.push((rule.clone(), path.clone(), found, allowed));
+            }
+        }
+        for ((rule, path), &allowed) in &self.entries {
+            if !current.entries.contains_key(&(rule.clone(), path.clone())) {
+                gate.stale.push((rule.clone(), path.clone(), 0, allowed));
+            }
+        }
+        gate
+    }
+
+    /// Number of `(rule, path)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline allows nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let fs = vec![
+            finding("no-unwrap-in-lib", "crates/core/src/a.rs", 3),
+            finding("no-unwrap-in-lib", "crates/core/src/a.rs", 9),
+            finding("ordering-audit", "crates/obs/src/lib.rs", 1),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn gate_classifies_regressions_and_stale() {
+        let base = Baseline::from_findings(&[
+            finding("r", "a.rs", 1),
+            finding("r", "a.rs", 2),
+            finding("r", "gone.rs", 1),
+        ]);
+        // a.rs grew to 3 (regression), gone.rs dropped to 0 (stale).
+        let now = vec![
+            finding("r", "a.rs", 1),
+            finding("r", "a.rs", 2),
+            finding("r", "a.rs", 3),
+        ];
+        let gate = base.gate(&now);
+        assert_eq!(gate.regressions, vec![("r".into(), "a.rs".into(), 3, 2)]);
+        assert_eq!(gate.stale, vec![("r".into(), "gone.rs".into(), 0, 1)]);
+    }
+
+    #[test]
+    fn line_shifts_do_not_regress() {
+        let base = Baseline::from_findings(&[finding("r", "a.rs", 10)]);
+        let gate = base.gate(&[finding("r", "a.rs", 999)]);
+        assert!(gate.regressions.is_empty());
+        assert!(gate.stale.is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(Baseline::parse("{\"schema\": \"nope\", \"entries\": []}").is_err());
+    }
+}

@@ -1,0 +1,7 @@
+//! Standalone entry point: `cargo run -p aqo-analyze -- [flags]`.
+//! Identical behavior to the `aqo analyze` subcommand.
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::ExitCode::from(aqo_analyze::cli_main(&args) as u8)
+}

@@ -1,0 +1,6 @@
+//! Fixture: a pre-existing violation that the committed fixture baseline
+//! allows — it must NOT gate as a regression.
+
+pub fn legacy_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

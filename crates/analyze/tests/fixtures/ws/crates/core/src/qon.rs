@@ -1,0 +1,18 @@
+//! Fixture: exercises no-float-in-exact in an exact-cost module.
+
+pub fn float_hit(x: u64) -> f64 {
+    x as f64
+}
+
+// analyze:allow(no-float-in-exact) -- fixture: the sanctioned lossy bridge
+pub fn float_allowed(x: u64) -> f64 {
+    x as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_in_tests_are_fine() {
+        let _x: f64 = 1.0;
+    }
+}

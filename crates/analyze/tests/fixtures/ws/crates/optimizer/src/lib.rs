@@ -1,0 +1,35 @@
+//! Fixture: exercises budget-hook-coverage.
+
+pub struct Budget;
+pub struct Plan;
+
+pub fn optimize_bad(n: usize) -> Plan {
+    let _ = n;
+    Plan
+}
+
+pub fn optimize_good(n: usize) -> Plan {
+    optimize_good_with_budget(n, &Budget)
+}
+
+pub fn optimize_good_with_budget(n: usize, budget: &Budget) -> Plan {
+    let _ = (n, budget);
+    Plan
+}
+
+pub fn optimize_inline(n: usize, budget: &Budget) -> Plan {
+    let _ = (n, budget);
+    Plan
+}
+
+// analyze:allow(budget-hook-coverage) -- fixture: bounded polynomial work
+pub fn optimize_allowed(n: usize) -> Plan {
+    let _ = n;
+    Plan
+}
+
+fn private_optimize_helper() {}
+
+pub fn not_an_entry_point() {
+    private_optimize_helper();
+}

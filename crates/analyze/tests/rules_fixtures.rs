@@ -1,0 +1,148 @@
+//! Integration tests over the committed fixture workspace in
+//! `tests/fixtures/ws/`, which exercises every rule three ways: a plain
+//! hit, an `analyze:allow` suppression, and a baseline suppression. Plus
+//! the self-check: the real workspace must gate clean against the real
+//! committed `analyze-baseline.json`.
+
+use aqo_analyze::baseline::Baseline;
+use aqo_analyze::rules::Severity;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn real_root() -> PathBuf {
+    // crates/analyze -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/analyze")
+        .to_path_buf()
+}
+
+#[test]
+fn fixture_findings_hit_every_rule_and_respect_allows() {
+    let findings = aqo_analyze::analyze(&fixture_root()).expect("fixture scan");
+    let got: Vec<(String, String, usize)> = findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.path.clone(), f.line))
+        .collect();
+    let want: Vec<(String, String, usize)> = [
+        ("no-unwrap-in-lib", "crates/core/src/legacy.rs", 5),
+        ("no-unwrap-in-lib", "crates/core/src/lib.rs", 8),
+        ("ordering-audit", "crates/core/src/lib.rs", 19),
+        ("ordering-audit", "crates/core/src/lib.rs", 22),
+        ("counter-catalog-sync", "crates/core/src/lib.rs", 28),
+        ("no-float-in-exact", "crates/core/src/qon.rs", 3),
+        ("no-float-in-exact", "crates/core/src/qon.rs", 4),
+        ("budget-hook-coverage", "crates/optimizer/src/lib.rs", 6),
+        ("counter-catalog-sync", "docs/OBSERVABILITY.md", 11),
+    ]
+    .into_iter()
+    .map(|(r, p, l)| (r.to_string(), p.to_string(), l))
+    .collect();
+    // Sorted by (path, line, rule), same as run_all's output order.
+    let mut want_sorted = want.clone();
+    want_sorted.sort_by(|a, b| (&a.1, a.2, &a.0).cmp(&(&b.1, b.2, &b.0)));
+    assert_eq!(got, want_sorted, "full findings: {findings:#?}");
+
+    // Severity split: budget-hook + SeqCst are warnings, the rest errors.
+    let warnings: Vec<_> =
+        findings.iter().filter(|f| f.severity == Severity::Warning).collect();
+    assert_eq!(warnings.len(), 2, "{warnings:?}");
+}
+
+#[test]
+fn fixture_baseline_gates_legacy_but_not_new_findings() {
+    let root = fixture_root();
+    let findings = aqo_analyze::analyze(&root).expect("fixture scan");
+    let text = std::fs::read_to_string(root.join(aqo_analyze::BASELINE_FILE)).expect("baseline");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let gate = baseline.gate(&findings);
+
+    // legacy.rs is allowed by the baseline: it must NOT be a regression.
+    assert!(
+        !gate.regressions.iter().any(|(_, p, _, _)| p.contains("legacy.rs")),
+        "{:?}",
+        gate.regressions
+    );
+    // Everything else is new relative to the baseline.
+    assert_eq!(gate.regressions.len(), 6, "{:?}", gate.regressions);
+    // The baseline's gone.rs entry no longer matches anything: stale.
+    assert_eq!(gate.stale.len(), 1, "{:?}", gate.stale);
+    assert!(gate.stale[0].1.contains("gone.rs"));
+}
+
+#[test]
+fn cli_exit_codes() {
+    let root = fixture_root();
+    let s = |v: &str| v.to_string();
+    // Regressions against the fixture baseline: exit 1.
+    assert_eq!(aqo_analyze::cli_main(&[s("--root"), s(root.to_str().unwrap())]), 1);
+    // Bad flag / bad rule: exit 2.
+    assert_eq!(aqo_analyze::cli_main(&[s("--frobnicate")]), 2);
+    assert_eq!(aqo_analyze::cli_main(&[s("--rule"), s("nope")]), 2);
+    // A rule with findings and no baseline: exit 1.
+    assert_eq!(
+        aqo_analyze::cli_main(&[
+            s("--root"),
+            s(root.to_str().unwrap()),
+            s("--no-baseline"),
+            s("--rule"),
+            s("no-float-in-exact"),
+        ]),
+        1
+    );
+}
+
+#[test]
+fn write_baseline_then_gate_is_clean() {
+    let root = fixture_root();
+    let tmp = std::env::temp_dir()
+        .join(format!("aqo-analyze-fixture-baseline-{}.json", std::process::id()));
+    let s = |v: &str| v.to_string();
+    let path = tmp.to_str().unwrap();
+    // Capture the current findings as a fresh baseline…
+    assert_eq!(
+        aqo_analyze::cli_main(&[
+            s("--root"),
+            s(root.to_str().unwrap()),
+            s("--write-baseline"),
+            s("--baseline"),
+            s(path),
+        ]),
+        0
+    );
+    // …then gating against it is clean (exit 0), JSON mode included.
+    assert_eq!(
+        aqo_analyze::cli_main(&[
+            s("--root"),
+            s(root.to_str().unwrap()),
+            s("--baseline"),
+            s(path),
+            s("--json"),
+        ]),
+        0
+    );
+    let _ = std::fs::remove_file(&tmp);
+}
+
+/// The self-check the CI gate relies on: the real workspace, gated
+/// against the real committed baseline, has zero regressions.
+#[test]
+fn real_workspace_gates_clean_against_committed_baseline() {
+    let root = real_root();
+    let findings = aqo_analyze::analyze(&root).expect("workspace scan");
+    let text = std::fs::read_to_string(root.join(aqo_analyze::BASELINE_FILE))
+        .expect("committed analyze-baseline.json at the workspace root");
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    let gate = baseline.gate(&findings);
+    assert!(
+        gate.regressions.is_empty(),
+        "lint regressions against the committed baseline:\n{:#?}\n\
+         fix the findings or (for sanctioned violations) refresh with\n\
+         `cargo run -p aqo-analyze -- --write-baseline`",
+        gate.regressions
+    );
+}

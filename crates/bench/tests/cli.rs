@@ -320,3 +320,29 @@ fn reduce_3sat_emits_instance() {
     let inst = aqo_core::textio::qon_from_text(&out).unwrap();
     assert!(inst.n() > 0);
 }
+
+#[test]
+fn analyze_subcommand_gates_clean_and_emits_json() {
+    // From inside the workspace the linter finds the root and the
+    // committed baseline by itself; the tree must gate clean.
+    let out = Command::new(env!("CARGO_BIN_EXE_aqo"))
+        .args(["analyze", "--json"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "analyze regressed: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema\": \"aqo-analyze/v1\""), "{stdout}");
+    assert!(stderr.contains("0 regressions"), "{stderr}");
+
+    // Linter usage errors exit 2 and do NOT print the aqo usage banner
+    // (findings and linter flags are aqo-analyze's own surface).
+    let out = Command::new(env!("CARGO_BIN_EXE_aqo"))
+        .args(["analyze", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}

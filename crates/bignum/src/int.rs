@@ -105,6 +105,8 @@ impl BigInt {
     }
 
     /// Lossy conversion to `f64`.
+    // analyze:allow(no-float-in-exact) -- the explicit lossy bridge into
+    // the log/float domain; exact arithmetic never consumes the result.
     pub fn to_f64(&self) -> f64 {
         match self.sign {
             Sign::Zero => 0.0,

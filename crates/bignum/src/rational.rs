@@ -128,12 +128,16 @@ impl BigRational {
     }
 
     /// Base-2 logarithm as `f64` (requires a positive value).
+    // analyze:allow(no-float-in-exact) -- the explicit lossy bridge into
+    // the log/float domain; exact arithmetic never consumes the result.
     pub fn log2(&self) -> f64 {
         assert!(self.is_positive(), "log2 of non-positive rational");
         self.num.magnitude().log2() - self.den.log2()
     }
 
     /// Lossy conversion to `f64`.
+    // analyze:allow(no-float-in-exact) -- the explicit lossy bridge into
+    // the log/float domain; exact arithmetic never consumes the result.
     pub fn to_f64(&self) -> f64 {
         if self.is_zero() {
             return 0.0;
@@ -333,6 +337,8 @@ impl fmt::Debug for BigRational {
 }
 
 impl BigRational {
+    // analyze:allow(no-float-in-exact) -- Debug-formatting helper on the
+    // same lossy log-domain bridge; never feeds exact arithmetic.
     fn log2_signed(&self) -> f64 {
         if self.is_zero() {
             f64::NEG_INFINITY

@@ -89,6 +89,8 @@ impl BigUint {
     ///
     /// Accurate to roughly one ULP of `f64` for any magnitude: the top 128
     /// bits dominate the mantissa and the rest shifts the exponent.
+    // analyze:allow(no-float-in-exact) -- the explicit lossy bridge into
+    // the log/float domain; exact arithmetic never consumes the result.
     pub fn log2(&self) -> f64 {
         let n = self.limbs.len();
         match n {
@@ -104,6 +106,8 @@ impl BigUint {
     }
 
     /// Lossy conversion to `f64` (`inf` on overflow).
+    // analyze:allow(no-float-in-exact) -- the explicit lossy bridge into
+    // the log/float domain; exact arithmetic never consumes the result.
     pub fn to_f64(&self) -> f64 {
         let n = self.limbs.len();
         match n {

@@ -168,11 +168,15 @@ impl Budget {
 
     /// Expansions consumed so far.
     pub fn expansions_used(&self) -> u64 {
+        // ordering: an observer-only progress counter; callers read it
+        // for reporting after the search returns (same thread or after
+        // join), never to synchronize with worker data.
         self.expansions.load(Ordering::Relaxed)
     }
 
     /// Estimated bytes charged so far.
     pub fn memory_charged(&self) -> u64 {
+        // ordering: see `expansions_used` — reporting-only read.
         self.memory_bytes.load(Ordering::Relaxed)
     }
 
@@ -210,6 +214,9 @@ impl Budget {
     /// relaxed atomic add plus two compares.
     #[inline]
     pub fn tick(&self) -> Result<(), BudgetExceeded> {
+        // ordering: the counter is the whole message — the cap compare
+        // uses the fetch_add return value, which is exact under any
+        // ordering; no other data is published with it.
         let count = self.expansions.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(cap) = self.max_expansions {
             if count > cap {
@@ -235,6 +242,7 @@ impl Budget {
         if n == 0 {
             return Ok(());
         }
+        // ordering: see `tick` — self-contained counter arithmetic.
         let count = self.expansions.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(cap) = self.max_expansions {
             if count > cap {
@@ -272,6 +280,7 @@ impl Budget {
     /// call this *before* allocating their big tables, so an instance whose
     /// table alone would blow the cap fails fast instead of OOMing.
     pub fn charge_memory(&self, bytes: u64) -> Result<(), BudgetExceeded> {
+        // ordering: see `tick` — self-contained counter arithmetic.
         let total = self.memory_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         // Charges happen once per table/phase, never per expansion, so the
         // journal append is off the hot path.

@@ -155,6 +155,12 @@ impl SharedBound {
     /// The current bound (log₂ domain).
     #[inline]
     pub fn get(&self) -> f64 {
+        // ordering: the bound is self-contained — the f64 bit pattern IS
+        // the entire message, with no dependent data published alongside
+        // it, so there is nothing for an Acquire to synchronize. A stale
+        // read only prunes less; each worker's exact local incumbent
+        // decides the final answer (audited for PR 4; no Release/Acquire
+        // upgrade needed).
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
@@ -162,6 +168,9 @@ impl SharedBound {
     /// races only ever leave the bound looser (still correct).
     pub fn tighten(&self, log2: f64) {
         debug_assert!(!log2.is_nan());
+        // ordering: see `get` — a single self-contained word; the CAS in
+        // fetch_update already guarantees the monotone min is kept under
+        // races (verified exhaustively in tests/model_parallel.rs).
         let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
             if log2 < f64::from_bits(cur) {
                 Some(log2.to_bits())

@@ -111,8 +111,10 @@ pub fn event(etype: &'static str, fields: Vec<(&'static str, Value)>) {
     }
     let us = epoch().elapsed().as_micros() as u64;
     let mut events = events();
-    // seq is claimed under the events lock so buffer order always agrees
-    // with seq order, even with concurrent emitters.
+    // ordering: seq is claimed *under the events lock* so buffer order
+    // always agrees with seq order even with concurrent emitters (the
+    // lock provides all inter-thread ordering; the atomic only supplies
+    // uniqueness). Verified exhaustively in tests/model_journal.rs.
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     events.push(Event { seq, us, etype, fields });
 }

@@ -137,7 +137,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("bad number bytes at byte {start}"))?;
     text.parse::<f64>()
         .map(JsonValue::Num)
         .map_err(|_| format!("bad number `{text}` at byte {start}"))
@@ -183,7 +184,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Advance one whole UTF-8 scalar.
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| "invalid UTF-8 in string")?;
-                let c = rest.chars().next().expect("nonempty");
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| format!("unterminated string at byte {}", *pos))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

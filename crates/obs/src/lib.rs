@@ -39,11 +39,15 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// entire cost of a disabled metric mutation or journal append.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: a standalone on/off flag sampled per operation; no data
+    // is published under it, and stale reads only delay when collection
+    // starts/stops by one operation.
     ENABLED.load(Ordering::Relaxed)
 }
 
 /// Turns collection on or off globally. Off is the default.
 pub fn set_enabled(on: bool) {
+    // ordering: see `enabled` — flag toggles carry no dependent data.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -57,6 +61,8 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if enabled() {
+            // ordering: independent monotone sum; aggregate readers run
+            // after `thread::scope` join, which already orders them.
             self.0.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -69,7 +75,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: see `add`
     }
 }
 
@@ -82,6 +88,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: u64) {
         if enabled() {
+            // ordering: last-written-wins by contract; no reader infers
+            // anything beyond the gauge value itself.
             self.0.store(v, Ordering::Relaxed);
         }
     }
@@ -90,13 +98,13 @@ impl Gauge {
     #[inline]
     pub fn set_max(&self, v: u64) {
         if enabled() {
-            self.0.fetch_max(v, Ordering::Relaxed);
+            self.0.fetch_max(v, Ordering::Relaxed); // ordering: see `set`
         }
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: see `set`
     }
 }
 
@@ -136,20 +144,25 @@ impl Histogram {
             return;
         }
         let h = &*self.0;
+        // ordering: the four fields are independent monotone aggregates;
+        // `stats` makes no cross-field consistency claim (a snapshot may
+        // observe a sample's count before its sum), so nothing here
+        // needs to publish or acquire.
         h.count.fetch_add(1, Ordering::Relaxed);
-        h.sum.fetch_add(v, Ordering::Relaxed);
-        h.max.fetch_max(v, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed); // ordering: see above
+        h.max.fetch_max(v, Ordering::Relaxed); // ordering: see above
         let b = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
-        h.buckets[b].fetch_add(1, Ordering::Relaxed);
+        h.buckets[b].fetch_add(1, Ordering::Relaxed); // ordering: see above
     }
 
     /// `(count, sum, max)` so far.
     pub fn stats(&self) -> (u64, u64, u64) {
         let h = &*self.0;
         (
+            // ordering: aggregate reads; see `record` for why no acquire.
             h.count.load(Ordering::Relaxed),
-            h.sum.load(Ordering::Relaxed),
-            h.max.load(Ordering::Relaxed),
+            h.sum.load(Ordering::Relaxed), // ordering: see above
+            h.max.load(Ordering::Relaxed), // ordering: see above
         )
     }
 }
@@ -180,6 +193,9 @@ pub fn counter(name: &str) -> Counter {
         .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
     {
         Metric::Counter(c) => c.clone(),
+        // analyze:allow(no-unwrap-in-lib) -- documented API panic: a
+        // name registered under two metric kinds is a programming
+        // error (see the `# Panics` section), not a runtime condition.
         other => panic!("metric `{name}` already registered as {other:?}"),
     }
 }
@@ -195,6 +211,9 @@ pub fn gauge(name: &str) -> Gauge {
         .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
     {
         Metric::Gauge(g) => g.clone(),
+        // analyze:allow(no-unwrap-in-lib) -- documented API panic: a
+        // name registered under two metric kinds is a programming
+        // error (see the `# Panics` section), not a runtime condition.
         other => panic!("metric `{name}` already registered as {other:?}"),
     }
 }
@@ -210,6 +229,9 @@ pub fn histogram(name: &str) -> Histogram {
         .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(HistogramInner::new()))))
     {
         Metric::Histogram(h) => h.clone(),
+        // analyze:allow(no-unwrap-in-lib) -- documented API panic: a
+        // name registered under two metric kinds is a programming
+        // error (see the `# Panics` section), not a runtime condition.
         other => panic!("metric `{name}` already registered as {other:?}"),
     }
 }
@@ -285,15 +307,17 @@ pub fn counters_snapshot() -> Vec<(String, u64)> {
 /// same atomics). Does not touch the journal; see [`journal::clear`].
 pub fn reset_metrics() {
     for m in registry().values() {
+        // ordering: resets run between measurement phases with no
+        // concurrent writers by contract; zeroing carries no payload.
         match m {
-            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
-            Metric::Gauge(g) => g.0.store(0, Ordering::Relaxed),
+            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed), // ordering: see above
+            Metric::Gauge(g) => g.0.store(0, Ordering::Relaxed), // ordering: see above
             Metric::Histogram(h) => {
-                h.0.count.store(0, Ordering::Relaxed);
-                h.0.sum.store(0, Ordering::Relaxed);
-                h.0.max.store(0, Ordering::Relaxed);
+                h.0.count.store(0, Ordering::Relaxed); // ordering: see above
+                h.0.sum.store(0, Ordering::Relaxed); // ordering: see above
+                h.0.max.store(0, Ordering::Relaxed); // ordering: see above
                 for b in &h.0.buckets {
-                    b.store(0, Ordering::Relaxed);
+                    b.store(0, Ordering::Relaxed); // ordering: see above
                 }
             }
         }

@@ -56,6 +56,9 @@ fn order_crossover(a: &[usize], b: &[usize], rng: &mut impl Rng) -> Vec<usize> {
 }
 
 /// Runs the GA and returns the best sequence seen across all generations.
+// analyze:allow(budget-hook-coverage) -- the GA runs exactly
+// `params.generations * params.population` fitness evaluations, so its
+// runtime is parameter-bounded; callers cap it via GaParams, not Budget.
 pub fn optimize(inst: &QoNInstance, params: &GaParams, rng: &mut impl Rng) -> JoinSequence {
     let n = inst.n();
     if n <= 2 {

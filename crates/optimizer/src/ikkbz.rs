@@ -56,6 +56,9 @@ impl Module {
 
 /// Runs IKKBZ for every root and returns the best sequence with its exact
 /// cost. Panics unless the query graph is a connected tree.
+// analyze:allow(budget-hook-coverage) -- IKKBZ is O(n^2 log n) per root
+// (polynomial, no search-space explosion); a cancel hook would cost more
+// than the longest possible run.
 pub fn optimize(inst: &QoNInstance) -> Optimum<BigRational> {
     let n = inst.n();
     assert!(n >= 1, "empty instance");

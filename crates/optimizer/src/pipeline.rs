@@ -174,6 +174,9 @@ pub fn optimize_exhaustive_par_with_budget(
 /// position swaps until a local optimum.
 ///
 /// Returns `None` when no feasible sequence exists at all.
+// analyze:allow(budget-hook-coverage) -- greedy + 2-opt does polynomial
+// work (O(n^3) DP re-evaluations at worst); only the exponential searches
+// take a Budget.
 pub fn optimize_greedy(inst: &QoHInstance) -> Option<QohPlan> {
     let n = inst.n();
     assert!(n >= 2);
