@@ -8,6 +8,9 @@
 //!              [--timeout-ms <n>] [--max-expansions <n>] [--fallback <chain>]
 //! aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]            # Lemma 3 + f_N chain
 //! aqo clique <file.dimacs>                                      # exact max clique
+//! aqo serve [--addr <host:port>] [--stdio] [--threads <n>]      # JSONL optimization service
+//! aqo request <addr> <op> [file]                                # one-shot service client
+//! aqo loadgen [--addr <host:port>] [--concurrency 1,2,4]        # benchmark a live server
 //! ```
 //!
 //! Instances use the text formats of `aqo_core::textio` (`.qon`, `.qoh`),
@@ -60,6 +63,10 @@ enum CliError {
     Faults(String),
     /// Every tier of the driver's fallback chain failed.
     Driver(aqo_driver::DriverError),
+    /// A remote `aqo serve` answered with a structured error (or loadgen
+    /// found wrong-cost responses). The invocation itself was fine, so
+    /// the usage banner is suppressed.
+    Remote(String),
 }
 
 impl fmt::Display for CliError {
@@ -71,6 +78,7 @@ impl fmt::Display for CliError {
             CliError::Infeasible(msg) => write!(f, "{msg}"),
             CliError::Faults(msg) => write!(f, "AQO_FAULTS: {msg}"),
             CliError::Driver(e) => write!(f, "{e}"),
+            CliError::Remote(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -99,8 +107,18 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("analyze") {
         return ExitCode::from(aqo_analyze::cli_main(&args[1..]) as u8);
     }
+    if matches!(args.first().map(String::as_str), Some("--version" | "-V")) {
+        println!("aqo {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        // A remote error means the invocation was well-formed and the
+        // server answered; repeating the usage banner would bury it.
+        Err(e @ CliError::Remote(_)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -111,7 +129,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -212,11 +230,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("gen") => cmd_gen(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("optimize-qoh") => cmd_optimize_qoh(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
         Some("clique") => cmd_clique(&args[1..]),
-        _ => Err(CliError::usage("missing or unknown subcommand")),
+        Some(other) => Err(CliError::usage(format!("unknown subcommand `{other}`"))),
+        None => Err(CliError::usage("missing subcommand")),
     }
 }
 
@@ -569,5 +591,156 @@ fn cmd_clique(args: &[String]) -> Result<(), CliError> {
     println!("omega  : {}", c.len());
     println!("bound  : {upper} (colouring/degeneracy upper bound)");
     println!("clique : {c:?}");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let addr = required_flag_value(args, "--addr")?.unwrap_or("127.0.0.1:7878");
+    let stdio = args.iter().any(|a| a == "--stdio");
+    let obs = obs_flags(args)?;
+    let cfg = aqo_serve::ServeConfig {
+        threads: u64_flag(args, "--threads")?.map_or(4, |v| v as usize),
+        max_inflight: u64_flag(args, "--max-inflight")?.map_or(64, |v| v as usize),
+        cache_capacity: u64_flag(args, "--cache-cap")?.map_or(1024, |v| v as usize),
+        idle_timeout: u64_flag(args, "--idle-timeout-ms")?.map(Duration::from_millis),
+        default_timeout: u64_flag(args, "--default-timeout-ms")?.map(Duration::from_millis),
+    };
+    if obs.collecting() {
+        aqo_obs::set_enabled(true);
+    }
+    let server = aqo_serve::Server::new(&cfg);
+    let report = if stdio {
+        server.run_stdio()
+    } else {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|source| CliError::Io { path: addr.to_string(), source })?;
+        // Printed before the accept loop so scripts binding port 0 can
+        // scrape the assigned port.
+        match listener.local_addr() {
+            Ok(local) => eprintln!("serve: listening on {local}"),
+            Err(_) => eprintln!("serve: listening on {addr}"),
+        }
+        server
+            .run(&listener)
+            .map_err(|source| CliError::Io { path: addr.to_string(), source })?
+    };
+    eprintln!("serve: {report}");
+    if let Some(path) = &obs.report_json {
+        std::fs::write(path, report.to_json())
+            .map_err(|source| CliError::Io { path: path.clone(), source })?;
+    }
+    finish_obs(&obs)
+}
+
+fn cmd_request(args: &[String]) -> Result<(), CliError> {
+    use aqo_serve::{Op, Problem};
+    let addr = args.first().ok_or_else(|| CliError::usage("request: missing address"))?;
+    let verb = args.get(1).ok_or_else(|| CliError::usage("request: missing operation"))?;
+    let (op, problem) = match verb.as_str() {
+        "optimize" => (Op::Optimize, Problem::Qon),
+        "explain" => (Op::Explain, Problem::Qon),
+        "optimize-qoh" => (Op::Optimize, Problem::Qoh),
+        "explain-qoh" => (Op::Explain, Problem::Qoh),
+        "clique" => (Op::Optimize, Problem::Clique),
+        "status" => (Op::Status, Problem::Qon),
+        "shutdown" => (Op::Shutdown, Problem::Qon),
+        other => return Err(CliError::usage(format!("request: unknown operation `{other}`"))),
+    };
+    let mut req = aqo_serve::Request::new(op, problem);
+    req.id = u64_flag(args, "--id")?.unwrap_or(1);
+    if matches!(op, Op::Optimize | Op::Explain) {
+        let path = args
+            .get(2)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or_else(|| CliError::usage(format!("request: `{verb}` needs an instance file")))?;
+        req.instance = Some(read_file(path)?);
+    }
+    req.method = required_flag_value(args, "--method")?.map(str::to_string);
+    req.fallback = required_flag_value(args, "--fallback")?.map(str::to_string);
+    if req.method.is_some() && req.fallback.is_some() {
+        return Err(CliError::usage("request: --method and --fallback are mutually exclusive"));
+    }
+    req.timeout_ms = u64_flag(args, "--timeout-ms")?;
+    req.max_expansions = u64_flag(args, "--max-expansions")?;
+    req.threads = threads_flag(args)?;
+    req.allow_cartesian = !args.iter().any(|a| a == "--no-cartesian");
+    req.use_cache = !args.iter().any(|a| a == "--no-cache");
+    let line = aqo_serve::client::oneshot(addr, &req)
+        .map_err(|source| CliError::Io { path: addr.to_string(), source })?;
+    println!("{line}");
+    let doc = aqo_obs::json::parse(&line)
+        .map_err(|e| CliError::Remote(format!("unparseable response: {e}")))?;
+    if !matches!(doc.get("ok"), Some(aqo_obs::json::JsonValue::Bool(true))) {
+        let error = doc.get("error");
+        let kind =
+            error.and_then(|e| e.get("kind")).and_then(|v| v.as_str()).unwrap_or("unknown");
+        let msg = error.and_then(|e| e.get("message")).and_then(|v| v.as_str()).unwrap_or("");
+        return Err(CliError::Remote(format!("server error ({kind}): {msg}")));
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = aqo_serve::loadgen::LoadgenConfig::default();
+    if let Some(addr) = required_flag_value(args, "--addr")? {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(n) = u64_flag(args, "--requests")? {
+        cfg.requests = n as usize;
+    }
+    if let Some(spec) = required_flag_value(args, "--concurrency")? {
+        cfg.concurrency = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad --concurrency value `{s}`")))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(m) = required_flag_value(args, "--mix")? {
+        cfg.mix = aqo_serve::loadgen::Mix::parse(m)
+            .ok_or_else(|| CliError::usage(format!("bad --mix `{m}` (qon|qoh|mixed)")))?;
+    }
+    if let Some(p) = u64_flag(args, "--pool")? {
+        cfg.pool = p as usize;
+    }
+    if let Some(s) = u64_flag(args, "--seed")? {
+        cfg.seed = s;
+    }
+    let out = required_flag_value(args, "--out")?.unwrap_or("BENCH_serve.json");
+    eprintln!(
+        "loadgen: {} request(s) per level, levels {:?}, mix {}, against {}",
+        cfg.requests,
+        cfg.concurrency,
+        cfg.mix.name(),
+        cfg.addr
+    );
+    let report = aqo_serve::loadgen::run(&cfg).map_err(CliError::Remote)?;
+    std::fs::write(out, report.to_json())
+        .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+    for l in &report.levels {
+        println!(
+            "c={:<2} requests={} errors={} wrong_cost={} p50={}us p99={}us \
+             throughput={:.1}rps cache_hit_rate={:.2}",
+            l.concurrency,
+            l.requests,
+            l.errors,
+            l.wrong_cost,
+            l.p50_us,
+            l.p99_us,
+            l.throughput_rps,
+            l.cache_hit_rate
+        );
+    }
+    println!("wrote {out}");
+    // Wrong costs are the one thing a cache-fronted service must never
+    // produce; surface them as a hard failure for CI.
+    if report.total_wrong_cost() > 0 {
+        return Err(CliError::Remote(format!(
+            "loadgen: {} wrong-cost response(s)",
+            report.total_wrong_cost()
+        )));
+    }
     Ok(())
 }

@@ -346,3 +346,37 @@ fn analyze_subcommand_gates_clean_and_emits_json() {
     assert!(!stderr.contains("usage:"), "{stderr}");
     assert!(stderr.contains("unknown flag"), "{stderr}");
 }
+
+#[test]
+fn version_flag_prints_version_and_exits_zero() {
+    for flag in ["--version", "-V"] {
+        let (ok, out, err) = aqo(&[flag]);
+        assert!(ok, "{flag} must exit 0: {err}");
+        assert_eq!(out.trim(), concat!("aqo ", env!("CARGO_PKG_VERSION")));
+        assert!(err.is_empty(), "{flag} prints nothing to stderr: {err}");
+    }
+}
+
+#[test]
+fn bare_invocation_prints_full_synopsis() {
+    let (ok, _, err) = aqo(&[]);
+    assert!(!ok, "bare `aqo` exits nonzero");
+    assert!(err.contains("missing subcommand"), "{err}");
+    // The synopsis must enumerate every subcommand, including the
+    // service surface, so operators can discover it from the banner.
+    for cmd in [
+        "aqo gen", "aqo optimize", "aqo optimize-qoh", "aqo serve", "aqo request",
+        "aqo loadgen", "aqo bench", "aqo trace-check", "aqo analyze", "aqo reduce-3sat",
+        "aqo clique", "--version",
+    ] {
+        assert!(err.contains(cmd), "synopsis is missing `{cmd}`:\n{err}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_is_named_in_the_error() {
+    let (ok, _, err) = aqo(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand `frobnicate`"), "{err}");
+    assert!(err.contains("usage:"), "bad invocations still get the banner: {err}");
+}

@@ -1,0 +1,209 @@
+//! Canonical, order-independent instance fingerprints.
+//!
+//! The serving layer (`aqo-serve`) keys its plan cache on the *instance*,
+//! not on the request text: two clients sending the same query graph with
+//! the edge lines permuted, or the same instance regenerated from a
+//! different in-memory representation, must land on the same cache entry.
+//! This module defines that identity:
+//!
+//! * [`canonical_qon`] / [`canonical_qoh`] — a normalized line encoding of
+//!   an instance: fixed header, sizes in index order, one record per edge
+//!   with `u < v`, records sorted lexicographically. Equal instances
+//!   produce byte-identical encodings regardless of edge enumeration
+//!   order, so the encoding doubles as a collision-proof cache key.
+//! * [`fingerprint_qon`] / [`fingerprint_qoh`] — 64-bit FNV-1a over the
+//!   canonical encoding. Because the encoding is normalized first, the
+//!   fingerprint is independent of input order by construction.
+//!
+//! The fingerprint is a *routing* hash (shard selection, fast compare); it
+//! is never trusted alone. Cache lookups compare the full canonical key,
+//! so even a 64-bit collision can only cost a miss, never a wrong plan —
+//! the property the `aqo-serve` interleaving model test pins down.
+
+use crate::qoh::QoHInstance;
+use crate::qon::QoNInstance;
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher (no `std::hash` indirection, so the
+/// value is stable across platforms and Rust versions — it appears in
+/// wire responses and committed bench artifacts).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of `bytes` in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+fn finish_canonical(header: String, mut edge_records: Vec<String>) -> String {
+    // Sorting the records is what buys order independence: the hash of
+    // the joined encoding cannot depend on enumeration order.
+    edge_records.sort_unstable();
+    let mut out = header;
+    for r in edge_records {
+        out.push_str(&r);
+        out.push('\n');
+    }
+    out
+}
+
+/// Canonical encoding of a QO_N instance (see module docs). Stable across
+/// edge enumeration order; distinct instances yield distinct encodings
+/// because every component (sizes, selectivities, access costs) is spelled
+/// out exactly.
+pub fn canonical_qon(inst: &QoNInstance) -> String {
+    let mut out = String::with_capacity(64 + inst.n() * 24);
+    let _ = writeln!(out, "qon {}", inst.n());
+    for (i, t) in inst.sizes().iter().enumerate() {
+        let _ = writeln!(out, "t {i} {t}");
+    }
+    let mut records = Vec::new();
+    for (u, v) in inst.graph().edges() {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let s = inst.selectivity().get(a, b);
+        // Endpoints normalized `a < b`; the two access costs follow in
+        // the normalized `(a,b), (b,a)` order.
+        records
+            .push(format!("e {a} {b} {}/{} {} {}", s.numer(), s.denom(), inst.w(a, b), inst.w(b, a)));
+    }
+    finish_canonical(out, records)
+}
+
+/// Canonical encoding of a QO_H instance (see module docs).
+pub fn canonical_qoh(inst: &QoHInstance) -> String {
+    let mut out = String::with_capacity(64 + inst.n() * 24);
+    let (en, ed) = inst.eta();
+    let _ = writeln!(out, "qoh {}", inst.n());
+    let _ = writeln!(out, "m {}", inst.memory());
+    let _ = writeln!(out, "eta {en}/{ed}");
+    for (i, t) in inst.sizes().iter().enumerate() {
+        let _ = writeln!(out, "t {i} {t}");
+    }
+    let mut records = Vec::new();
+    for (u, v) in inst.graph().edges() {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let s = inst.selectivity().get(a, b);
+        records.push(format!("e {a} {b} {}/{}", s.numer(), s.denom()));
+    }
+    finish_canonical(out, records)
+}
+
+/// 64-bit FNV-1a fingerprint of a QO_N instance's canonical encoding.
+pub fn fingerprint_qon(inst: &QoNInstance) -> u64 {
+    fnv1a(canonical_qon(inst).as_bytes())
+}
+
+/// 64-bit FNV-1a fingerprint of a QO_H instance's canonical encoding.
+pub fn fingerprint_qoh(inst: &QoHInstance) -> u64 {
+    fnv1a(canonical_qoh(inst).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{textio, workloads};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(n: usize, seed: u64) -> QoNInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        workloads::chain(n, &workloads::WorkloadParams::default(), &mut rng)
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn permuted_edge_text_hashes_identically() {
+        let inst = chain(6, 3);
+        let text = textio::qon_to_text(&inst);
+        // Reverse the edge lines: same instance, different input order.
+        let mut head: Vec<&str> = Vec::new();
+        let mut edges: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            if line.starts_with("edge") {
+                edges.push(line);
+            } else {
+                head.push(line);
+            }
+        }
+        edges.reverse();
+        let permuted = format!("{}\n{}\n", head.join("\n"), edges.join("\n"));
+        let reparsed = textio::qon_from_text(&permuted).expect("permuted text parses");
+        assert_eq!(canonical_qon(&inst), canonical_qon(&reparsed));
+        assert_eq!(fingerprint_qon(&inst), fingerprint_qon(&reparsed));
+    }
+
+    #[test]
+    fn different_instances_fingerprint_differently() {
+        let a = chain(6, 3);
+        let b = chain(6, 4); // same shape, different sizes/selectivities
+        let c = chain(7, 3);
+        assert_ne!(fingerprint_qon(&a), fingerprint_qon(&b));
+        assert_ne!(fingerprint_qon(&a), fingerprint_qon(&c));
+    }
+
+    #[test]
+    fn qoh_fingerprint_covers_memory() {
+        let base = chain(5, 9);
+        let mk = |mem: u64| {
+            QoHInstance::new(
+                base.graph().clone(),
+                base.sizes().to_vec(),
+                base.selectivity().clone(),
+                aqo_bignum::BigUint::from(mem),
+            )
+        };
+        let a = mk(1_000_000);
+        let b = mk(2_000_000);
+        assert_ne!(fingerprint_qoh(&a), fingerprint_qoh(&b));
+        assert_eq!(fingerprint_qoh(&a), fingerprint_qoh(&mk(1_000_000)));
+    }
+
+    #[test]
+    fn canonical_text_round_trips_identity_through_textio() {
+        // Serializing and reparsing an instance must not move its
+        // fingerprint — this is what makes the wire format cache-stable.
+        let inst = chain(8, 11);
+        let reparsed = textio::qon_from_text(&textio::qon_to_text(&inst)).expect("parses");
+        assert_eq!(fingerprint_qon(&inst), fingerprint_qon(&reparsed));
+    }
+}

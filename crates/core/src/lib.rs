@@ -23,6 +23,7 @@
 
 pub mod budget;
 pub mod explain;
+pub mod fingerprint;
 pub mod interleave;
 pub mod join;
 pub mod parallel;

@@ -137,6 +137,11 @@ impl QoHInstance {
         &self.memory
     }
 
+    /// The hash-join exponent `η` as a `(numerator, denominator)` pair.
+    pub fn eta(&self) -> (u32, u32) {
+        self.eta
+    }
+
     /// `hjmin(b) = ⌈b^η⌉`.
     pub fn hjmin(&self, b: &BigUint) -> BigUint {
         b.root_pow_ceil(self.eta.0, self.eta.1)

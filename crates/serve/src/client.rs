@@ -1,0 +1,67 @@
+//! A minimal blocking client for the JSONL protocol: one line out, one
+//! line back. Used by `aqo request`, `aqo loadgen`, and the e2e tests.
+
+use crate::proto::Request;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A persistent connection to a running `aqo serve`.
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One-line request/response round trips suffer ~40ms from Nagle
+        // interacting with delayed ACKs; latency matters more than the
+        // handful of small packets.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, pending: Vec::new() })
+    }
+
+    /// Sends one request line and blocks for the matching response line
+    /// (the server answers each connection's requests in completion
+    /// order; callers that pipeline must correlate by `id`).
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        self.read_line()
+    }
+
+    /// As [`Client::roundtrip_line`] for a structured [`Request`].
+    pub fn roundtrip(&mut self, req: &Request) -> std::io::Result<String> {
+        self.roundtrip_line(&req.to_json_line())
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop();
+                return Ok(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-response",
+                    ))
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Connect, send one request, read one response, disconnect.
+pub fn oneshot(addr: &str, req: &Request) -> std::io::Result<String> {
+    Client::connect(addr)?.roundtrip(req)
+}

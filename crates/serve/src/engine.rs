@@ -1,0 +1,368 @@
+//! The transport-free request handler: parse → fail point → cache →
+//! driver → cache insert → reply.
+//!
+//! [`Engine::handle`] is everything the service does to one
+//! optimize/explain request, independent of how the request arrived (TCP,
+//! stdio, or a test calling it directly). The server wraps it with
+//! admission control and a worker pool; the stress tests call it straight
+//! from `aqo_core::parallel::run_workers` threads.
+//!
+//! Failure containment: the whole of request handling runs under
+//! `catch_unwind`, and the `serve::request` fail point
+//! ([`aqo_driver::faults`]) fires *inside* that guard — an injected panic
+//! or error therefore produces a structured error response instead of a
+//! dead worker or a dropped connection.
+
+use crate::cache::{CachedPlan, PlanCache};
+use crate::proto::{ErrReply, ErrorKind, OkReply, Op, Problem, Reply, Request};
+use aqo_core::fingerprint::{canonical_qoh, canonical_qon, fnv1a};
+use aqo_core::{explain, textio, CostScalar};
+use aqo_driver::{faults, BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig, QonTier};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// The request handler shared by every worker. Owns the plan cache.
+pub struct Engine {
+    cache: PlanCache,
+    /// Applied when a request carries no `timeout_ms` of its own.
+    default_timeout: Option<Duration>,
+}
+
+impl Engine {
+    /// An engine with a plan cache of `cache_capacity` entries (0
+    /// disables caching) and an optional server-side default deadline.
+    pub fn new(cache_capacity: usize, default_timeout: Option<Duration>) -> Self {
+        Engine { cache: PlanCache::new(cache_capacity), default_timeout }
+    }
+
+    /// The plan cache (for status snapshots and tests).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Handles one optimize/explain request end to end and returns the
+    /// reply. Never panics: injected faults and panics inside handling
+    /// come back as structured error responses.
+    pub fn handle(&self, req: &Request) -> Reply {
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Err(f) = faults::fail_point("serve::request") {
+                return Reply::Err(ErrReply {
+                    id: req.id,
+                    kind: ErrorKind::Injected,
+                    message: f.to_string(),
+                });
+            }
+            self.solve(req)
+        }));
+        let mut reply = outcome.unwrap_or_else(|payload| {
+            Reply::Err(ErrReply {
+                id: req.id,
+                kind: ErrorKind::Panic,
+                message: panic_message(payload),
+            })
+        });
+        let us = t0.elapsed().as_micros() as u64;
+        if let Reply::Ok(ok) = &mut reply {
+            ok.elapsed_us = us;
+        }
+        if aqo_obs::enabled() {
+            aqo_obs::histogram("serve.request_us").record(us);
+            if reply.is_ok() {
+                aqo_obs::counter_handle!("serve.responses.ok").inc();
+            } else {
+                aqo_obs::counter_handle!("serve.responses.error").inc();
+            }
+            aqo_obs::journal::event(
+                "serve_response",
+                vec![
+                    ("id", req.id.into()),
+                    ("op", req.op.name().into()),
+                    ("ok", reply.is_ok().into()),
+                    ("cached", matches!(&reply, Reply::Ok(r) if r.cached).into()),
+                    ("us", us.into()),
+                ],
+            );
+        }
+        reply
+    }
+
+    fn solve(&self, req: &Request) -> Reply {
+        match req.problem {
+            Problem::Qon => self.solve_qon(req),
+            Problem::Qoh => self.solve_qoh(req),
+            Problem::Clique => self.solve_clique(req),
+        }
+    }
+
+    /// Whether this request participates in the plan cache. Explain
+    /// requests never do: their value is the walkthrough text, which is
+    /// cheap to recompute and expensive to store.
+    fn caching(req: &Request) -> bool {
+        req.use_cache && req.op == Op::Optimize
+    }
+
+    fn budget_spec(&self, req: &Request) -> BudgetSpec {
+        BudgetSpec {
+            timeout: req.timeout_ms.map(Duration::from_millis).or(self.default_timeout),
+            max_expansions: req.max_expansions,
+            max_memory_bytes: None,
+        }
+    }
+
+    fn solve_qon(&self, req: &Request) -> Reply {
+        let text = req.instance.as_deref().unwrap_or_default();
+        let inst = match textio::qon_from_text(text) {
+            Ok(i) => i,
+            Err(e) => return err(req, ErrorKind::Parse, format!("instance: {e}")),
+        };
+        // The canonical key carries every request knob that changes the
+        // answer; budget and chain do not (only exact plans are cached).
+        let key =
+            format!("qon cart={} {}", u8::from(req.allow_cartesian), canonical_qon(&inst));
+        let hash = fnv1a(key.as_bytes());
+        if Self::caching(req) {
+            if let Some(hit) = self.cache.lookup(hash, &key) {
+                return ok_from_cache(req, hash, hit);
+            }
+        }
+        let chain = match chain_spec(req) {
+            Ok(spec) => match spec {
+                Some(s) => match QonTier::parse_chain(s) {
+                    Ok(c) => c,
+                    Err(e) => return err(req, ErrorKind::Usage, e),
+                },
+                None => QonTier::default_chain(),
+            },
+            Err(e) => return err(req, ErrorKind::Usage, e),
+        };
+        let cfg = QonDriverConfig {
+            budget: self.budget_spec(req),
+            chain,
+            allow_cartesian: req.allow_cartesian,
+            threads: req.threads,
+            ..QonDriverConfig::default()
+        };
+        let outcome = match aqo_driver::optimize_qon(&inst, &cfg) {
+            Ok(o) => o,
+            Err(e) => return err(req, ErrorKind::Driver, e.to_string()),
+        };
+        let order = outcome.optimum.sequence.order().to_vec();
+        let cost = outcome.optimum.cost;
+        let cost_log2 = CostScalar::log2(&cost);
+        let explain_text =
+            (req.op == Op::Explain).then(|| explain::explain_qon(&inst, &outcome.optimum.sequence));
+        if Self::caching(req) && outcome.report.exact {
+            self.cache.insert(
+                hash,
+                key,
+                CachedPlan {
+                    tier: outcome.report.tier.to_string(),
+                    exact: true,
+                    order: order.clone(),
+                    cost: cost.to_string(),
+                    cost_log2,
+                    decomposition: None,
+                },
+            );
+        }
+        Reply::Ok(Box::new(OkReply {
+            id: req.id,
+            op: req.op,
+            problem: req.problem,
+            fingerprint: hash,
+            cached: false,
+            tier: outcome.report.tier.to_string(),
+            exact: outcome.report.exact,
+            order,
+            cost: cost.to_string(),
+            cost_log2,
+            decomposition: None,
+            explain: explain_text,
+            elapsed_us: 0,
+        }))
+    }
+
+    fn solve_qoh(&self, req: &Request) -> Reply {
+        let text = req.instance.as_deref().unwrap_or_default();
+        let inst = match textio::qoh_from_text(text) {
+            Ok(i) => i,
+            Err(e) => return err(req, ErrorKind::Parse, format!("instance: {e}")),
+        };
+        let key = format!("qoh {}", canonical_qoh(&inst));
+        let hash = fnv1a(key.as_bytes());
+        if Self::caching(req) {
+            if let Some(hit) = self.cache.lookup(hash, &key) {
+                return ok_from_cache(req, hash, hit);
+            }
+        }
+        let chain = match chain_spec(req) {
+            Ok(spec) => match spec {
+                Some(s) => match QohTier::parse_chain(s) {
+                    Ok(c) => c,
+                    Err(e) => return err(req, ErrorKind::Usage, e),
+                },
+                None => QohTier::default_chain(),
+            },
+            Err(e) => return err(req, ErrorKind::Usage, e),
+        };
+        let cfg = QohDriverConfig {
+            budget: self.budget_spec(req),
+            chain,
+            threads: req.threads,
+            ..QohDriverConfig::default()
+        };
+        let outcome = match aqo_driver::optimize_qoh(&inst, &cfg) {
+            Ok(o) => o,
+            Err(e) => return err(req, ErrorKind::Driver, e.to_string()),
+        };
+        let order = outcome.plan.sequence.order().to_vec();
+        let fragments: Vec<(usize, usize)> = outcome.plan.decomposition.fragments().to_vec();
+        let cost_log2 = outcome.plan.cost.log2();
+        let explain_text = (req.op == Op::Explain)
+            .then(|| {
+                explain::explain_qoh(&inst, &outcome.plan.sequence, &outcome.plan.decomposition)
+            })
+            .flatten();
+        if Self::caching(req) && outcome.report.exact {
+            self.cache.insert(
+                hash,
+                key,
+                CachedPlan {
+                    tier: outcome.report.tier.to_string(),
+                    exact: true,
+                    order: order.clone(),
+                    cost: outcome.plan.cost.to_string(),
+                    cost_log2,
+                    decomposition: Some(fragments.clone()),
+                },
+            );
+        }
+        Reply::Ok(Box::new(OkReply {
+            id: req.id,
+            op: req.op,
+            problem: req.problem,
+            fingerprint: hash,
+            cached: false,
+            tier: outcome.report.tier.to_string(),
+            exact: outcome.report.exact,
+            order,
+            cost: outcome.plan.cost.to_string(),
+            cost_log2,
+            decomposition: Some(fragments),
+            explain: explain_text,
+            elapsed_us: 0,
+        }))
+    }
+
+    fn solve_clique(&self, req: &Request) -> Reply {
+        if req.method.is_some() || req.fallback.is_some() {
+            return err(req, ErrorKind::Usage, "clique has no method/fallback selection".into());
+        }
+        let text = req.instance.as_deref().unwrap_or_default();
+        let g = match aqo_graph::io::from_dimacs(text) {
+            Ok(g) => g,
+            Err(e) => return err(req, ErrorKind::Parse, format!("instance: {e}")),
+        };
+        // Canonical DIMACS identity: vertex count plus the sorted,
+        // endpoint-normalized edge list (same construction as
+        // `aqo_core::fingerprint`, specialized to unweighted graphs).
+        let mut edges: Vec<(usize, usize)> =
+            g.edges().map(|(u, v)| if u < v { (u, v) } else { (v, u) }).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut key = format!("clique {}\n", g.n());
+        for (u, v) in &edges {
+            key.push_str(&format!("e {u} {v}\n"));
+        }
+        let hash = fnv1a(key.as_bytes());
+        if Self::caching(req) {
+            if let Some(hit) = self.cache.lookup(hash, &key) {
+                return ok_from_cache(req, hash, hit);
+            }
+        }
+        let clique = aqo_graph::clique::max_clique(&g);
+        let omega = clique.len();
+        let explain_text = (req.op == Op::Explain).then(|| {
+            format!(
+                "max clique: {clique:?} (omega = {omega}; colouring/degeneracy \
+                 upper bound {})\n",
+                aqo_graph::coloring::clique_upper_bound(&g)
+            )
+        });
+        if Self::caching(req) {
+            self.cache.insert(
+                hash,
+                key,
+                CachedPlan {
+                    tier: "clique".into(),
+                    exact: true,
+                    order: clique.clone(),
+                    cost: omega.to_string(),
+                    cost_log2: omega as f64,
+                    decomposition: None,
+                },
+            );
+        }
+        Reply::Ok(Box::new(OkReply {
+            id: req.id,
+            op: req.op,
+            problem: req.problem,
+            fingerprint: hash,
+            cached: false,
+            tier: "clique".into(),
+            exact: true,
+            order: clique,
+            cost: omega.to_string(),
+            cost_log2: omega as f64,
+            decomposition: None,
+            explain: explain_text,
+            elapsed_us: 0,
+        }))
+    }
+}
+
+/// `method` routes as a single-tier chain; `fallback` as written. The
+/// two are mutually exclusive (already rejected at parse time, but the
+/// engine revalidates because tests construct requests directly).
+fn chain_spec(req: &Request) -> Result<Option<&str>, String> {
+    match (&req.method, &req.fallback) {
+        (Some(_), Some(_)) => Err("`method` and `fallback` are mutually exclusive".into()),
+        (Some(m), None) => Ok(Some(m.as_str())),
+        (None, Some(f)) => Ok(Some(f.as_str())),
+        (None, None) => Ok(None),
+    }
+}
+
+fn err(req: &Request, kind: ErrorKind, message: String) -> Reply {
+    Reply::Err(ErrReply { id: req.id, kind, message })
+}
+
+/// Builds the reply for a cache hit: copy-only, no recomputation.
+fn ok_from_cache(req: &Request, fingerprint: u64, hit: CachedPlan) -> Reply {
+    Reply::Ok(Box::new(OkReply {
+        id: req.id,
+        op: req.op,
+        problem: req.problem,
+        fingerprint,
+        cached: true,
+        tier: hit.tier,
+        exact: hit.exact,
+        order: hit.order,
+        cost: hit.cost,
+        cost_log2: hit.cost_log2,
+        decomposition: hit.decomposition,
+        explain: None,
+        elapsed_us: 0,
+    }))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

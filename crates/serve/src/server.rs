@@ -1,0 +1,579 @@
+//! The resident service: TCP/stdio intake, admission control, worker
+//! pool, graceful shutdown.
+//!
+//! # Threading model
+//!
+//! * The **acceptor** (the thread that called [`Server::run`]) polls a
+//!   non-blocking listener, spawning one scoped **connection thread** per
+//!   client. Connection threads parse request lines, answer `status` and
+//!   `shutdown` immediately, and submit optimize/explain work through the
+//!   admission controller.
+//! * A fixed **worker pool** (built on
+//!   [`aqo_core::parallel::run_workers`]) drains the bounded queue and
+//!   runs [`Engine::handle`]; replies are written back under the owning
+//!   connection's writer lock, so concurrent replies to one client never
+//!   interleave bytes.
+//! * **Admission control**: `queued + executing` is capped at
+//!   `max_inflight`, decided under the queue mutex. Past the cap the
+//!   request is answered immediately with a structured `"overloaded"`
+//!   error — the queue never grows without bound and a burst cannot wedge
+//!   the service.
+//! * **Graceful shutdown** (a `shutdown` request, or the idle timeout):
+//!   admission closes, queued and executing work drains, workers exit,
+//!   connection threads notice via their read timeout and hang up, and
+//!   [`Server::run`] returns a [`ServiceReport`] summary. The CLI then
+//!   flushes the trace journal exactly as `aqo optimize` does.
+
+use crate::engine::Engine;
+use crate::proto::{ErrReply, ErrorKind, Op, Reply, Request, StatusReply};
+use aqo_core::parallel;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker-pool size (0 = one worker per hardware thread).
+    pub threads: usize,
+    /// Admission cap on `queued + executing` requests.
+    pub max_inflight: usize,
+    /// Plan-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Shut down after this long with no intake and nothing in flight.
+    pub idle_timeout: Option<Duration>,
+    /// Deadline applied to requests that carry no `timeout_ms`.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 4,
+            max_inflight: 64,
+            cache_capacity: 1024,
+            idle_timeout: None,
+            default_timeout: None,
+        }
+    }
+}
+
+/// The final service summary, in the same spirit as the driver's
+/// `DriverReport`: what ran, what was rejected, what the cache did.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Why the server stopped (`"shutdown"` or `"idle"`).
+    pub reason: &'static str,
+    /// Requests parsed (all ops).
+    pub requests: u64,
+    /// Optimize/explain replies that succeeded.
+    pub ok: u64,
+    /// Optimize/explain replies that failed.
+    pub errors: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Plan-cache counters at shutdown.
+    pub cache: crate::cache::CacheStats,
+    /// Wall-clock service lifetime.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reason={} requests={} ok={} errors={} overloaded={} \
+             cache_hits={} cache_misses={} cache_evictions={} elapsed={:.3}s",
+            self.reason,
+            self.requests,
+            self.ok,
+            self.errors,
+            self.overloaded,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
+impl ServiceReport {
+    /// JSON rendering for `--report-json` (hand-rolled, like
+    /// `DriverReport::to_json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"reason\": \"{}\",\n  \"requests\": {},\n  \"ok\": {},\n  \
+             \"errors\": {},\n  \"overloaded\": {},\n  \"cache\": {{\"hits\": {}, \
+             \"misses\": {}, \"inserts\": {}, \"evictions\": {}, \"len\": {}, \
+             \"capacity\": {}}},\n  \"elapsed_ms\": {:.3}\n}}\n",
+            self.reason,
+            self.requests,
+            self.ok,
+            self.errors,
+            self.overloaded,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.inserts,
+            self.cache.evictions,
+            self.cache.len,
+            self.cache.capacity,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// A queued unit of work: the parsed request plus where to write the
+/// reply.
+struct Job {
+    req: Request,
+    out: SharedWriter,
+}
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    executing: usize,
+}
+
+/// The service. Construct with [`Server::new`], then call [`Server::run`]
+/// (TCP) or [`Server::run_stdio`] once; both block until shutdown and
+/// return the [`ServiceReport`].
+pub struct Server {
+    engine: Engine,
+    workers: usize,
+    max_inflight: usize,
+    idle_timeout: Option<Duration>,
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    accepting: AtomicBool,
+    shutdown: AtomicBool,
+    /// `"shutdown"` until the idle path claims it. Guarded by `state`.
+    reason: Mutex<&'static str>,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    last_intake: Mutex<Instant>,
+    started: Instant,
+}
+
+impl Server {
+    /// Builds a server; `cfg.threads == 0` resolves to the hardware
+    /// thread count.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        Server {
+            engine: Engine::new(cfg.cache_capacity, cfg.default_timeout),
+            workers: parallel::resolve_threads(cfg.threads),
+            max_inflight: cfg.max_inflight.max(1),
+            idle_timeout: cfg.idle_timeout,
+            state: Mutex::new(QueueState { queue: VecDeque::new(), executing: 0 }),
+            work_cv: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            reason: Mutex::new("shutdown"),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            last_intake: Mutex::new(Instant::now()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine (for tests that want the cache).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Serves `listener` until shutdown; returns the final summary.
+    pub fn run(&self, listener: &TcpListener) -> std::io::Result<ServiceReport> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            // The worker pool runs inside one scoped thread; run_workers
+            // fans it out to `self.workers` OS threads and joins them.
+            let pool = scope.spawn(|| {
+                parallel::run_workers(self.workers, |_t| self.worker_loop());
+            });
+            let mut accept_err = None;
+            loop {
+                // ordering: Relaxed — monotone stop flag; the acceptor
+                // only stops taking new connections, all queue state is
+                // synchronized by the state mutex.
+                if self.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.touch_intake();
+                        scope.spawn(move || self.serve_connection(stream));
+                    }
+                    Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                        self.maybe_idle_shutdown();
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // A fatal listener error still drains in-flight
+                        // work before surfacing, so workers and
+                        // connection threads can be joined.
+                        accept_err = Some(e);
+                        self.begin_shutdown("shutdown");
+                        break;
+                    }
+                }
+            }
+            // Drain: wait until queued and executing work has finished,
+            // then the workers (who saw the shutdown flag) exit and the
+            // pool thread joins them.
+            let mut st = self.lock_state();
+            while !st.queue.is_empty() || st.executing > 0 {
+                st = self.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            drop(st);
+            self.work_cv.notify_all();
+            pool.join().expect("worker pool panicked");
+            match accept_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        })?;
+        Ok(self.report())
+    }
+
+    /// Serves newline-delimited requests on stdin/stdout, sequentially
+    /// (scripting/debug transport — no pool, no admission, same engine).
+    pub fn run_stdio(&self) -> ServiceReport {
+        let stdin = std::io::stdin();
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.intake_line(line.trim_end(), &out, true) {
+                break;
+            }
+        }
+        self.begin_shutdown("shutdown");
+        self.report()
+    }
+
+    fn report(&self) -> ServiceReport {
+        ServiceReport {
+            reason: *self.reason.lock().unwrap_or_else(PoisonError::into_inner),
+            // ordering: Relaxed — statistics snapshot after the pool has
+            // been joined; no synchronization is carried by the counters.
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed), // ordering: stats snapshot
+            errors: self.errors.load(Ordering::Relaxed), // ordering: stats snapshot
+            overloaded: self.overloaded.load(Ordering::Relaxed), // ordering: stats snapshot
+            cache: self.engine.cache().stats(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    fn touch_intake(&self) {
+        *self.last_intake.lock().unwrap_or_else(PoisonError::into_inner) = Instant::now();
+    }
+
+    /// Idle shutdown: no intake for `idle_timeout` and nothing in flight.
+    fn maybe_idle_shutdown(&self) {
+        let Some(idle) = self.idle_timeout else { return };
+        let quiet = self
+            .last_intake
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .elapsed()
+            >= idle;
+        if !quiet {
+            return;
+        }
+        let st = self.lock_state();
+        if st.queue.is_empty() && st.executing == 0 {
+            drop(st);
+            self.begin_shutdown("idle");
+        }
+    }
+
+    /// Closes admission and wakes everyone. Idempotent; the first caller
+    /// decides the recorded reason.
+    fn begin_shutdown(&self, reason: &'static str) {
+        let _guard = self.lock_state();
+        // ordering: Relaxed — the flags are only ever set under the state
+        // lock and every reader either holds that lock or re-checks it
+        // before acting on queue contents.
+        if !self.shutdown.swap(true, Ordering::Relaxed) {
+            *self.reason.lock().unwrap_or_else(PoisonError::into_inner) = reason;
+            // ordering: Relaxed — see above.
+            self.accepting.store(false, Ordering::Relaxed);
+            if aqo_obs::enabled() {
+                aqo_obs::journal::event("serve_shutdown", vec![("reason", reason.into())]);
+            }
+        }
+        self.work_cv.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = self.lock_state();
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        st.executing += 1;
+                        self.publish_gauges(&st);
+                        break Some(job);
+                    }
+                    // ordering: Relaxed — read under the state lock that
+                    // `begin_shutdown` holds while setting the flag.
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        break None;
+                    }
+                    st = self.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(job) = job else { return };
+            let reply = self.engine.handle(&job.req);
+            // ordering: Relaxed — statistics counters only.
+            match reply.is_ok() {
+                true => self.ok.fetch_add(1, Ordering::Relaxed), // ordering: stats only
+                false => self.errors.fetch_add(1, Ordering::Relaxed), // ordering: stats only
+            };
+            write_reply(&job.out, &reply);
+            let mut st = self.lock_state();
+            st.executing -= 1;
+            self.publish_gauges(&st);
+            drop(st);
+            // Wake the drain waiter (and any idle workers).
+            self.work_cv.notify_all();
+        }
+    }
+
+    fn publish_gauges(&self, st: &QueueState) {
+        if aqo_obs::enabled() {
+            aqo_obs::gauge("serve.queue_depth").set(st.queue.len() as u64);
+            aqo_obs::gauge("serve.inflight").set((st.queue.len() + st.executing) as u64);
+        }
+    }
+
+    /// One client connection: read lines, fast-path control ops, submit
+    /// the rest. Returns when the client hangs up or the server stops.
+    fn serve_connection(&self, stream: TcpStream) {
+        // The read timeout is what lets this thread notice shutdown while
+        // blocked on a quiet client. Nagle + delayed ACK adds ~40ms to
+        // every one-line round trip, so turn it off.
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(writer)));
+        let mut reader = LineReader::new(stream);
+        loop {
+            // ordering: Relaxed — monotone stop flag; worst case this
+            // connection reads one more line before hanging up.
+            let stop = || self.shutdown.load(Ordering::Relaxed);
+            match reader.next_line(&stop) {
+                Ok(Some(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if self.intake_line(line.trim_end(), &out, false) {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => return,
+            }
+        }
+    }
+
+    /// Parses and routes one request line; returns `true` when the
+    /// connection (or stdio loop) should stop reading. `direct` executes
+    /// optimize/explain inline instead of queueing (the stdio transport).
+    fn intake_line(&self, line: &str, out: &SharedWriter, direct: bool) -> bool {
+        self.touch_intake();
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err(message) => {
+                write_reply(
+                    out,
+                    &Reply::Err(ErrReply { id: 0, kind: ErrorKind::Parse, message }),
+                );
+                return false;
+            }
+        };
+        self.note_request(&req);
+        match req.op {
+            Op::Status => {
+                write_reply(out, &self.status_reply(req.id));
+                false
+            }
+            Op::Shutdown => {
+                write_reply(out, &Reply::ShutdownAck { id: req.id });
+                self.begin_shutdown("shutdown");
+                true
+            }
+            Op::Optimize | Op::Explain => {
+                if direct {
+                    let reply = self.engine.handle(&req);
+                    // ordering: Relaxed — statistics counters only.
+                    match reply.is_ok() {
+                        true => self.ok.fetch_add(1, Ordering::Relaxed), // ordering: stats only
+                        false => self.errors.fetch_add(1, Ordering::Relaxed), // ordering: stats only
+                    };
+                    write_reply(out, &reply);
+                } else if let Some(rejection) = self.submit(req, out) {
+                    write_reply(out, &rejection);
+                }
+                false
+            }
+        }
+    }
+
+    /// Admission control: enqueue, or return the structured rejection.
+    fn submit(&self, req: Request, out: &SharedWriter) -> Option<Reply> {
+        let mut st = self.lock_state();
+        // ordering: Relaxed — read under the same lock `begin_shutdown`
+        // sets it under.
+        if !self.accepting.load(Ordering::Relaxed) {
+            return Some(Reply::Err(ErrReply {
+                id: req.id,
+                kind: ErrorKind::Shutdown,
+                message: "server is shutting down".into(),
+            }));
+        }
+        let inflight = st.queue.len() + st.executing;
+        if inflight >= self.max_inflight {
+            // ordering: Relaxed — statistics counter only.
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+            if aqo_obs::enabled() {
+                aqo_obs::counter_handle!("serve.overloaded").inc();
+                aqo_obs::journal::event(
+                    "serve_overloaded",
+                    vec![("id", req.id.into()), ("inflight", inflight.into())],
+                );
+            }
+            return Some(Reply::Err(ErrReply {
+                id: req.id,
+                kind: ErrorKind::Overloaded,
+                message: format!(
+                    "admission control: {inflight} requests in flight (cap {})",
+                    self.max_inflight
+                ),
+            }));
+        }
+        st.queue.push_back(Job { req, out: Arc::clone(out) });
+        self.publish_gauges(&st);
+        drop(st);
+        self.work_cv.notify_one();
+        None
+    }
+
+    fn note_request(&self, req: &Request) {
+        // ordering: Relaxed — statistics counter only.
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if aqo_obs::enabled() {
+            aqo_obs::counter(&format!("serve.requests.{}", req.op.name())).inc();
+            aqo_obs::journal::event(
+                "serve_request",
+                vec![
+                    ("id", req.id.into()),
+                    ("op", req.op.name().into()),
+                    ("problem", req.problem.name().into()),
+                ],
+            );
+        }
+    }
+
+    fn status_reply(&self, id: u64) -> Reply {
+        let (queue_depth, executing) = {
+            let st = self.lock_state();
+            (st.queue.len(), st.executing)
+        };
+        let cache = self.engine.cache().stats();
+        Reply::Status(Box::new(StatusReply {
+            id,
+            workers: self.workers,
+            queue_depth,
+            executing,
+            max_inflight: self.max_inflight,
+            // ordering: Relaxed — statistics snapshot only.
+            accepting: self.accepting.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed), // ordering: stats snapshot
+            responses_ok: self.ok.load(Ordering::Relaxed), // ordering: stats snapshot
+            responses_error: self.errors.load(Ordering::Relaxed), // ordering: stats snapshot
+            overloaded: self.overloaded.load(Ordering::Relaxed), // ordering: stats snapshot
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_inserts: cache.inserts,
+            cache_evictions: cache.evictions,
+            cache_len: cache.len,
+            cache_capacity: cache.capacity,
+            uptime_us: self.started.elapsed().as_micros() as u64,
+        }))
+    }
+}
+
+/// Serializes the reply and writes it as one line under the connection's
+/// writer lock. Write errors mean the client hung up; the reply is
+/// dropped (the *request* was still counted and executed).
+fn write_reply(out: &SharedWriter, reply: &Reply) {
+    let mut line = reply.to_json_line();
+    line.push('\n');
+    let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.flush();
+}
+
+/// Incremental newline-delimited reader over a socket with a read
+/// timeout: timeouts poll the `stop` flag instead of aborting the
+/// connection, so a quiet client does not pin the thread past shutdown.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader { stream, pending: Vec::new() }
+    }
+
+    /// The next full line (without the newline), `None` on EOF or stop.
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop();
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if stop() {
+                return Ok(None);
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == IoErrorKind::WouldBlock
+                        || e.kind() == IoErrorKind::TimedOut
+                        || e.kind() == IoErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

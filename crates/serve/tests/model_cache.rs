@@ -1,0 +1,124 @@
+//! Model-checks the plan-cache lookup/insert protocol with
+//! `aqo_core::interleave`.
+//!
+//! The property: a cache **hit must return the plan that was inserted for
+//! the requested key** — never a plan belonging to a different instance
+//! that happened to land in the same slot. `PlanCache::lookup` guarantees
+//! this by doing the key comparison and the value copy under one lock
+//! acquisition (one atomic step in the model). The second model splits
+//! that step the way a lock-free "check, then copy" implementation would,
+//! and the checker finds the schedule where a concurrent eviction swaps
+//! the slot between the two halves.
+
+use aqo_core::interleave::{explore, StepOutcome};
+
+/// The ground truth the invariant checks hits against.
+fn plan_of(key: &'static str) -> &'static str {
+    match key {
+        "A" => "plan-A",
+        "B" => "plan-B",
+        other => panic!("no plan for key {other}"),
+    }
+}
+
+/// One cache slot of a capacity-1 shard: both keys contend for it, which
+/// is exactly the regime where eviction races a lookup.
+#[derive(Clone)]
+struct Slot {
+    key: &'static str,
+    plan: &'static str,
+}
+
+#[derive(Clone)]
+struct State {
+    slot: Option<Slot>,
+    /// Reader program counter (0 = not started, counts steps taken).
+    pc: usize,
+    /// Split protocol only: the reader observed a key match in step 1.
+    matched: bool,
+    /// What the reader's lookup("A") returned, once complete.
+    got: Option<Option<&'static str>>,
+    /// Writer finished its evict+insert.
+    writer_done: bool,
+}
+
+fn init_with_a() -> State {
+    State {
+        slot: Some(Slot { key: "A", plan: plan_of("A") }),
+        pc: 0,
+        matched: false,
+        got: None,
+        writer_done: false,
+    }
+}
+
+/// The writer thread: one atomic evict+insert replacing the slot with
+/// key "B" (in the real shard the whole clock sweep and write happen
+/// under one `Mutex` acquisition).
+fn writer(s: &mut State) -> StepOutcome {
+    if s.writer_done {
+        return StepOutcome::Done;
+    }
+    s.slot = Some(Slot { key: "B", plan: plan_of("B") });
+    s.writer_done = true;
+    StepOutcome::Done
+}
+
+/// Checks completed lookups: a hit for "A" must have returned plan-A.
+fn invariant(s: &State, _done: bool) -> Result<(), String> {
+    if let Some(Some(plan)) = s.got {
+        if plan != plan_of("A") {
+            return Err(format!("lookup(\"A\") returned {plan}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn atomic_lookup_never_returns_wrong_plan() {
+    // lookup("A") as PlanCache implements it: compare key and copy the
+    // value inside one lock acquisition — one atomic step.
+    let reader = |s: &mut State| {
+        if s.pc > 0 {
+            return StepOutcome::Done;
+        }
+        s.pc = 1;
+        s.got = Some(match &s.slot {
+            Some(slot) if slot.key == "A" => Some(slot.plan),
+            _ => None,
+        });
+        StepOutcome::Done
+    };
+    let writer = |s: &mut State| writer(s);
+    let schedules = explore(&init_with_a(), &[&reader, &writer], &invariant, 8)
+        .expect("atomic protocol admits no bad schedule");
+    assert!(schedules >= 2, "both orders of two atomic steps explored");
+}
+
+#[test]
+fn split_lookup_protocol_returns_wrong_plan() {
+    // The broken variant: step 1 checks the key under the lock, step 2
+    // copies the value after releasing it. A writer step in between
+    // replaces the slot, and the reader hands back plan-B for key "A".
+    let reader = |s: &mut State| match s.pc {
+        0 => {
+            s.pc = 1;
+            s.matched = matches!(&s.slot, Some(slot) if slot.key == "A");
+            StepOutcome::Ran
+        }
+        1 => {
+            s.pc = 2;
+            s.got = Some(if s.matched { s.slot.as_ref().map(|slot| slot.plan) } else { None });
+            StepOutcome::Done
+        }
+        _ => StepOutcome::Done,
+    };
+    let writer = |s: &mut State| writer(s);
+    let violation = explore(&init_with_a(), &[&reader, &writer], &invariant, 8)
+        .expect_err("the checker must find the check-then-copy race");
+    assert!(
+        violation.message.contains("plan-B"),
+        "violation is the wrong-plan hit: {}",
+        violation.message
+    );
+}

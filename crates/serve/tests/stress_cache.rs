@@ -1,0 +1,112 @@
+//! Concurrency stress: many worker threads hammer one [`aqo_serve::Engine`]
+//! with a mixed QO_N/QO_H request stream and every single response must
+//! carry exactly the cost the *sequential* driver computes for that
+//! instance — with the plan cache on (hits are served concurrently with
+//! misses and inserts) and with it off (every request solves from
+//! scratch). A wrong cost here means the cache returned a plan for the
+//! wrong instance or a torn value crossed threads.
+
+use aqo_core::parallel::run_workers;
+use aqo_core::{textio, workloads};
+use aqo_driver::{QohDriverConfig, QonDriverConfig};
+use aqo_serve::{Engine, Op, Problem, Reply, Request};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One pooled instance: its wire text and the sequential driver's cost.
+struct Pooled {
+    problem: Problem,
+    text: String,
+    expected_cost: String,
+}
+
+fn build_pool() -> Vec<Pooled> {
+    let params = workloads::WorkloadParams::default();
+    let mut pool = Vec::new();
+    for (i, n) in [5usize, 6, 7, 6].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let inst = if i % 2 == 0 {
+            workloads::chain(n, &params, &mut rng)
+        } else {
+            workloads::cycle(n, &params, &mut rng)
+        };
+        let outcome =
+            aqo_driver::optimize_qon(&inst, &QonDriverConfig::default()).expect("qon solves");
+        assert!(outcome.report.exact);
+        pool.push(Pooled {
+            problem: Problem::Qon,
+            text: textio::qon_to_text(&inst),
+            expected_cost: outcome.optimum.cost.to_string(),
+        });
+    }
+    for i in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(200 + i);
+        let base = workloads::chain(5 + i as usize, &params, &mut rng);
+        // Memory = product of sizes keeps every plan feasible (η < 1).
+        let memory = base
+            .sizes()
+            .iter()
+            .fold(aqo_bignum::BigUint::from(1u64), |acc, s| &acc * s);
+        let inst = aqo_core::qoh::QoHInstance::new(
+            base.graph().clone(),
+            base.sizes().to_vec(),
+            base.selectivity().clone(),
+            memory,
+        );
+        let outcome =
+            aqo_driver::optimize_qoh(&inst, &QohDriverConfig::default()).expect("qoh solves");
+        pool.push(Pooled {
+            problem: Problem::Qoh,
+            text: textio::qoh_to_text(&inst),
+            expected_cost: outcome.plan.cost.to_string(),
+        });
+    }
+    pool
+}
+
+/// Fires `total` requests from `threads` workers and checks every cost.
+fn hammer(engine: &Engine, pool: &[Pooled], threads: usize, total: usize, use_cache: bool) {
+    run_workers(threads, |w| {
+        for j in (w..total).step_by(threads) {
+            let item = &pool[j % pool.len()];
+            let mut req = Request::new(Op::Optimize, item.problem);
+            req.id = j as u64;
+            req.instance = Some(item.text.clone());
+            req.use_cache = use_cache;
+            match engine.handle(&req) {
+                Reply::Ok(ok) => {
+                    assert_eq!(
+                        ok.cost, item.expected_cost,
+                        "request {j}: concurrent answer diverged from the sequential driver"
+                    );
+                    assert!(ok.exact, "request {j}: default chain must answer exactly");
+                }
+                other => panic!("request {j} failed: {}", other.to_json_line()),
+            }
+        }
+    });
+}
+
+#[test]
+fn concurrent_mixed_load_matches_sequential_costs_with_cache() {
+    let pool = build_pool();
+    let engine = Engine::new(64, None);
+    hammer(&engine, &pool, 8, 96, true);
+    let stats = engine.cache().stats();
+    assert!(stats.hits > 0, "96 requests over 6 instances must hit the cache");
+    // Two threads can miss the same key concurrently and both insert
+    // (replace-in-place), so inserts is a lower bound — but the cache
+    // itself must hold exactly one entry per distinct instance.
+    assert!(stats.inserts as usize >= pool.len(), "every instance cached");
+    assert_eq!(stats.len, pool.len(), "duplicate inserts collapse per key");
+}
+
+#[test]
+fn concurrent_mixed_load_matches_sequential_costs_without_cache() {
+    let pool = build_pool();
+    let engine = Engine::new(64, None);
+    hammer(&engine, &pool, 8, 48, false);
+    let stats = engine.cache().stats();
+    assert_eq!(stats.hits, 0, "cache-off requests must not read the cache");
+    assert_eq!(stats.inserts, 0, "cache-off requests must not populate the cache");
+}
