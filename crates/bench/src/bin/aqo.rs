@@ -11,6 +11,7 @@
 //! aqo serve [--addr <host:port>] [--stdio] [--threads <n>]      # JSONL optimization service
 //! aqo request <addr> <op> [file]                                # one-shot service client
 //! aqo loadgen [--addr <host:port>] [--concurrency 1,2,4]        # benchmark a live server
+//! aqo chaos [--quick] [--out CHAOS.json]                        # deterministic fault campaign
 //! ```
 //!
 //! Instances use the text formats of `aqo_core::textio` (`.qon`, `.qoh`),
@@ -129,7 +130,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -233,6 +234,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
@@ -598,12 +600,26 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let addr = required_flag_value(args, "--addr")?.unwrap_or("127.0.0.1:7878");
     let stdio = args.iter().any(|a| a == "--stdio");
     let obs = obs_flags(args)?;
+    let defaults = aqo_serve::ServeConfig::default();
     let cfg = aqo_serve::ServeConfig {
         threads: u64_flag(args, "--threads")?.map_or(4, |v| v as usize),
         max_inflight: u64_flag(args, "--max-inflight")?.map_or(64, |v| v as usize),
         cache_capacity: u64_flag(args, "--cache-cap")?.map_or(1024, |v| v as usize),
         idle_timeout: u64_flag(args, "--idle-timeout-ms")?.map(Duration::from_millis),
         default_timeout: u64_flag(args, "--default-timeout-ms")?.map(Duration::from_millis),
+        conn_timeout: u64_flag(args, "--conn-timeout-ms")?
+            .map_or(defaults.conn_timeout, Duration::from_millis),
+        // 0 disables the slow-loris deadline (trusted-client deployments).
+        read_deadline: match u64_flag(args, "--read-deadline-ms")? {
+            None => defaults.read_deadline,
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+        },
+        max_line_bytes: u64_flag(args, "--max-line-bytes")?
+            .map_or(defaults.max_line_bytes, |v| v as usize),
+        degrade: !args.iter().any(|a| a == "--no-degrade"),
+        snapshot_path: required_flag_value(args, "--cache-snapshot")?
+            .map(std::path::PathBuf::from),
     };
     if obs.collecting() {
         aqo_obs::set_enabled(true);
@@ -676,6 +692,63 @@ fn cmd_request(args: &[String]) -> Result<(), CliError> {
             error.and_then(|e| e.get("kind")).and_then(|v| v.as_str()).unwrap_or("unknown");
         let msg = error.and_then(|e| e.get("message")).and_then(|v| v.as_str()).unwrap_or("");
         return Err(CliError::Remote(format!("server error ({kind}): {msg}")));
+    }
+    Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        aqo_serve::chaos::ChaosConfig::quick()
+    } else {
+        aqo_serve::chaos::ChaosConfig::default()
+    };
+    if let Some(n) = u64_flag(args, "--requests")? {
+        cfg.requests_per_cell = (n as usize).max(1);
+    }
+    if let Some(n) = u64_flag(args, "--fault-count")? {
+        cfg.fault_count = n.max(1);
+    }
+    if let Some(s) = u64_flag(args, "--seed")? {
+        cfg.seed = s;
+    }
+    let out = required_flag_value(args, "--out")?.unwrap_or("CHAOS.json");
+    let obs = obs_flags(args)?;
+    if obs.collecting() {
+        aqo_obs::set_enabled(true);
+    }
+    eprintln!(
+        "chaos: sweeping {} fault sites x 3 modes, {} request(s)/cell, {} fire(s)/site",
+        aqo_driver::faults::CATALOG.len(),
+        cfg.requests_per_cell,
+        cfg.fault_count,
+    );
+    let report = aqo_serve::chaos::run(&cfg).map_err(CliError::Remote)?;
+    std::fs::write(out, report.to_json())
+        .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+    for cell in &report.cells {
+        if !cell.violations.is_empty() {
+            for v in &cell.violations {
+                eprintln!("chaos: VIOLATION {}[{}]: {v}", cell.site, cell.mode);
+            }
+        }
+    }
+    for s in &report.scenarios {
+        println!("scenario {:<20} {} — {}", s.name, if s.passed { "pass" } else { "FAIL" }, s.detail);
+    }
+    println!(
+        "cells={} requests={} violations={} pool_intact={}",
+        report.cells.len(),
+        report.cells.iter().map(|c| c.requests).sum::<usize>(),
+        report.total_violations(),
+        report.pool_intact(),
+    );
+    println!("wrote {out}");
+    finish_obs(&obs)?;
+    if report.total_violations() > 0 {
+        return Err(CliError::Remote(format!(
+            "chaos: {} invariant violation(s)",
+            report.total_violations()
+        )));
     }
     Ok(())
 }

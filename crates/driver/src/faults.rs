@@ -1,221 +1,11 @@
-//! Deterministic fault injection at named sites.
+//! Deterministic fault injection — re-exported from [`aqo_core::faults`].
 //!
-//! The driver calls [`fail_point`] immediately before invoking each
-//! optimizer tier (sites are named `qon::dp`, `qon::bnb`, `qon::ikkbz`,
-//! `qon::greedy`, `qoh::exhaustive`, `qoh::greedy`). A site does nothing
-//! until *armed* with a [`FaultKind`] and a fire count; the first `count`
-//! hits then trigger the fault and later hits pass — which makes an armed
-//! `Error` fault *transient* and exercises the driver's retry path, while a
-//! large count makes a tier permanently unavailable.
-//!
-//! Arming is either programmatic ([`arm`], for tests) or via the
-//! `AQO_FAULTS` environment variable ([`load_env`], wired into the CLI):
-//!
-//! ```text
-//! AQO_FAULTS="qon::dp=panic,qon::bnb=err*2,qon::ikkbz=delay:50"
-//! ```
-//!
-//! Entries are comma-separated `site=kind[*count]` with `kind` one of
-//! `panic`, `err`, or `delay:<millis>`; `count` defaults to 1. Everything is
-//! countdown-based and keyed on the site name — no randomness — so a given
-//! configuration always fails the same attempts in the same way.
+//! The registry started life here when only the driver tiers had fail
+//! points; it moved into `aqo_core` once the serve transport and snapshot
+//! layers grew sites of their own, so every crate shares one
+//! process-global registry and the chaos campaign can enumerate all sites
+//! through one [`CATALOG`]. This module stays as the driver-facing path
+//! (`aqo_driver::faults`) so existing callers and `AQO_FAULTS` docs keep
+//! working.
 
-use std::collections::HashMap;
-use std::fmt;
-use std::sync::{Mutex, OnceLock};
-use std::time::Duration;
-
-/// What an armed fail point does when it fires.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FaultKind {
-    /// Panic (the driver isolates it with `catch_unwind` and degrades).
-    Panic,
-    /// Return a spurious [`InjectedFault`] error (transient: retryable).
-    Error,
-    /// Sleep for the given duration, then proceed normally.
-    Delay(Duration),
-}
-
-/// The error produced by an armed [`FaultKind::Error`] site.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct InjectedFault {
-    /// The site that fired.
-    pub site: String,
-}
-
-impl fmt::Display for InjectedFault {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "injected fault at `{}`", self.site)
-    }
-}
-
-impl std::error::Error for InjectedFault {}
-
-#[derive(Clone, Debug)]
-struct Spec {
-    kind: FaultKind,
-    /// Fires while positive, then the site passes.
-    remaining: u64,
-    /// Total hits observed at this site since it was armed.
-    hits: u64,
-}
-
-fn registry() -> &'static Mutex<HashMap<String, Spec>> {
-    static REGISTRY: OnceLock<Mutex<HashMap<String, Spec>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-fn lock() -> std::sync::MutexGuard<'static, HashMap<String, Spec>> {
-    // A panic while holding the lock is a legitimate outcome here (that is
-    // what FaultKind::Panic does between hits), so ignore poisoning.
-    registry().lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Arms `site` to fire `kind` on its next `count` hits.
-pub fn arm(site: &str, kind: FaultKind, count: u64) {
-    lock().insert(site.to_string(), Spec { kind, remaining: count, hits: 0 });
-}
-
-/// Disarms every site and forgets all hit counts.
-pub fn clear() {
-    lock().clear();
-}
-
-/// Number of [`fail_point`] hits at `site` since it was armed (armed sites
-/// keep counting after their fault budget is spent; unarmed sites are not
-/// tracked).
-pub fn hits(site: &str) -> u64 {
-    lock().get(site).map_or(0, |s| s.hits)
-}
-
-/// The fail point itself: a no-op unless `site` is armed with fires left.
-///
-/// Every hit at an *armed* site increments the `faults.hit.<site>` counter;
-/// hits that actually fire additionally increment `faults.injected.<site>`
-/// and journal a `fault_injected` event. Both happen after the registry
-/// lock is released and before the fault takes effect, so the metrics are
-/// visible even when the fault panics.
-pub fn fail_point(site: &str) -> Result<(), InjectedFault> {
-    let action = {
-        let mut reg = lock();
-        let Some(spec) = reg.get_mut(site) else { return Ok(()) };
-        spec.hits += 1;
-        if spec.remaining == 0 {
-            None
-        } else {
-            spec.remaining -= 1;
-            Some(spec.kind)
-        }
-    };
-    if aqo_obs::enabled() {
-        aqo_obs::counter(&format!("faults.hit.{site}")).inc();
-    }
-    let Some(action) = action else { return Ok(()) };
-    if aqo_obs::enabled() {
-        aqo_obs::counter(&format!("faults.injected.{site}")).inc();
-        let kind = match action {
-            FaultKind::Panic => "panic",
-            FaultKind::Error => "err",
-            FaultKind::Delay(_) => "delay",
-        };
-        aqo_obs::journal::event(
-            "fault_injected",
-            vec![("site", site.into()), ("kind", kind.into())],
-        );
-    }
-    match action {
-        FaultKind::Panic => panic!("injected panic at fail point `{site}`"),
-        FaultKind::Error => Err(InjectedFault { site: site.to_string() }),
-        FaultKind::Delay(d) => {
-            std::thread::sleep(d);
-            Ok(())
-        }
-    }
-}
-
-/// Parses and arms a `site=kind[*count],...` spec; returns the number of
-/// sites armed.
-pub fn load_spec(spec: &str) -> Result<usize, String> {
-    let mut armed = 0usize;
-    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
-        let (site, rest) =
-            entry.split_once('=').ok_or_else(|| format!("fault entry `{entry}`: missing `=`"))?;
-        let (kind_str, count) = match rest.split_once('*') {
-            Some((k, c)) => {
-                let c: u64 = c
-                    .parse()
-                    .map_err(|_| format!("fault entry `{entry}`: bad count `{c}`"))?;
-                (k, c)
-            }
-            None => (rest, 1),
-        };
-        let kind = match kind_str.split_once(':') {
-            None if kind_str == "panic" => FaultKind::Panic,
-            None if kind_str == "err" => FaultKind::Error,
-            Some(("delay", ms)) => {
-                let ms: u64 = ms
-                    .parse()
-                    .map_err(|_| format!("fault entry `{entry}`: bad delay `{ms}`"))?;
-                FaultKind::Delay(Duration::from_millis(ms))
-            }
-            _ => return Err(format!("fault entry `{entry}`: unknown kind `{kind_str}`")),
-        };
-        arm(site, kind, count);
-        armed += 1;
-    }
-    Ok(armed)
-}
-
-/// Arms sites from the `AQO_FAULTS` environment variable (absent: no-op).
-pub fn load_env() -> Result<usize, String> {
-    match std::env::var("AQO_FAULTS") {
-        Ok(spec) => load_spec(&spec),
-        Err(_) => Ok(0),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unarmed_site_is_noop() {
-        assert_eq!(fail_point("faults-test::unarmed"), Ok(()));
-        assert_eq!(hits("faults-test::unarmed"), 0);
-    }
-
-    #[test]
-    fn error_fault_is_transient() {
-        let site = "faults-test::transient";
-        arm(site, FaultKind::Error, 2);
-        assert!(fail_point(site).is_err());
-        assert!(fail_point(site).is_err());
-        assert!(fail_point(site).is_ok());
-        assert_eq!(hits(site), 3);
-    }
-
-    #[test]
-    fn panic_fault_panics() {
-        let site = "faults-test::panic";
-        arm(site, FaultKind::Panic, 1);
-        let caught = std::panic::catch_unwind(|| fail_point(site));
-        assert!(caught.is_err());
-        assert!(fail_point(site).is_ok(), "single-shot: second hit passes");
-    }
-
-    #[test]
-    fn spec_parsing_round_trips() {
-        assert_eq!(
-            load_spec("faults-test::a=panic, faults-test::b=err*3,faults-test::c=delay:5"),
-            Ok(3)
-        );
-        assert!(fail_point("faults-test::b").is_err());
-        assert!(fail_point("faults-test::c").is_ok()); // delays then passes
-
-        assert!(load_spec("nosign").is_err());
-        assert!(load_spec("s=warble").is_err());
-        assert!(load_spec("s=err*many").is_err());
-        assert!(load_spec("s=delay:soon").is_err());
-        assert_eq!(load_spec(""), Ok(0));
-    }
-}
+pub use aqo_core::faults::*;

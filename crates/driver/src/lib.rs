@@ -390,30 +390,7 @@ fn drive<T, Tier: Copy>(
     Err(DriverError { failures })
 }
 
-/// Runs `f` with this thread's panic messages suppressed: the driver
-/// *expects* tier panics (that is what degradation is for), and a backtrace
-/// per swallowed panic would drown the report. The hook is installed once
-/// and delegates to the previous hook for every other thread.
-fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
-    use std::cell::Cell;
-    use std::sync::OnceLock;
-    thread_local! {
-        static SUPPRESS: Cell<bool> = const { Cell::new(false) };
-    }
-    static INSTALL: OnceLock<()> = OnceLock::new();
-    INSTALL.get_or_init(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if !SUPPRESS.with(Cell::get) {
-                prev(info);
-            }
-        }));
-    });
-    SUPPRESS.with(|s| s.set(true));
-    let r = f();
-    SUPPRESS.with(|s| s.set(false));
-    r
-}
+use faults::with_quiet_panics;
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {

@@ -209,6 +209,19 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Copies every cached `(key, plan)` pair out, shard by shard (each
+    /// shard's lock is held only for its own copy). Used by the snapshot
+    /// writer; concurrent inserts during the walk may or may not appear,
+    /// which is fine for a best-effort warm-start file.
+    pub fn export(&self) -> Vec<(String, CachedPlan)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            out.extend(shard.slots.iter().map(|s| (s.key.clone(), s.value.clone())));
+        }
+        out
+    }
+
     /// Snapshot of the live counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

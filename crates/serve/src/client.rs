@@ -1,25 +1,132 @@
 //! A minimal blocking client for the JSONL protocol: one line out, one
-//! line back. Used by `aqo request`, `aqo loadgen`, and the e2e tests.
+//! line back — plus retry with exponential backoff + jitter for
+//! idempotent requests. Used by `aqo request`, `aqo loadgen`, `aqo
+//! chaos`, and the e2e tests.
 
-use crate::proto::Request;
-use std::io::{Read, Write};
+use crate::proto::{ErrorKind, Op, Request};
+use aqo_core::fingerprint::fnv1a;
+use aqo_obs::json::{self, JsonValue};
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// Whether a failed request is worth retrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: a fresh connection and a short wait may succeed
+    /// (connection reset, timeout, overload, an injected fault).
+    Retriable,
+    /// Deterministic: the same request will fail the same way
+    /// (malformed request, unsupported option, driver exhaustion,
+    /// server shutting down).
+    Fatal,
+}
+
+/// Classifies a transport-level I/O failure. Connection lifecycle and
+/// timing failures are retriable — the server may have restarted, dropped
+/// the connection mid-reply, or simply been slow; a fresh connection is a
+/// fresh chance. Everything else (permission errors, address errors) is
+/// deterministic.
+pub fn classify_io(kind: IoErrorKind) -> ErrorClass {
+    match kind {
+        IoErrorKind::ConnectionRefused
+        | IoErrorKind::ConnectionReset
+        | IoErrorKind::ConnectionAborted
+        | IoErrorKind::NotConnected
+        | IoErrorKind::BrokenPipe
+        | IoErrorKind::TimedOut
+        | IoErrorKind::WouldBlock
+        | IoErrorKind::UnexpectedEof
+        | IoErrorKind::Interrupted => ErrorClass::Retriable,
+        _ => ErrorClass::Fatal,
+    }
+}
+
+/// Classifies a *structured* error reply by its wire `kind`. Unknown
+/// kinds (a newer server) are conservatively fatal.
+pub fn classify_reply_kind(kind: &str) -> ErrorClass {
+    match ErrorKind::from_wire(kind) {
+        Some(k) if k.is_retriable() => ErrorClass::Retriable,
+        _ => ErrorClass::Fatal,
+    }
+}
+
+/// Retry policy for [`Client::roundtrip_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryConfig {
+    /// Retries after the first attempt (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling (the doubling saturates here).
+    pub max_backoff: Duration,
+    /// Socket read timeout per attempt (`None`: block forever — only
+    /// sane against a trusted server; the chaos harness always sets it).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff for retry number `attempt` (1-based) of request `id`, with
+    /// deterministic jitter: up to half the base backoff, derived by
+    /// hashing `(id, attempt)` so concurrent clients desynchronize without
+    /// any randomness (same reproducibility contract as the fault layer).
+    pub fn backoff(&self, id: u64, attempt: u32) -> Duration {
+        let base = self
+            .initial_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        let jitter_space = (base.as_millis() as u64 / 2).max(1);
+        let jitter = fnv1a(&[id.to_le_bytes(), u64::from(attempt).to_le_bytes()].concat())
+            % jitter_space;
+        base + Duration::from_millis(jitter)
+    }
+}
 
 /// A persistent connection to a running `aqo serve`.
 pub struct Client {
+    addr: String,
     stream: TcpStream,
     pending: Vec<u8>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to `addr` (`host:port`).
+    /// Connects to `addr` (`host:port`) with no read timeout.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Self::connect_with_timeout(addr, None)
+    }
+
+    /// Connects with a socket read timeout: a stalled or torn server
+    /// reply surfaces as a `TimedOut`/`WouldBlock` error instead of
+    /// hanging the caller forever.
+    pub fn connect_with_timeout(
+        addr: &str,
+        read_timeout: Option<Duration>,
+    ) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         // One-line request/response round trips suffer ~40ms from Nagle
         // interacting with delayed ACKs; latency matters more than the
         // handful of small packets.
         stream.set_nodelay(true)?;
-        Ok(Client { stream, pending: Vec::new() })
+        stream.set_read_timeout(read_timeout)?;
+        Ok(Client { addr: addr.to_string(), stream, pending: Vec::new(), read_timeout })
+    }
+
+    /// Drops the current connection and dials again (same timeout).
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        *self = Self::connect_with_timeout(&self.addr, self.read_timeout)?;
+        Ok(())
     }
 
     /// Sends one request line and blocks for the matching response line
@@ -37,6 +144,51 @@ impl Client {
         self.roundtrip_line(&req.to_json_line())
     }
 
+    /// [`Client::roundtrip`] with retry: transport failures and retriable
+    /// structured errors are retried up to `cfg.max_retries` times with
+    /// exponential backoff + jitter, reconnecting between attempts and
+    /// honouring the server's `retry_after_ms` hint when one is present.
+    ///
+    /// Only idempotent operations retry (`optimize`/`explain` recompute
+    /// the same pure function; `status` is a read). `shutdown` is sent
+    /// exactly once — after a transport error the first send may or may
+    /// not have landed, and a retry could kill a server that already
+    /// restarted.
+    pub fn roundtrip_retry(
+        &mut self,
+        req: &Request,
+        cfg: &RetryConfig,
+    ) -> std::io::Result<String> {
+        let idempotent = req.op != Op::Shutdown;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = self.roundtrip(req);
+            let may_retry = idempotent && attempt <= cfg.max_retries;
+            match outcome {
+                Ok(line) => {
+                    let Some(hint) = retriable_error_hint(&line) else { return Ok(line) };
+                    if !may_retry {
+                        return Ok(line);
+                    }
+                    let wait = hint
+                        .map(Duration::from_millis)
+                        .unwrap_or_else(|| cfg.backoff(req.id, attempt));
+                    std::thread::sleep(wait);
+                }
+                Err(e) => {
+                    if !may_retry || classify_io(e.kind()) == ErrorClass::Fatal {
+                        return Err(e);
+                    }
+                    std::thread::sleep(cfg.backoff(req.id, attempt));
+                    // The old connection may be torn mid-frame; never
+                    // reuse it after a transport error.
+                    self.reconnect()?;
+                }
+            }
+        }
+    }
+
     fn read_line(&mut self) -> std::io::Result<String> {
         loop {
             if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
@@ -49,19 +201,127 @@ impl Client {
             match self.stream.read(&mut buf) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
+                        IoErrorKind::UnexpectedEof,
                         "server closed the connection mid-response",
                     ))
                 }
                 Ok(n) => self.pending.extend_from_slice(&buf[..n]),
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == IoErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
     }
 }
 
+/// If `line` is a structured error reply with a retriable kind, returns
+/// `Some(retry_after_ms hint)` (`Some(None)` when the server gave no
+/// hint). Successful replies and fatal errors return `None`.
+#[allow(clippy::option_option)]
+fn retriable_error_hint(line: &str) -> Option<Option<u64>> {
+    let doc = json::parse(line).ok()?;
+    if !matches!(doc.get("ok"), Some(JsonValue::Bool(false))) {
+        return None;
+    }
+    let error = doc.get("error")?;
+    let kind = error.get("kind").and_then(JsonValue::as_str)?;
+    if classify_reply_kind(kind) != ErrorClass::Retriable {
+        return None;
+    }
+    Some(
+        error
+            .get("retry_after_ms")
+            .and_then(JsonValue::as_num)
+            .filter(|n| *n >= 0.0)
+            .map(|n| n as u64),
+    )
+}
+
 /// Connect, send one request, read one response, disconnect.
 pub fn oneshot(addr: &str, req: &Request) -> std::io::Result<String> {
     Client::connect(addr)?.roundtrip(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_classification_separates_lifecycle_from_semantic_failures() {
+        for k in [
+            IoErrorKind::ConnectionRefused,
+            IoErrorKind::ConnectionReset,
+            IoErrorKind::ConnectionAborted,
+            IoErrorKind::BrokenPipe,
+            IoErrorKind::TimedOut,
+            IoErrorKind::WouldBlock,
+            IoErrorKind::UnexpectedEof,
+        ] {
+            assert_eq!(classify_io(k), ErrorClass::Retriable, "{k:?}");
+        }
+        for k in [
+            IoErrorKind::PermissionDenied,
+            IoErrorKind::InvalidInput,
+            IoErrorKind::InvalidData,
+            IoErrorKind::AddrNotAvailable,
+        ] {
+            assert_eq!(classify_io(k), ErrorClass::Fatal, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn reply_kind_classification_matches_protocol_semantics() {
+        for k in ["overloaded", "injected", "panic", "evicted"] {
+            assert_eq!(classify_reply_kind(k), ErrorClass::Retriable, "{k}");
+        }
+        for k in ["parse", "usage", "driver", "shutdown", "mystery-future-kind"] {
+            assert_eq!(classify_reply_kind(k), ErrorClass::Fatal, "{k}");
+        }
+    }
+
+    #[test]
+    fn retriable_hint_extraction() {
+        assert_eq!(
+            retriable_error_hint(
+                "{\"id\": 1, \"ok\": false, \"error\": {\"kind\": \"overloaded\", \
+                 \"message\": \"full\", \"retry_after_ms\": 40}}"
+            ),
+            Some(Some(40))
+        );
+        assert_eq!(
+            retriable_error_hint(
+                "{\"id\": 1, \"ok\": false, \"error\": {\"kind\": \"injected\", \
+                 \"message\": \"boom\"}}"
+            ),
+            Some(None)
+        );
+        assert_eq!(
+            retriable_error_hint(
+                "{\"id\": 1, \"ok\": false, \"error\": {\"kind\": \"parse\", \
+                 \"message\": \"bad\"}}"
+            ),
+            None
+        );
+        assert_eq!(retriable_error_hint("{\"id\": 1, \"ok\": true}"), None);
+        assert_eq!(retriable_error_hint("not json"), None);
+    }
+
+    #[test]
+    fn backoff_doubles_saturates_and_jitters_deterministically() {
+        let cfg = RetryConfig {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            read_timeout: None,
+        };
+        let b1 = cfg.backoff(7, 1);
+        let b2 = cfg.backoff(7, 2);
+        let b4 = cfg.backoff(7, 4);
+        assert!(b1 >= Duration::from_millis(10) && b1 < Duration::from_millis(15));
+        assert!(b2 >= Duration::from_millis(20) && b2 < Duration::from_millis(30));
+        // Saturation: base caps at max_backoff (+ jitter < half).
+        assert!(b4 >= Duration::from_millis(40) && b4 < Duration::from_millis(60));
+        // Determinism: same (id, attempt) → same backoff; different id →
+        // (almost surely) different jitter.
+        assert_eq!(cfg.backoff(7, 1), b1);
+    }
 }

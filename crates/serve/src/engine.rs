@@ -21,6 +21,47 @@ use aqo_driver::{faults, BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig, 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+/// How far overload has pushed a request down the graceful-degradation
+/// ladder. Admission control picks the level from queue pressure *before*
+/// shedding: a loaded server first answers with cheaper (heuristic) tiers
+/// and only rejects outright once the queue is actually full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Degrade {
+    /// No pressure: the request's own chain runs unchanged.
+    Full,
+    /// Moderate pressure: drop the exponential exact tiers
+    /// (`ikkbz → greedy` for QO_N, `greedy` for QO_H).
+    Light,
+    /// High pressure: polynomial heuristics only (`greedy`).
+    Heavy,
+}
+
+impl Degrade {
+    /// Ladder-level name used in replies, events, and `CHAOS.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Degrade::Full => "full",
+            Degrade::Light => "light",
+            Degrade::Heavy => "heavy",
+        }
+    }
+
+    fn qon_chain(self) -> Option<Vec<QonTier>> {
+        match self {
+            Degrade::Full => None,
+            Degrade::Light => Some(vec![QonTier::Ikkbz, QonTier::Greedy]),
+            Degrade::Heavy => Some(vec![QonTier::Greedy]),
+        }
+    }
+
+    fn qoh_chain(self) -> Option<Vec<QohTier>> {
+        match self {
+            Degrade::Full => None,
+            Degrade::Light | Degrade::Heavy => Some(vec![QohTier::Greedy]),
+        }
+    }
+}
+
 /// The request handler shared by every worker. Owns the plan cache.
 pub struct Engine {
     cache: PlanCache,
@@ -44,23 +85,29 @@ impl Engine {
     /// reply. Never panics: injected faults and panics inside handling
     /// come back as structured error responses.
     pub fn handle(&self, req: &Request) -> Reply {
+        self.handle_degraded(req, Degrade::Full)
+    }
+
+    /// As [`Engine::handle`], at an overload-chosen ladder level: past
+    /// [`Degrade::Full`] the request's fallback chain is replaced with a
+    /// cheaper one (unless the client pinned `method`/`fallback`, which is
+    /// respected) and the reply is tagged `"degraded": true`.
+    pub fn handle_degraded(&self, req: &Request, degrade: Degrade) -> Reply {
         let t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if let Err(f) = faults::fail_point("serve::request") {
-                return Reply::Err(ErrReply {
-                    id: req.id,
-                    kind: ErrorKind::Injected,
-                    message: f.to_string(),
-                });
-            }
-            self.solve(req)
-        }));
+        let outcome = faults::with_quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Err(f) = faults::fail_point("serve::request") {
+                    return Reply::Err(ErrReply::new(
+                        req.id,
+                        ErrorKind::Injected,
+                        f.to_string(),
+                    ));
+                }
+                self.solve(req, degrade)
+            }))
+        });
         let mut reply = outcome.unwrap_or_else(|payload| {
-            Reply::Err(ErrReply {
-                id: req.id,
-                kind: ErrorKind::Panic,
-                message: panic_message(payload),
-            })
+            Reply::Err(ErrReply::new(req.id, ErrorKind::Panic, panic_message(payload)))
         });
         let us = t0.elapsed().as_micros() as u64;
         if let Reply::Ok(ok) = &mut reply {
@@ -87,12 +134,33 @@ impl Engine {
         reply
     }
 
-    fn solve(&self, req: &Request) -> Reply {
+    fn solve(&self, req: &Request, degrade: Degrade) -> Reply {
         match req.problem {
-            Problem::Qon => self.solve_qon(req),
-            Problem::Qoh => self.solve_qoh(req),
+            Problem::Qon => self.solve_qon(req, degrade),
+            Problem::Qoh => self.solve_qoh(req, degrade),
+            // Clique is answered by one polynomial-in-practice exact
+            // routine with no tier ladder; it does not degrade.
             Problem::Clique => self.solve_clique(req),
         }
+    }
+
+    /// Resolves the ladder level against the request: explicit
+    /// `method`/`fallback` pins win (the client asked for *that*
+    /// algorithm; a silently weaker one would be a lie), everything else
+    /// degrades. Emits the `serve.degraded` counter and event when a
+    /// request is actually degraded.
+    fn effective_degrade(req: &Request, degrade: Degrade) -> Degrade {
+        if degrade == Degrade::Full || req.method.is_some() || req.fallback.is_some() {
+            return Degrade::Full;
+        }
+        if aqo_obs::enabled() {
+            aqo_obs::counter_handle!("serve.degraded").inc();
+            aqo_obs::journal::event(
+                "serve_degraded",
+                vec![("id", req.id.into()), ("level", degrade.name().into())],
+            );
+        }
+        degrade
     }
 
     /// Whether this request participates in the plan cache. Explain
@@ -110,7 +178,7 @@ impl Engine {
         }
     }
 
-    fn solve_qon(&self, req: &Request) -> Reply {
+    fn solve_qon(&self, req: &Request, degrade: Degrade) -> Reply {
         let text = req.instance.as_deref().unwrap_or_default();
         let inst = match textio::qon_from_text(text) {
             Ok(i) => i,
@@ -123,18 +191,23 @@ impl Engine {
         let hash = fnv1a(key.as_bytes());
         if Self::caching(req) {
             if let Some(hit) = self.cache.lookup(hash, &key) {
+                // A cached exact plan is free: no reason to degrade it.
                 return ok_from_cache(req, hash, hit);
             }
         }
-        let chain = match chain_spec(req) {
-            Ok(spec) => match spec {
-                Some(s) => match QonTier::parse_chain(s) {
-                    Ok(c) => c,
-                    Err(e) => return err(req, ErrorKind::Usage, e),
+        let degrade = Self::effective_degrade(req, degrade);
+        let chain = match degrade.qon_chain() {
+            Some(c) => c,
+            None => match chain_spec(req) {
+                Ok(spec) => match spec {
+                    Some(s) => match QonTier::parse_chain(s) {
+                        Ok(c) => c,
+                        Err(e) => return err(req, ErrorKind::Usage, e),
+                    },
+                    None => QonTier::default_chain(),
                 },
-                None => QonTier::default_chain(),
+                Err(e) => return err(req, ErrorKind::Usage, e),
             },
-            Err(e) => return err(req, ErrorKind::Usage, e),
         };
         let cfg = QonDriverConfig {
             budget: self.budget_spec(req),
@@ -174,6 +247,7 @@ impl Engine {
             cached: false,
             tier: outcome.report.tier.to_string(),
             exact: outcome.report.exact,
+            degraded: degrade != Degrade::Full,
             order,
             cost: cost.to_string(),
             cost_log2,
@@ -183,7 +257,7 @@ impl Engine {
         }))
     }
 
-    fn solve_qoh(&self, req: &Request) -> Reply {
+    fn solve_qoh(&self, req: &Request, degrade: Degrade) -> Reply {
         let text = req.instance.as_deref().unwrap_or_default();
         let inst = match textio::qoh_from_text(text) {
             Ok(i) => i,
@@ -196,15 +270,19 @@ impl Engine {
                 return ok_from_cache(req, hash, hit);
             }
         }
-        let chain = match chain_spec(req) {
-            Ok(spec) => match spec {
-                Some(s) => match QohTier::parse_chain(s) {
-                    Ok(c) => c,
-                    Err(e) => return err(req, ErrorKind::Usage, e),
+        let degrade = Self::effective_degrade(req, degrade);
+        let chain = match degrade.qoh_chain() {
+            Some(c) => c,
+            None => match chain_spec(req) {
+                Ok(spec) => match spec {
+                    Some(s) => match QohTier::parse_chain(s) {
+                        Ok(c) => c,
+                        Err(e) => return err(req, ErrorKind::Usage, e),
+                    },
+                    None => QohTier::default_chain(),
                 },
-                None => QohTier::default_chain(),
+                Err(e) => return err(req, ErrorKind::Usage, e),
             },
-            Err(e) => return err(req, ErrorKind::Usage, e),
         };
         let cfg = QohDriverConfig {
             budget: self.budget_spec(req),
@@ -246,6 +324,7 @@ impl Engine {
             cached: false,
             tier: outcome.report.tier.to_string(),
             exact: outcome.report.exact,
+            degraded: degrade != Degrade::Full,
             order,
             cost: outcome.plan.cost.to_string(),
             cost_log2,
@@ -312,6 +391,7 @@ impl Engine {
             cached: false,
             tier: "clique".into(),
             exact: true,
+            degraded: false,
             order: clique,
             cost: omega.to_string(),
             cost_log2: omega as f64,
@@ -335,7 +415,7 @@ fn chain_spec(req: &Request) -> Result<Option<&str>, String> {
 }
 
 fn err(req: &Request, kind: ErrorKind, message: String) -> Reply {
-    Reply::Err(ErrReply { id: req.id, kind, message })
+    Reply::Err(ErrReply::new(req.id, kind, message))
 }
 
 /// Builds the reply for a cache hit: copy-only, no recomputation.
@@ -348,6 +428,7 @@ fn ok_from_cache(req: &Request, fingerprint: u64, hit: CachedPlan) -> Reply {
         cached: true,
         tier: hit.tier,
         exact: hit.exact,
+        degraded: false,
         order: hit.order,
         cost: hit.cost,
         cost_log2: hit.cost_log2,

@@ -29,14 +29,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod engine;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
 
 pub use cache::PlanCache;
 pub use client::Client;
-pub use engine::Engine;
+pub use engine::{Degrade, Engine};
 pub use proto::{ErrorKind, Op, Problem, Reply, Request};
 pub use server::{ServeConfig, Server, ServiceReport};

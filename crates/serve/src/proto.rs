@@ -252,6 +252,10 @@ pub enum ErrorKind {
     Overloaded,
     /// The server is shutting down and no longer admits work.
     Shutdown,
+    /// The connection was evicted for protocol abuse (a line over the
+    /// size limit, or a partial line held open past the read deadline —
+    /// the slow-loris defence).
+    Evicted,
 }
 
 impl ErrorKind {
@@ -265,7 +269,36 @@ impl ErrorKind {
             ErrorKind::Panic => "panic",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Evicted => "evicted",
         }
+    }
+
+    /// Parses a wire name back to the kind (`None` for kinds this build
+    /// does not know — a newer server's response still classifies).
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        match s {
+            "parse" => Some(ErrorKind::Parse),
+            "usage" => Some(ErrorKind::Usage),
+            "driver" => Some(ErrorKind::Driver),
+            "injected" => Some(ErrorKind::Injected),
+            "panic" => Some(ErrorKind::Panic),
+            "overloaded" => Some(ErrorKind::Overloaded),
+            "shutdown" => Some(ErrorKind::Shutdown),
+            "evicted" => Some(ErrorKind::Evicted),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may meaningfully retry the same request. Transient
+    /// server conditions (overload, injected faults, contained panics,
+    /// evictions) are retriable on a fresh connection; protocol and
+    /// semantic failures (`parse`, `usage`, `driver`) would fail the same
+    /// way again, and `shutdown` means the server is going away.
+    pub fn is_retriable(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Overloaded | ErrorKind::Injected | ErrorKind::Panic | ErrorKind::Evicted
+        )
     }
 }
 
@@ -287,6 +320,11 @@ pub struct OkReply {
     pub tier: String,
     /// Whether the plan is exact (optimal) rather than heuristic.
     pub exact: bool,
+    /// Whether overload degraded this request down the graceful-
+    /// degradation ladder (the answer came from a weaker chain than the
+    /// request asked for; `tier` names what actually ran). Serialized
+    /// only when `true`.
+    pub degraded: bool,
     /// The join sequence (clique members for `problem = clique`).
     pub order: Vec<usize>,
     /// Exact cost as a decimal/rational string (clique size for clique).
@@ -310,6 +348,16 @@ pub struct ErrReply {
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub message: String,
+    /// Server hint: wait this long before retrying (overload shedding
+    /// sets it; other kinds usually leave it unset).
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrReply {
+    /// An error reply with no retry hint.
+    pub fn new(id: u64, kind: ErrorKind, message: String) -> Self {
+        ErrReply { id, kind, message, retry_after_ms: None }
+    }
 }
 
 /// The `status` response: live service counters.
@@ -390,6 +438,9 @@ impl Reply {
                 out.push_str(", \"tier\": ");
                 json::escape_into(&mut out, &r.tier);
                 let _ = write!(out, ", \"exact\": {}", r.exact);
+                if r.degraded {
+                    out.push_str(", \"degraded\": true");
+                }
                 out.push_str(", \"order\": [");
                 for (i, v) in r.order.iter().enumerate() {
                     if i > 0 {
@@ -425,6 +476,9 @@ impl Reply {
                     e.kind.as_str()
                 );
                 json::escape_into(&mut out, &e.message);
+                if let Some(ms) = e.retry_after_ms {
+                    let _ = write!(out, ", \"retry_after_ms\": {ms}");
+                }
                 out.push_str("}}");
             }
             Reply::Status(s) => {
@@ -528,6 +582,7 @@ mod tests {
             cached: true,
             tier: "dp".into(),
             exact: true,
+            degraded: false,
             order: vec![2, 0, 1],
             cost: "35/2".into(),
             cost_log2: 4.129,
@@ -545,11 +600,13 @@ mod tests {
             id: 3,
             kind: ErrorKind::Overloaded,
             message: "queue full (8 in flight)".into(),
+            retry_after_ms: Some(40),
         });
         let doc = aqo_obs::json::parse(&err.to_json_line()).expect("err reply parses");
         assert!(matches!(doc.get("ok"), Some(JsonValue::Bool(false))));
         let error = doc.get("error").expect("error object");
         assert_eq!(error.get("kind").and_then(JsonValue::as_str), Some("overloaded"));
+        assert_eq!(error.get("retry_after_ms").and_then(JsonValue::as_num), Some(40.0));
 
         let status = Reply::Status(Box::new(StatusReply { workers: 4, ..Default::default() }));
         let doc = aqo_obs::json::parse(&status.to_json_line()).expect("status parses");

@@ -24,16 +24,41 @@
 //!   [`Server::run`] returns a [`ServiceReport`] summary. The CLI then
 //!   flushes the trace journal exactly as `aqo optimize` does.
 
-use crate::engine::Engine;
+use crate::engine::{Degrade, Engine};
 use crate::proto::{ErrReply, ErrorKind, Op, Reply, Request, StatusReply};
+use aqo_core::faults;
 use aqo_core::parallel;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{ErrorKind as IoErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Socket read-timeout tick: how often a blocked connection thread wakes
+/// to poll the shutdown flag (and the slow-loris deadline). Overridable
+/// with `--conn-timeout-ms`.
+pub const DEFAULT_CONN_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// How long a connection may hold a *partial* request line before it is
+/// evicted as a slow-loris client. Complete lines reset the clock.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Longest accepted request line. Instances are inline text, so real
+/// requests are a few KiB; a client streaming an unbounded line is
+/// evicted at this limit instead of growing the buffer forever.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Socket write timeout: a client that stops draining its receive buffer
+/// blocks the writer at most this long before the reply is abandoned.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Retry hint attached to `overloaded` rejections: long enough for a
+/// queue of polynomial-tier requests to drain, short enough that clients
+/// retry within human patience.
+pub const RETRY_AFTER_MS: u64 = 50;
 
 /// Tuning knobs for [`Server`].
 #[derive(Clone, Debug)]
@@ -48,6 +73,19 @@ pub struct ServeConfig {
     pub idle_timeout: Option<Duration>,
     /// Deadline applied to requests that carry no `timeout_ms`.
     pub default_timeout: Option<Duration>,
+    /// Socket read-timeout tick (`--conn-timeout-ms`); see
+    /// [`DEFAULT_CONN_TIMEOUT`].
+    pub conn_timeout: Duration,
+    /// Slow-loris deadline on partial lines (`None` disables eviction).
+    pub read_deadline: Option<Duration>,
+    /// Request-line size limit in bytes.
+    pub max_line_bytes: usize,
+    /// Whether overload walks the graceful-degradation ladder before
+    /// shedding (`false`: shed at the cap exactly as before).
+    pub degrade: bool,
+    /// Plan-cache snapshot file (`--cache-snapshot`): loaded on startup
+    /// for a warm cache, rewritten atomically at shutdown.
+    pub snapshot_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +96,11 @@ impl Default for ServeConfig {
             cache_capacity: 1024,
             idle_timeout: None,
             default_timeout: None,
+            conn_timeout: DEFAULT_CONN_TIMEOUT,
+            read_deadline: Some(DEFAULT_READ_DEADLINE),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            degrade: true,
+            snapshot_path: None,
         }
     }
 }
@@ -76,6 +119,10 @@ pub struct ServiceReport {
     pub errors: u64,
     /// Requests rejected by admission control.
     pub overloaded: u64,
+    /// Requests answered from a degraded (overload-weakened) chain.
+    pub degraded: u64,
+    /// Connections evicted for protocol abuse (slow-loris, oversized line).
+    pub evicted: u64,
     /// Plan-cache counters at shutdown.
     pub cache: crate::cache::CacheStats,
     /// Wall-clock service lifetime.
@@ -86,13 +133,15 @@ impl fmt::Display for ServiceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reason={} requests={} ok={} errors={} overloaded={} \
+            "reason={} requests={} ok={} errors={} overloaded={} degraded={} evicted={} \
              cache_hits={} cache_misses={} cache_evictions={} elapsed={:.3}s",
             self.reason,
             self.requests,
             self.ok,
             self.errors,
             self.overloaded,
+            self.degraded,
+            self.evicted,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -107,7 +156,8 @@ impl ServiceReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"reason\": \"{}\",\n  \"requests\": {},\n  \"ok\": {},\n  \
-             \"errors\": {},\n  \"overloaded\": {},\n  \"cache\": {{\"hits\": {}, \
+             \"errors\": {},\n  \"overloaded\": {},\n  \"degraded\": {},\n  \
+             \"evicted\": {},\n  \"cache\": {{\"hits\": {}, \
              \"misses\": {}, \"inserts\": {}, \"evictions\": {}, \"len\": {}, \
              \"capacity\": {}}},\n  \"elapsed_ms\": {:.3}\n}}\n",
             self.reason,
@@ -115,6 +165,8 @@ impl ServiceReport {
             self.ok,
             self.errors,
             self.overloaded,
+            self.degraded,
+            self.evicted,
             self.cache.hits,
             self.cache.misses,
             self.cache.inserts,
@@ -126,14 +178,41 @@ impl ServiceReport {
     }
 }
 
-/// A queued unit of work: the parsed request plus where to write the
-/// reply.
+/// A queued unit of work: the parsed request, where to write the reply,
+/// and the ladder level admission control chose for it.
 struct Job {
     req: Request,
     out: SharedWriter,
+    degrade: Degrade,
 }
 
-type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+/// A connection's reply channel: the writer (locked so concurrent replies
+/// to one client never interleave bytes) plus the owning socket, kept so
+/// the network fault sites and fatal write errors can drop the connection
+/// rather than leave a client blocked on a reply that will never finish.
+pub(crate) struct ConnWriter {
+    writer: Mutex<Box<dyn Write + Send>>,
+    stream: Option<TcpStream>,
+}
+
+impl ConnWriter {
+    fn tcp(writer: TcpStream, stream: TcpStream) -> Arc<Self> {
+        Arc::new(ConnWriter { writer: Mutex::new(Box::new(writer)), stream: Some(stream) })
+    }
+
+    fn plain(writer: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(ConnWriter { writer: Mutex::new(writer), stream: None })
+    }
+
+    /// Hard-drops the underlying socket (no-op on stdio).
+    fn drop_connection(&self) {
+        if let Some(s) = &self.stream {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+type SharedWriter = Arc<ConnWriter>;
 
 struct QueueState {
     queue: VecDeque<Job>,
@@ -148,6 +227,11 @@ pub struct Server {
     workers: usize,
     max_inflight: usize,
     idle_timeout: Option<Duration>,
+    conn_timeout: Duration,
+    read_deadline: Option<Duration>,
+    max_line_bytes: usize,
+    degrade: bool,
+    snapshot_path: Option<std::path::PathBuf>,
     state: Mutex<QueueState>,
     work_cv: Condvar,
     accepting: AtomicBool,
@@ -158,19 +242,46 @@ pub struct Server {
     ok: AtomicU64,
     errors: AtomicU64,
     overloaded: AtomicU64,
+    degraded: AtomicU64,
+    evicted: AtomicU64,
     last_intake: Mutex<Instant>,
     started: Instant,
 }
 
 impl Server {
     /// Builds a server; `cfg.threads == 0` resolves to the hardware
-    /// thread count.
+    /// thread count. When `cfg.snapshot_path` names an existing snapshot
+    /// the plan cache is warm-loaded from it (salvaging what survives of
+    /// a truncated or corrupt file).
     pub fn new(cfg: &ServeConfig) -> Self {
+        let engine = Engine::new(cfg.cache_capacity, cfg.default_timeout);
+        if let Some(path) = &cfg.snapshot_path {
+            if path.exists() {
+                // A snapshot is warm-start data: any failure mode here —
+                // including a panic from the storage fault site — means
+                // starting cold, never failing to start.
+                let result = faults::with_quiet_panics(|| {
+                    catch_unwind(AssertUnwindSafe(|| crate::snapshot::load(path, engine.cache())))
+                });
+                match result {
+                    Ok(Ok(loaded)) => {
+                        eprintln!("serve: cache snapshot: {loaded} plans from {}", path.display());
+                    }
+                    Ok(Err(e)) => eprintln!("serve: cache snapshot unusable ({e}); starting cold"),
+                    Err(_) => eprintln!("serve: cache snapshot load panicked; starting cold"),
+                }
+            }
+        }
         Server {
-            engine: Engine::new(cfg.cache_capacity, cfg.default_timeout),
+            engine,
             workers: parallel::resolve_threads(cfg.threads),
             max_inflight: cfg.max_inflight.max(1),
             idle_timeout: cfg.idle_timeout,
+            conn_timeout: cfg.conn_timeout.max(Duration::from_millis(1)),
+            read_deadline: cfg.read_deadline,
+            max_line_bytes: cfg.max_line_bytes.max(1),
+            degrade: cfg.degrade,
+            snapshot_path: cfg.snapshot_path.clone(),
             state: Mutex::new(QueueState { queue: VecDeque::new(), executing: 0 }),
             work_cv: Condvar::new(),
             accepting: AtomicBool::new(true),
@@ -180,6 +291,8 @@ impl Server {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             last_intake: Mutex::new(Instant::now()),
             started: Instant::now(),
         }
@@ -214,7 +327,15 @@ impl Server {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         self.touch_intake();
-                        scope.spawn(move || self.serve_connection(stream));
+                        // Connection threads are scoped: an uncaught panic
+                        // here would propagate at scope exit and take the
+                        // whole server down, so contain it (the network
+                        // fault sites can panic by design).
+                        scope.spawn(move || {
+                            let _ = faults::with_quiet_panics(|| {
+                                catch_unwind(AssertUnwindSafe(|| self.serve_connection(stream)))
+                            });
+                        });
                     }
                     Err(e) if e.kind() == IoErrorKind::WouldBlock => {
                         self.maybe_idle_shutdown();
@@ -246,14 +367,33 @@ impl Server {
                 None => Ok(()),
             }
         })?;
+        self.save_snapshot();
         Ok(self.report())
+    }
+
+    /// Writes the plan-cache snapshot if one was configured. Failures are
+    /// reported and swallowed: losing a warm start must not turn a clean
+    /// shutdown into an error.
+    fn save_snapshot(&self) {
+        if let Some(path) = &self.snapshot_path {
+            let result = faults::with_quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| crate::snapshot::save(path, self.engine.cache())))
+            });
+            match result {
+                Ok(Ok(saved)) => {
+                    eprintln!("serve: cache snapshot: {saved} plans to {}", path.display());
+                }
+                Ok(Err(e)) => eprintln!("serve: cache snapshot write failed: {e}"),
+                Err(_) => eprintln!("serve: cache snapshot write panicked; snapshot skipped"),
+            }
+        }
     }
 
     /// Serves newline-delimited requests on stdin/stdout, sequentially
     /// (scripting/debug transport — no pool, no admission, same engine).
     pub fn run_stdio(&self) -> ServiceReport {
         let stdin = std::io::stdin();
-        let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+        let out: SharedWriter = ConnWriter::plain(Box::new(std::io::stdout()));
         let mut line = String::new();
         loop {
             line.clear();
@@ -269,6 +409,7 @@ impl Server {
             }
         }
         self.begin_shutdown("shutdown");
+        self.save_snapshot();
         self.report()
     }
 
@@ -281,6 +422,8 @@ impl Server {
             ok: self.ok.load(Ordering::Relaxed), // ordering: stats snapshot
             errors: self.errors.load(Ordering::Relaxed), // ordering: stats snapshot
             overloaded: self.overloaded.load(Ordering::Relaxed), // ordering: stats snapshot
+            degraded: self.degraded.load(Ordering::Relaxed), // ordering: stats snapshot
+            evicted: self.evicted.load(Ordering::Relaxed), // ordering: stats snapshot
             cache: self.engine.cache().stats(),
             elapsed: self.started.elapsed(),
         }
@@ -346,12 +489,16 @@ impl Server {
                 }
             };
             let Some(job) = job else { return };
-            let reply = self.engine.handle(&job.req);
+            let reply = self.engine.handle_degraded(&job.req, job.degrade);
             // ordering: Relaxed — statistics counters only.
             match reply.is_ok() {
                 true => self.ok.fetch_add(1, Ordering::Relaxed), // ordering: stats only
                 false => self.errors.fetch_add(1, Ordering::Relaxed), // ordering: stats only
             };
+            if matches!(&reply, Reply::Ok(r) if r.degraded) {
+                // ordering: Relaxed — statistics counter only.
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
             write_reply(&job.out, &reply);
             let mut st = self.lock_state();
             st.executing -= 1;
@@ -370,25 +517,38 @@ impl Server {
     }
 
     /// One client connection: read lines, fast-path control ops, submit
-    /// the rest. Returns when the client hangs up or the server stops.
+    /// the rest. Returns when the client hangs up, abuses the protocol
+    /// (slow-loris, oversized line — evicted with a structured error), or
+    /// the server stops.
     fn serve_connection(&self, stream: TcpStream) {
-        // The read timeout is what lets this thread notice shutdown while
-        // blocked on a quiet client. Nagle + delayed ACK adds ~40ms to
-        // every one-line round trip, so turn it off.
+        // Nagle + delayed ACK adds ~40ms to every one-line round trip,
+        // so turn it off; if that fails the connection still works.
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        // The read timeout is what lets this thread notice shutdown while
+        // blocked on a quiet client: without it the thread would pin the
+        // scope forever, so failure to set it means the connection cannot
+        // be served safely.
+        if stream.set_read_timeout(Some(self.conn_timeout)).is_err() {
+            return;
+        }
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
         let writer = match stream.try_clone() {
             Ok(w) => w,
             Err(_) => return,
         };
-        let out: SharedWriter = Arc::new(Mutex::new(Box::new(writer)));
-        let mut reader = LineReader::new(stream);
+        let conn = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let out: SharedWriter = ConnWriter::tcp(writer, conn);
+        let mut reader =
+            LineReader::new(stream, self.max_line_bytes, self.read_deadline);
         loop {
             // ordering: Relaxed — monotone stop flag; worst case this
             // connection reads one more line before hanging up.
             let stop = || self.shutdown.load(Ordering::Relaxed);
             match reader.next_line(&stop) {
-                Ok(Some(line)) => {
+                Ok(LineEvent::Line(line)) => {
                     if line.trim().is_empty() {
                         continue;
                     }
@@ -396,9 +556,39 @@ impl Server {
                         return;
                     }
                 }
-                Ok(None) | Err(_) => return,
+                Ok(LineEvent::Evicted(reason)) => {
+                    self.evict_connection(&out, reason);
+                    return;
+                }
+                Ok(LineEvent::Closed) | Err(_) => return,
             }
         }
+    }
+
+    /// Answers a protocol abuser with a structured `evicted` error, then
+    /// drops the socket.
+    fn evict_connection(&self, out: &SharedWriter, reason: EvictReason) {
+        // ordering: Relaxed — statistics counter only.
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+        if aqo_obs::enabled() {
+            match reason {
+                EvictReason::Stalled => {
+                    aqo_obs::counter_handle!("serve.evicted_slow").inc();
+                }
+                EvictReason::Oversized => {
+                    aqo_obs::counter_handle!("serve.evicted_oversized").inc();
+                }
+            }
+            aqo_obs::journal::event(
+                "serve_evicted",
+                vec![("reason", reason.name().into())],
+            );
+        }
+        write_reply(
+            out,
+            &Reply::Err(ErrReply::new(0, ErrorKind::Evicted, reason.message().into())),
+        );
+        out.drop_connection();
     }
 
     /// Parses and routes one request line; returns `true` when the
@@ -409,10 +599,7 @@ impl Server {
         let req = match Request::parse(line) {
             Ok(r) => r,
             Err(message) => {
-                write_reply(
-                    out,
-                    &Reply::Err(ErrReply { id: 0, kind: ErrorKind::Parse, message }),
-                );
+                write_reply(out, &Reply::Err(ErrReply::new(0, ErrorKind::Parse, message)));
                 return false;
             }
         };
@@ -444,17 +631,19 @@ impl Server {
         }
     }
 
-    /// Admission control: enqueue, or return the structured rejection.
+    /// Admission control: enqueue (at an overload-chosen ladder level),
+    /// or return the structured rejection. The pressure reading and the
+    /// enqueue happen under one lock acquisition, so the cap is exact.
     fn submit(&self, req: Request, out: &SharedWriter) -> Option<Reply> {
         let mut st = self.lock_state();
         // ordering: Relaxed — read under the same lock `begin_shutdown`
         // sets it under.
         if !self.accepting.load(Ordering::Relaxed) {
-            return Some(Reply::Err(ErrReply {
-                id: req.id,
-                kind: ErrorKind::Shutdown,
-                message: "server is shutting down".into(),
-            }));
+            return Some(Reply::Err(ErrReply::new(
+                req.id,
+                ErrorKind::Shutdown,
+                "server is shutting down".into(),
+            )));
         }
         let inflight = st.queue.len() + st.executing;
         if inflight >= self.max_inflight {
@@ -474,13 +663,33 @@ impl Server {
                     "admission control: {inflight} requests in flight (cap {})",
                     self.max_inflight
                 ),
+                retry_after_ms: Some(RETRY_AFTER_MS),
             }));
         }
-        st.queue.push_back(Job { req, out: Arc::clone(out) });
+        let degrade = self.ladder_level(inflight);
+        st.queue.push_back(Job { req, out: Arc::clone(out), degrade });
         self.publish_gauges(&st);
         drop(st);
         self.work_cv.notify_one();
         None
+    }
+
+    /// The graceful-degradation ladder: queue pressure (inflight as a
+    /// fraction of the admission cap) picks how much of the request's
+    /// chain survives. Below half pressure nothing changes; from half,
+    /// exponential exact tiers are dropped; from three quarters only the
+    /// polynomial heuristics run; at the cap `submit` sheds instead.
+    fn ladder_level(&self, inflight: usize) -> Degrade {
+        if !self.degrade {
+            return Degrade::Full;
+        }
+        if inflight * 4 >= self.max_inflight * 3 {
+            Degrade::Heavy
+        } else if inflight * 2 >= self.max_inflight {
+            Degrade::Light
+        } else {
+            Degrade::Full
+        }
     }
 
     fn note_request(&self, req: &Request) {
@@ -529,45 +738,153 @@ impl Server {
 }
 
 /// Serializes the reply and writes it as one line under the connection's
-/// writer lock. Write errors mean the client hung up; the reply is
-/// dropped (the *request* was still counted and executed).
+/// writer lock. Write errors mean the client hung up or stopped draining
+/// (the write timeout fired); the connection is dropped so the client
+/// never waits on a reply that will not finish — the *request* was still
+/// counted and executed.
+///
+/// Three network fault sites live here, modelling reply-path failures:
+/// `serve::net::conn_drop` kills the connection before any bytes,
+/// `serve::net::torn_write` after half the frame, and
+/// `serve::net::partial_frame` writes the frame without its newline
+/// terminator and leaves the connection open (the client's read deadline
+/// is what recovers). Panic-mode faults are contained right here so a
+/// writing worker or connection thread never unwinds into its pool.
 fn write_reply(out: &SharedWriter, reply: &Reply) {
+    let result = faults::with_quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| write_reply_inner(out, reply)))
+    });
+    if result.is_err() {
+        out.drop_connection();
+    }
+}
+
+fn write_reply_inner(out: &SharedWriter, reply: &Reply) {
     let mut line = reply.to_json_line();
     line.push('\n');
-    let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = w.write_all(line.as_bytes());
-    let _ = w.flush();
+    let mut cut = None;
+    if faults::fail_point("serve::net::conn_drop").is_err() {
+        out.drop_connection();
+        return;
+    }
+    if faults::fail_point("serve::net::torn_write").is_err() {
+        cut = Some(line.len() / 2);
+    }
+    let partial = faults::fail_point("serve::net::partial_frame").is_err();
+    if partial {
+        cut = Some(line.len() - 1);
+    }
+    let bytes = &line.as_bytes()[..cut.unwrap_or(line.len())];
+    let failed = {
+        let mut w = out.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        w.write_all(bytes).and_then(|()| w.flush()).is_err()
+    };
+    // A torn write is a dead connection; a partial frame deliberately
+    // stays open (that is the failure mode it models).
+    if failed || (cut.is_some() && !partial) {
+        out.drop_connection();
+    }
+}
+
+/// Why a connection was evicted by the read path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvictReason {
+    /// A partial line sat incomplete past the read deadline (slow loris).
+    Stalled,
+    /// The line grew past the configured size limit.
+    Oversized,
+}
+
+impl EvictReason {
+    fn name(self) -> &'static str {
+        match self {
+            EvictReason::Stalled => "slow",
+            EvictReason::Oversized => "oversized",
+        }
+    }
+
+    fn message(self) -> &'static str {
+        match self {
+            EvictReason::Stalled => "request line stalled past the read deadline",
+            EvictReason::Oversized => "request line exceeds the size limit",
+        }
+    }
+}
+
+/// What the read loop produced.
+enum LineEvent {
+    /// A complete request line (without the newline).
+    Line(String),
+    /// EOF, or the server is stopping.
+    Closed,
+    /// The client must be evicted.
+    Evicted(EvictReason),
 }
 
 /// Incremental newline-delimited reader over a socket with a read
 /// timeout: timeouts poll the `stop` flag instead of aborting the
 /// connection, so a quiet client does not pin the thread past shutdown.
+/// Enforces the line-size limit and the slow-loris deadline (a *partial*
+/// line older than the deadline evicts; complete lines reset the clock).
 struct LineReader {
     stream: TcpStream,
     pending: Vec<u8>,
+    max_line: usize,
+    deadline: Option<Duration>,
+    /// When the currently-pending partial line started accumulating.
+    partial_since: Option<Instant>,
 }
 
 impl LineReader {
-    fn new(stream: TcpStream) -> Self {
-        LineReader { stream, pending: Vec::new() }
+    fn new(stream: TcpStream, max_line: usize, deadline: Option<Duration>) -> Self {
+        LineReader { stream, pending: Vec::new(), max_line, deadline, partial_since: None }
     }
 
-    /// The next full line (without the newline), `None` on EOF or stop.
-    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> std::io::Result<Option<String>> {
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> std::io::Result<LineEvent> {
         loop {
             if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                // The size limit also applies to a complete line that
+                // arrived in one read chunk, not just to partial lines
+                // accumulated across reads.
+                if pos > self.max_line {
+                    return Ok(LineEvent::Evicted(EvictReason::Oversized));
+                }
                 let rest = self.pending.split_off(pos + 1);
                 let mut line = std::mem::replace(&mut self.pending, rest);
                 line.pop();
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                self.partial_since =
+                    if self.pending.is_empty() { None } else { Some(Instant::now()) };
+                return Ok(LineEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            // `serve::net::oversized_line` forces this eviction path as if
+            // the limit had been hit, whatever is pending.
+            if self.pending.len() > self.max_line
+                || faults::fail_point("serve::net::oversized_line").is_err()
+            {
+                return Ok(LineEvent::Evicted(EvictReason::Oversized));
+            }
+            if let (Some(deadline), Some(since)) = (self.deadline, self.partial_since) {
+                if since.elapsed() >= deadline {
+                    return Ok(LineEvent::Evicted(EvictReason::Stalled));
+                }
             }
             if stop() {
-                return Ok(None);
+                return Ok(LineEvent::Closed);
+            }
+            // `serve::net::stalled_read`: delay stalls the loop one fault
+            // budget at a time; err aborts the read as a peer reset would.
+            if faults::fail_point("serve::net::stalled_read").is_err() {
+                return Ok(LineEvent::Closed);
             }
             let mut buf = [0u8; 4096];
             match self.stream.read(&mut buf) {
-                Ok(0) => return Ok(None),
-                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Ok(0) => return Ok(LineEvent::Closed),
+                Ok(n) => {
+                    self.pending.extend_from_slice(&buf[..n]);
+                    if self.partial_since.is_none() && !self.pending.is_empty() {
+                        self.partial_since = Some(Instant::now());
+                    }
+                }
                 Err(e)
                     if e.kind() == IoErrorKind::WouldBlock
                         || e.kind() == IoErrorKind::TimedOut

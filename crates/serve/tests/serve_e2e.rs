@@ -191,6 +191,83 @@ fn injected_panic_is_contained_as_structured_error() {
 }
 
 #[test]
+fn degradation_ladder_tags_replies_under_load() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faults::clear();
+    // One worker, every request pinned at 150ms: enqueueing 6 distinct
+    // instances drives the in-flight count through the ladder
+    // thresholds, so later arrivals must be answered from a weaker
+    // chain and tagged, not shed (the cap is high enough that nothing
+    // is rejected).
+    faults::arm("serve::request", FaultKind::Delay(Duration::from_millis(150)), 32);
+    let cfg = ServeConfig { threads: 1, max_inflight: 8, ..ServeConfig::default() };
+    let texts: Vec<String> = (0..6).map(|i| qon_text(5, 100 + i)).collect();
+    let report = with_server(&cfg, |addr, _| {
+        let replies = std::thread::scope(|scope| {
+            let handles: Vec<_> = texts
+                .iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    scope.spawn(move || {
+                        aqo_serve::client::oneshot(addr, &optimize_req(i as u64, text))
+                            .expect("reply")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread")).collect::<Vec<_>>()
+        });
+        let mut degraded = 0;
+        for line in &replies {
+            let doc = json::parse(line).expect("reply parses");
+            assert!(
+                matches!(doc.get("ok"), Some(JsonValue::Bool(true))),
+                "below the cap nothing is shed: {line}"
+            );
+            if matches!(doc.get("degraded"), Some(JsonValue::Bool(true))) {
+                degraded += 1;
+                // A degraded answer is heuristic, and honest about it.
+                assert!(
+                    matches!(doc.get("exact"), Some(JsonValue::Bool(false))),
+                    "degraded replies must not claim exactness: {line}"
+                );
+            }
+        }
+        assert!(degraded >= 1, "concurrent arrivals ride the ladder: {replies:?}");
+        aqo_serve::client::oneshot(addr, &shutdown_req(99)).expect("shutdown");
+    });
+    faults::clear();
+    assert_eq!(report.reason, "shutdown");
+    assert_eq!(report.ok, 6, "every request was answered");
+    assert_eq!(report.overloaded, 0);
+    assert!(report.degraded >= 1, "report counts the degraded answers");
+}
+
+#[test]
+fn torn_reply_write_is_retried_transparently() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    faults::clear();
+    // The first reply write is torn mid-line and the connection dropped;
+    // the retrying client must classify the EOF as transient, reconnect,
+    // and get the full answer on the second attempt.
+    faults::arm("serve::net::torn_write", FaultKind::Error, 1);
+    let text = qon_text(5, 29);
+    let retry = aqo_serve::client::RetryConfig::default();
+    let report = with_server(&ServeConfig::default(), |addr, _| {
+        let mut client = Client::connect(addr).expect("connect");
+        let line = client.roundtrip_retry(&optimize_req(1, &text), &retry).expect("retried reply");
+        let doc = json::parse(&line).expect("reply parses");
+        assert!(matches!(doc.get("ok"), Some(JsonValue::Bool(true))), "retry succeeded: {line}");
+        // The plain, non-retrying path confirms the pool is healthy.
+        let again = client.roundtrip(&optimize_req(2, &text)).expect("follow-up");
+        assert!(matches!(json::parse(&again).expect("parses").get("ok"), Some(JsonValue::Bool(true))));
+        client.roundtrip(&shutdown_req(3)).expect("shutdown");
+    });
+    faults::clear();
+    assert_eq!(report.reason, "shutdown");
+    assert!(report.ok >= 2, "both requests were answered (the torn one possibly twice)");
+}
+
+#[test]
 fn idle_timeout_shuts_the_server_down() {
     let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     faults::clear();
