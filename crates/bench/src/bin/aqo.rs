@@ -41,7 +41,7 @@ use aqo_bignum::{BigRational, BigUint};
 use aqo_core::{textio, workloads, CostScalar};
 use aqo_driver::{faults, BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig, QonTier};
 use aqo_optimizer::{
-    branch_bound, dp, engine, exhaustive, genetic, greedy, ikkbz, local_search, pipeline,
+    branch_bound, ccp, dp, engine, exhaustive, genetic, greedy, ikkbz, local_search, pipeline,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,6 +60,10 @@ enum CliError {
     Parse { path: String, message: String },
     /// The instance admits no plan under the requested constraints.
     Infeasible(String),
+    /// The requested method cannot handle this instance at all (too many
+    /// relations for its subset-mask width). The invocation was
+    /// well-formed, so the usage banner is suppressed.
+    Unsupported(String),
     /// The `AQO_FAULTS` specification is malformed.
     Faults(String),
     /// Every tier of the driver's fallback chain failed.
@@ -77,6 +81,7 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "reading {path}: {source}"),
             CliError::Parse { path, message } => write!(f, "parsing {path}: {message}"),
             CliError::Infeasible(msg) => write!(f, "{msg}"),
+            CliError::Unsupported(msg) => write!(f, "{msg}"),
             CliError::Faults(msg) => write!(f, "AQO_FAULTS: {msg}"),
             CliError::Driver(e) => write!(f, "{e}"),
             CliError::Remote(msg) => write!(f, "{msg}"),
@@ -114,9 +119,9 @@ fn main() -> ExitCode {
     }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        // A remote error means the invocation was well-formed and the
-        // server answered; repeating the usage banner would bury it.
-        Err(e @ CliError::Remote(_)) => {
+        // A remote or unsupported error means the invocation was
+        // well-formed; repeating the usage banner would bury it.
+        Err(e @ (CliError::Remote(_) | CliError::Unsupported(_))) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
@@ -130,7 +135,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|ccp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -320,6 +325,39 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
         } else {
             let mut rng = StdRng::seed_from_u64(0);
             let (label, sequence) = match method {
+                "dp" | "exhaustive" | "ccp" if inst.n() > method_max_n(method) => {
+                    let alt = if method == "ccp" || inst.n() > ccp::MAX_N {
+                        "use a polynomial method (greedy|ikkbz|sa|ga)".to_string()
+                    } else {
+                        format!(
+                            "use --method ccp for sparse no-cartesian instances up to \
+                             n = {} or a polynomial method (greedy|ikkbz|sa|ga)",
+                            ccp::MAX_N
+                        )
+                    };
+                    return Err(CliError::Unsupported(format!(
+                        "--method {method} handles n <= {} (instance has n = {}); {alt}",
+                        method_max_n(method),
+                        inst.n(),
+                    )));
+                }
+                "ccp" if allow_cartesian => {
+                    return Err(CliError::usage(
+                        "optimize: --method ccp is exact only for the cartesian-free space; \
+                         add --no-cartesian (or use --method dp)"
+                            .to_string(),
+                    ));
+                }
+                "ccp" => {
+                    let o = ccp::optimize_two_phase::<BigRational>(
+                        &inst,
+                        threads,
+                        &aqo_core::Budget::unlimited(),
+                    )
+                    .expect("unlimited budget cannot be exceeded")
+                    .ok_or_else(infeasible_qon)?;
+                    ("exact (DPccp connected-subgraph DP)", o.sequence)
+                }
                 "dp" if threads == 1 => {
                     let o = dp::optimize::<BigRational>(&inst, allow_cartesian)
                         .ok_or_else(infeasible_qon)?;
@@ -398,6 +436,18 @@ fn cmd_optimize(args: &[String]) -> Result<(), CliError> {
 
 fn infeasible_qon() -> CliError {
     CliError::Infeasible("no cartesian-free sequence exists".into())
+}
+
+/// Largest `n` each subset-mask exact method accepts; beyond it the CLI
+/// rejects with a structured error instead of letting mask arithmetic
+/// wrap or an internal assert panic.
+fn method_max_n(method: &str) -> usize {
+    match method {
+        "dp" => dp::MAX_N,
+        "ccp" => ccp::MAX_N,
+        "exhaustive" => exhaustive::MAX_N,
+        _ => usize::MAX,
+    }
 }
 
 fn cmd_optimize_qoh(args: &[String]) -> Result<(), CliError> {

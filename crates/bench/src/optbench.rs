@@ -4,7 +4,7 @@
 //! trail; this module is the CI-friendly counterpart. It times the
 //! sequential and parallel optimizer engines over the deterministic
 //! workload generators and emits one JSON document
-//! (`BENCH_optimizer.json`, schema `aqo-bench-optimizer/v2`) with the
+//! (`BENCH_optimizer.json`, schema `aqo-bench-optimizer/v3`) with the
 //! median wall-time per `(family, n, algorithm, scalar, mode)` cell and
 //! the sequential-over-parallel speedup on every parallel record — so the
 //! perf trajectory is tracked across PRs regardless of which machine ran
@@ -13,13 +13,22 @@
 //! lie. Since v2 each record embeds the nonzero deterministic counters
 //! ([`aqo_obs::counters_snapshot`]) captured from its cross-check run;
 //! the timed runs themselves execute with collection disabled, so the
-//! medians measure the instrumented-but-disabled hot path.
+//! medians measure the instrumented-but-disabled hot path. v3 adds
+//! `algo = "ccp"` cells (connected-subgraph DP on the sparse families,
+//! reaching past the dense engine's practical range — chain `n = 25`
+//! against `2^25` all-subsets states) and an optional `note` field for
+//! cell-level caveats such as the parallel branch-and-bound's sequential
+//! delegation on one-worker hosts. Every ccp cell is verified three ways
+//! before it is recorded: log-domain cost agreement with the sequential
+//! `dp` oracle, exact recosting of the returned sequence, and
+//! `optimizer.ccp.subsets_expanded` equal to the instance's true
+//! connected-subgraph count.
 
 use aqo_bignum::{BigRational, LogNum};
 use aqo_core::budget::Budget;
 use aqo_core::qon::QoNInstance;
 use aqo_core::workloads;
-use aqo_optimizer::{branch_bound, dp, engine};
+use aqo_optimizer::{branch_bound, ccp, dp, engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -42,7 +51,8 @@ pub struct BenchRecord {
     pub family: &'static str,
     /// Relation count.
     pub n: usize,
-    /// Algorithm identifier (`dp`, `engine`, `engine-two-phase`, `bnb`).
+    /// Algorithm identifier (`dp`, `engine`, `engine-two-phase`, `ccp`,
+    /// `bnb`).
     pub algo: &'static str,
     /// Scalar backend (`lognum` or `rational`).
     pub scalar: &'static str,
@@ -59,6 +69,9 @@ pub struct BenchRecord {
     /// Nonzero counters captured from this cell's (untimed) cross-check
     /// run, sorted by name. Deterministic for the DP/engine algorithms.
     pub metrics: Vec<(String, u64)>,
+    /// Cell-level caveat (v3), e.g. the parallel branch-and-bound's
+    /// sequential delegation when only one worker resolves.
+    pub note: Option<&'static str>,
 }
 
 /// Runs `f` once with metric collection enabled and returns its result
@@ -86,18 +99,35 @@ struct Family {
     exact_ns: &'static [usize],
     /// Sizes for the branch-and-bound pair.
     bnb_ns: &'static [usize],
+    /// Sizes for the connected-subgraph DP (cartesian-free, exact). The
+    /// state space is the connected-subgraph count, so sparse families
+    /// reach well past the dense tiers' `2^n` wall (chain `n = 25` holds
+    /// 325 states where the engine would hold 33 million).
+    ccp_ns: &'static [usize],
 }
 
 const QUICK: &[Family] = &[
-    Family { name: "chain", lognum_ns: &[9, 11], exact_ns: &[8], bnb_ns: &[7] },
-    Family { name: "cycle", lognum_ns: &[9], exact_ns: &[8], bnb_ns: &[] },
+    Family { name: "chain", lognum_ns: &[9, 11], exact_ns: &[8], bnb_ns: &[7], ccp_ns: &[11] },
+    Family { name: "cycle", lognum_ns: &[9], exact_ns: &[8], bnb_ns: &[], ccp_ns: &[] },
 ];
 
 const FULL: &[Family] = &[
-    Family { name: "chain", lognum_ns: &[12, 14, 16, 18], exact_ns: &[12, 14], bnb_ns: &[10] },
-    Family { name: "star", lognum_ns: &[12, 14], exact_ns: &[12], bnb_ns: &[] },
-    Family { name: "cycle", lognum_ns: &[12, 16, 18], exact_ns: &[12], bnb_ns: &[10] },
-    Family { name: "clique", lognum_ns: &[12, 14], exact_ns: &[12], bnb_ns: &[] },
+    Family {
+        name: "chain",
+        lognum_ns: &[12, 14, 16, 18],
+        exact_ns: &[12, 14],
+        bnb_ns: &[10],
+        ccp_ns: &[18, 20, 22, 25],
+    },
+    Family { name: "star", lognum_ns: &[12, 14], exact_ns: &[12], bnb_ns: &[], ccp_ns: &[] },
+    Family {
+        name: "cycle",
+        lognum_ns: &[12, 16, 18],
+        exact_ns: &[12],
+        bnb_ns: &[10],
+        ccp_ns: &[18, 22],
+    },
+    Family { name: "clique", lognum_ns: &[12, 14], exact_ns: &[12], bnb_ns: &[], ccp_ns: &[14] },
 ];
 
 fn instance(family: &str, n: usize, seed: u64) -> QoNInstance {
@@ -166,6 +196,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 samples,
                 speedup: None,
                 metrics: seq_metrics,
+                note: None,
             });
             records.push(BenchRecord {
                 family: fam.name,
@@ -178,6 +209,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 samples,
                 speedup: Some(seq_ms / par_ms.max(1e-9)),
                 metrics: par_metrics,
+                note: None,
             });
         }
         for &n in fam.exact_ns {
@@ -206,6 +238,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 samples,
                 speedup: None,
                 metrics: seq_metrics,
+                note: None,
             });
             records.push(BenchRecord {
                 family: fam.name,
@@ -218,6 +251,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 samples,
                 speedup: Some(seq_ms / par_ms.max(1e-9)),
                 metrics: par_metrics,
+                note: None,
             });
         }
         for &n in fam.bnb_ns {
@@ -246,6 +280,7 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 samples,
                 speedup: None,
                 metrics: seq_metrics,
+                note: None,
             });
             records.push(BenchRecord {
                 family: fam.name,
@@ -258,19 +293,96 @@ pub fn run(cfg: &BenchConfig) -> Vec<BenchRecord> {
                 samples,
                 speedup: Some(seq_ms / par_ms.max(1e-9)),
                 metrics: par_metrics,
+                note: (threads == 1).then_some(
+                    "one resolved worker: optimize_par delegates to the sequential DFS, \
+                     so speedup ~1.0 measures delegation overhead, not contention",
+                ),
+            });
+        }
+        for &n in fam.ccp_ns {
+            let inst = instance(fam.name, n, 42 + n as u64);
+            // Sequential dp oracle, run in the log domain *outside* the
+            // metric capture (so the cell's counters are purely
+            // `optimizer.ccp.*`). At chain n = 25 the exact-rational dp
+            // table would be gigabytes; LogNum keeps the oracle cheap
+            // while still pinning the argmin to ~1e-6 bits.
+            let oracle = dp::optimize::<LogNum>(&inst, false)
+                .unwrap_or_else(|| panic!("{} n={n}: disconnected bench instance", fam.name));
+            let (seq_run, seq_metrics) = capture_metrics(|| {
+                ccp::optimize_two_phase::<BigRational>(&inst, 1, &budget)
+            });
+            let seq_opt = seq_run.expect("unlimited").expect("connected");
+            assert!(
+                (seq_opt.cost.log2() - oracle.cost.log2()).abs() < 1e-6,
+                "{} n={n}: ccp diverged from the sequential dp oracle",
+                fam.name
+            );
+            let recost: BigRational = inst.total_cost(&seq_opt.sequence);
+            assert_eq!(recost, seq_opt.cost, "{} n={n}: ccp recost mismatch", fam.name);
+            let expanded = seq_metrics
+                .iter()
+                .find(|(k, _)| k == "optimizer.ccp.subsets_expanded")
+                .map(|(_, v)| *v);
+            assert_eq!(
+                expanded,
+                Some(ccp::connected_subset_count(&inst)),
+                "{} n={n}: ccp expansion count is not the connected-subgraph count",
+                fam.name
+            );
+            let (par_run, par_metrics) = capture_metrics(|| {
+                ccp::optimize_two_phase::<BigRational>(&inst, threads, &budget)
+            });
+            let par_cost = par_run.expect("unlimited").expect("connected").cost;
+            assert_eq!(seq_opt.cost, par_cost, "{} n={n}: ccp seq/par divergence", fam.name);
+            let seq_ms = median_ms(samples, || {
+                ccp::optimize_two_phase::<BigRational>(&inst, 1, &budget)
+            });
+            let par_ms = median_ms(samples, || {
+                ccp::optimize_two_phase::<BigRational>(&inst, threads, &budget)
+            });
+            let note = Some(
+                "cost verified against the sequential dp oracle (lognum) and by exact \
+                 recosting; subsets_expanded equals the connected-subgraph count",
+            );
+            records.push(BenchRecord {
+                family: fam.name,
+                n,
+                algo: "ccp",
+                scalar: "rational",
+                mode: "seq",
+                threads: 1,
+                median_ms: seq_ms,
+                samples,
+                speedup: None,
+                metrics: seq_metrics,
+                note,
+            });
+            records.push(BenchRecord {
+                family: fam.name,
+                n,
+                algo: "ccp",
+                scalar: "rational",
+                mode: "par",
+                threads,
+                median_ms: par_ms,
+                samples,
+                speedup: Some(seq_ms / par_ms.max(1e-9)),
+                metrics: par_metrics,
+                note,
             });
         }
     }
     records
 }
 
-/// Serializes a bench run as the `aqo-bench-optimizer/v2` JSON document.
+/// Serializes a bench run as the `aqo-bench-optimizer/v3` JSON document.
 /// Hand-rolled (no serde in the tree); every string field is a controlled
-/// identifier (metric names included), so no escaping is required.
+/// identifier or note literal (no quotes/backslashes), so no escaping is
+/// required.
 pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
     let mut out = String::with_capacity(256 + records.len() * 160);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"aqo-bench-optimizer/v2\",\n");
+    out.push_str("  \"schema\": \"aqo-bench-optimizer/v3\",\n");
     out.push_str(&format!("  \"profile\": \"{}\",\n", if cfg.quick { "quick" } else { "full" }));
     out.push_str(&format!(
         "  \"threads\": {},\n",
@@ -289,6 +401,10 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
         ));
         if let Some(s) = r.speedup {
             out.push_str(&format!(", \"speedup\": {s:.3}"));
+        }
+        if let Some(note) = r.note {
+            debug_assert!(!note.contains('"') && !note.contains('\\'));
+            out.push_str(&format!(", \"note\": \"{note}\""));
         }
         out.push_str(", \"metrics\": {");
         for (j, (name, value)) in r.metrics.iter().enumerate() {
@@ -338,6 +454,21 @@ mod tests {
         let seq = records.iter().filter(|r| r.mode == "seq").count();
         let par = records.iter().filter(|r| r.mode == "par").count();
         assert_eq!(seq, par);
+        // The quick profile exercises a ccp cell; its expansion counter
+        // is the chain's connected-subgraph count n(n+1)/2.
+        let ccp_cell = records
+            .iter()
+            .find(|r| r.algo == "ccp" && r.mode == "seq")
+            .expect("quick profile benches a ccp cell");
+        assert_eq!(ccp_cell.family, "chain");
+        assert_eq!(ccp_cell.n, 11);
+        let expanded = ccp_cell
+            .metrics
+            .iter()
+            .find(|(k, _)| k == "optimizer.ccp.subsets_expanded")
+            .map(|(_, v)| *v);
+        assert_eq!(expanded, Some(66));
+        assert!(ccp_cell.note.is_some());
     }
 
     #[test]
@@ -355,6 +486,7 @@ mod tests {
                 samples: 3,
                 speedup: None,
                 metrics: vec![("optimizer.dp.subsets_expanded".to_string(), 511)],
+                note: None,
             },
             BenchRecord {
                 family: "chain",
@@ -367,11 +499,13 @@ mod tests {
                 samples: 3,
                 speedup: Some(2.5),
                 metrics: Vec::new(),
+                note: Some("synthetic cell for the serializer test"),
             },
         ];
         let json = to_json(&cfg, &records);
-        assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v2\""));
+        assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v3\""));
         assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"note\": \"synthetic cell for the serializer test\""));
         assert!(json.contains("\"metrics\": {\"optimizer.dp.subsets_expanded\": 511}"));
         assert!(json.contains("\"metrics\": {}"));
         // Balanced braces/brackets and no trailing comma before closers.

@@ -99,14 +99,18 @@ fn bench_quick_writes_wellformed_json() {
     assert!(ok, "bench failed: {err}");
     assert!(stdout.contains("wrote"), "stdout: {stdout}");
     let json = std::fs::read_to_string(&out_path).expect("bench JSON written");
-    assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v2\""), "json: {json}");
+    assert!(json.contains("\"schema\": \"aqo-bench-optimizer/v3\""), "json: {json}");
     assert!(json.contains("\"records\""));
     assert!(json.contains("\"median_ms\""));
     assert!(json.contains("\"speedup\""));
-    assert!(json.contains("\"metrics\""), "v2 records embed metrics: {json}");
+    assert!(json.contains("\"metrics\""), "v2+ records embed metrics: {json}");
     assert!(
         json.contains("optimizer.dp.subsets_expanded"),
         "dp cross-check run captured counters: {json}"
+    );
+    assert!(
+        json.contains("\"algo\": \"ccp\"") && json.contains("optimizer.ccp.subsets_expanded"),
+        "v3 benches a ccp cell with its counters: {json}"
     );
     // Structural sanity: balanced braces/brackets, non-empty records array.
     assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -379,4 +383,83 @@ fn unknown_subcommand_is_named_in_the_error() {
     assert!(!ok);
     assert!(err.contains("unknown subcommand `frobnicate`"), "{err}");
     assert!(err.contains("usage:"), "bad invocations still get the banner: {err}");
+}
+
+#[test]
+fn ccp_method_matches_dp_and_enforces_no_cartesian() {
+    let (ok, instance, _) = aqo(&["gen", "cycle", "9", "17"]);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cycle9.qon");
+    std::fs::write(&path, &instance).unwrap();
+    let cost_of = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("cost"))
+            .map(|l| l.split(':').nth(1).unwrap().trim().to_string())
+            .expect("cost line")
+    };
+
+    let (ok, dp_out, err) =
+        aqo(&["optimize", path.to_str().unwrap(), "--method", "dp", "--no-cartesian"]);
+    assert!(ok, "stderr: {err}");
+    for threads in ["1", "2"] {
+        let (ok, ccp_out, err) = aqo(&[
+            "optimize",
+            path.to_str().unwrap(),
+            "--method",
+            "ccp",
+            "--no-cartesian",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok, "ccp --threads {threads} failed: {err}");
+        assert_eq!(cost_of(&dp_out), cost_of(&ccp_out), "ccp must be exact");
+    }
+
+    // Without --no-cartesian the connected-only enumeration would not be
+    // exact, so the CLI must refuse up front (usage error, banner shown).
+    let (ok, _, err) = aqo(&["optimize", path.to_str().unwrap(), "--method", "ccp"]);
+    assert!(!ok);
+    assert!(err.contains("--no-cartesian"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn oversized_instances_get_structured_rejections_not_mask_wraparound() {
+    let dir = std::env::temp_dir().join("aqo_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // n = 28: over the dp cap, inside the ccp cap. dp must refuse with a
+    // structured error (no usage banner — the invocation was fine); ccp
+    // must just answer.
+    let (ok, instance, _) = aqo(&["gen", "chain", "28", "5"]);
+    assert!(ok);
+    let p28 = dir.join("chain28.qon");
+    std::fs::write(&p28, &instance).unwrap();
+    let (ok, _, err) =
+        aqo(&["optimize", p28.to_str().unwrap(), "--method", "dp", "--no-cartesian"]);
+    assert!(!ok);
+    assert!(err.contains("handles n <="), "{err}");
+    assert!(!err.contains("usage:"), "not a usage error: {err}");
+    let (ok, out, err) =
+        aqo(&["optimize", p28.to_str().unwrap(), "--method", "ccp", "--no-cartesian"]);
+    assert!(ok, "ccp handles the 28-chain: {err}");
+    assert!(out.contains("DPccp"), "{out}");
+
+    // n = 33: past every u32-mask method, including ccp.
+    let (ok, instance, _) = aqo(&["gen", "chain", "33", "5"]);
+    assert!(ok);
+    let p33 = dir.join("chain33.qon");
+    std::fs::write(&p33, &instance).unwrap();
+    for method in ["dp", "ccp"] {
+        let (ok, _, err) =
+            aqo(&["optimize", p33.to_str().unwrap(), "--method", method, "--no-cartesian"]);
+        assert!(!ok, "{method} must reject n = 33");
+        assert!(err.contains("handles n <="), "{method}: {err}");
+    }
+    // The polynomial methods still answer at n = 33.
+    let (ok, _, err) =
+        aqo(&["optimize", p33.to_str().unwrap(), "--method", "greedy", "--no-cartesian"]);
+    assert!(ok, "greedy at n = 33: {err}");
 }

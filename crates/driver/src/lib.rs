@@ -38,7 +38,7 @@ use aqo_core::budget::{Budget, CancelToken};
 use aqo_core::qoh::QoHInstance;
 use aqo_core::qon::QoNInstance;
 use aqo_optimizer::pipeline::QohPlan;
-use aqo_optimizer::{branch_bound, dp, engine, exhaustive, greedy, ikkbz, pipeline, Optimum};
+use aqo_optimizer::{branch_bound, ccp, dp, engine, exhaustive, greedy, ikkbz, pipeline, Optimum};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
@@ -101,6 +101,11 @@ impl Default for RetryPolicy {
 pub enum QonTier {
     /// Subset dynamic programming (exact, `O(2^n)` memory).
     Dp,
+    /// DPccp connected-subgraph DP (exact for the cartesian-free space,
+    /// memory sized by the connected-subgraph count — polynomial on
+    /// chains/cycles/sparse graphs; unsupported when cartesian products
+    /// are admissible).
+    Ccp,
     /// Branch-and-bound DFS (exact, low memory, worst-case exponential).
     BranchBound,
     /// IKKBZ (polynomial; exact only on acyclic query graphs, panics on
@@ -115,6 +120,7 @@ impl QonTier {
     pub fn name(self) -> &'static str {
         match self {
             QonTier::Dp => "dp",
+            QonTier::Ccp => "ccp",
             QonTier::BranchBound => "bnb",
             QonTier::Ikkbz => "ikkbz",
             QonTier::Greedy => "greedy",
@@ -123,24 +129,36 @@ impl QonTier {
 
     /// Whether the tier's answer is provably optimal for every instance.
     pub fn is_exact(self) -> bool {
-        matches!(self, QonTier::Dp | QonTier::BranchBound)
+        matches!(self, QonTier::Dp | QonTier::Ccp | QonTier::BranchBound)
     }
 
-    /// The default chain: `dp → bnb → ikkbz → greedy`.
+    /// The default chain: `dp → ccp → bnb → ikkbz → greedy`. `ccp` covers
+    /// the no-cartesian configs `dp` is too big for (sparse graphs far
+    /// past [`dp::MAX_N`]); with cartesian products admissible it reports
+    /// unsupported and the chain moves on.
     pub fn default_chain() -> Vec<QonTier> {
-        vec![QonTier::Dp, QonTier::BranchBound, QonTier::Ikkbz, QonTier::Greedy]
+        vec![
+            QonTier::Dp,
+            QonTier::Ccp,
+            QonTier::BranchBound,
+            QonTier::Ikkbz,
+            QonTier::Greedy,
+        ]
     }
 
-    /// Parses a comma-separated chain spec such as `dp,bnb,greedy`.
+    /// Parses a comma-separated chain spec such as `dp,ccp,greedy`.
     pub fn parse_chain(spec: &str) -> Result<Vec<QonTier>, String> {
         let mut chain = Vec::new();
         for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             chain.push(match name {
                 "dp" => QonTier::Dp,
+                "ccp" => QonTier::Ccp,
                 "bnb" => QonTier::BranchBound,
                 "ikkbz" => QonTier::Ikkbz,
                 "greedy" => QonTier::Greedy,
-                other => return Err(format!("unknown tier `{other}` (dp|bnb|ikkbz|greedy)")),
+                other => {
+                    return Err(format!("unknown tier `{other}` (dp|ccp|bnb|ikkbz|greedy)"))
+                }
             });
         }
         if chain.is_empty() {
@@ -422,6 +440,14 @@ pub fn optimize_qon(
         QonTier::name,
         QonTier::is_exact,
         |tier, budget| match tier {
+            // The mask-based exact tiers reject oversized instances with a
+            // structured failure (degrading down the chain) instead of
+            // hitting their internal asserts or silent u32 wraparound.
+            QonTier::Dp if inst.n() > dp::MAX_N => Err(TierFailure::Unsupported(format!(
+                "dp handles n <= {} (got n = {})",
+                dp::MAX_N,
+                inst.n()
+            ))),
             QonTier::Dp if threads == 1 && !force_engine => {
                 dp::optimize_with_budget::<BigRational>(inst, allow, budget)
                     .map_err(TierFailure::Budget)
@@ -431,6 +457,18 @@ pub fn optimize_qon(
                 engine::optimize_two_phase::<BigRational>(inst, &opts, budget)
                     .map_err(TierFailure::Budget)
             }
+            QonTier::Ccp if allow => Err(TierFailure::Unsupported(
+                "ccp enumerates connected subgraphs only, which is exact just for the \
+                 cartesian-free space; rerun with --no-cartesian or use dp/bnb"
+                    .to_string(),
+            )),
+            QonTier::Ccp if inst.n() > ccp::MAX_N => Err(TierFailure::Unsupported(format!(
+                "ccp handles n <= {} (got n = {}): subset masks are u32",
+                ccp::MAX_N,
+                inst.n()
+            ))),
+            QonTier::Ccp => ccp::optimize_two_phase::<BigRational>(inst, threads, budget)
+                .map_err(TierFailure::Budget),
             QonTier::BranchBound if threads == 1 => {
                 branch_bound::optimize_with_budget::<BigRational>(inst, allow, budget)
                     .map_err(TierFailure::Budget)

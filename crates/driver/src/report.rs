@@ -15,6 +15,11 @@ pub enum TierFailure {
     Injected(String),
     /// The tier completed but found no feasible plan.
     NoPlan,
+    /// The tier cannot handle this instance/config combination at all
+    /// (instance too large for its mask width, cartesian products
+    /// requested from a connected-only tier). Permanent: never retried,
+    /// degrades straight to the next tier.
+    Unsupported(String),
 }
 
 impl TierFailure {
@@ -26,6 +31,7 @@ impl TierFailure {
             TierFailure::Panic(_) => "panic",
             TierFailure::Injected(_) => "injected",
             TierFailure::NoPlan => "no_plan",
+            TierFailure::Unsupported(_) => "unsupported",
         }
     }
 }
@@ -37,6 +43,7 @@ impl fmt::Display for TierFailure {
             TierFailure::Panic(msg) => write!(f, "panic: {msg}"),
             TierFailure::Injected(msg) => write!(f, "injected: {msg}"),
             TierFailure::NoPlan => write!(f, "no feasible plan"),
+            TierFailure::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }

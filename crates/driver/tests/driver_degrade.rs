@@ -55,15 +55,20 @@ fn clique_with_tiny_deadline_degrades_to_heuristic() {
     assert_eq!(outcome.report.tier, "greedy");
     assert!(!outcome.report.exact);
     // Every stronger tier's failure is on the record: dp and bnb tripped
-    // the deadline, ikkbz panicked on the cyclic graph.
+    // the deadline, ccp is unsupported with cartesian products admissible,
+    // ikkbz panicked on the cyclic graph.
     let failed: Vec<&str> = outcome.report.failures.iter().map(|a| a.tier).collect();
-    assert_eq!(failed, ["dp", "bnb", "ikkbz"]);
+    assert_eq!(failed, ["dp", "ccp", "bnb", "ikkbz"]);
     assert!(matches!(
         outcome.report.failures[0].failure,
         aqo_driver::TierFailure::Budget(_)
     ));
     assert!(matches!(
-        outcome.report.failures[2].failure,
+        outcome.report.failures[1].failure,
+        aqo_driver::TierFailure::Unsupported(_)
+    ));
+    assert!(matches!(
+        outcome.report.failures[3].failure,
         aqo_driver::TierFailure::Panic(_)
     ));
     assert_valid_sequence(&inst, &outcome);
@@ -153,13 +158,13 @@ fn exhausted_retries_degrade_instead_of_failing() {
 fn every_tier_armed_means_driver_error() {
     let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     faults::clear();
-    for site in ["qon::dp", "qon::bnb", "qon::ikkbz", "qon::greedy"] {
+    for site in ["qon::dp", "qon::ccp", "qon::bnb", "qon::ikkbz", "qon::greedy"] {
         faults::arm(site, faults::FaultKind::Panic, 100);
     }
     let inst = clique_instance(6, 2);
     let err = optimize_qon(&inst, &QonDriverConfig::default()).unwrap_err();
     faults::clear();
-    assert_eq!(err.failures.len(), 4);
+    assert_eq!(err.failures.len(), 5);
     let msg = err.to_string();
     assert!(msg.contains("every tier failed"), "unexpected message: {msg}");
 }
@@ -181,6 +186,96 @@ fn pre_cancelled_token_skips_budgeted_tiers() {
         aqo_driver::TierFailure::Budget(ref e)
             if e.kind == aqo_core::budget::BudgetKind::Cancelled
     ));
+}
+
+fn chain_qon_instance(n: usize, seed: u64) -> QoNInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    workloads::chain(n, &workloads::WorkloadParams::default(), &mut rng)
+}
+
+#[test]
+fn ccp_tier_answers_past_the_dp_cap_on_sparse_no_cartesian() {
+    // n = 26 is over dp::MAX_N: dp must step aside with a structured
+    // unsupported failure and ccp must answer exactly.
+    let n = aqo_optimizer::dp::MAX_N + 1;
+    let inst = chain_qon_instance(n, 21);
+    let cfg = QonDriverConfig { allow_cartesian: false, ..QonDriverConfig::default() };
+    let outcome = optimize_qon(&inst, &cfg).expect("ccp answers");
+    assert_eq!(outcome.report.tier, "ccp");
+    assert!(outcome.report.exact);
+    assert_eq!(outcome.report.failures.len(), 1);
+    assert_eq!(outcome.report.failures[0].tier, "dp");
+    assert!(matches!(
+        outcome.report.failures[0].failure,
+        aqo_driver::TierFailure::Unsupported(_)
+    ));
+    assert_valid_sequence(&inst, &outcome);
+    assert!(!inst.has_cartesian_product(&outcome.optimum.sequence));
+}
+
+#[test]
+fn ccp_pin_with_cartesian_products_is_a_structured_unsupported_error() {
+    // Cartesian products can beat every connected order, so ccp refuses
+    // rather than silently returning a non-optimal "exact" plan.
+    let inst = chain_qon_instance(8, 22);
+    let cfg = QonDriverConfig {
+        chain: vec![QonTier::Ccp],
+        allow_cartesian: true,
+        ..QonDriverConfig::default()
+    };
+    let err = optimize_qon(&inst, &cfg).unwrap_err();
+    assert_eq!(err.failures.len(), 1);
+    match &err.failures[0].failure {
+        aqo_driver::TierFailure::Unsupported(msg) => {
+            assert!(msg.contains("cartesian"), "message should say why: {msg}");
+        }
+        other => panic!("expected unsupported, got {other:?}"),
+    }
+}
+
+#[test]
+fn n_over_mask_width_degrades_every_mask_tier_with_unsupported() {
+    // n = 33 overflows every u32-mask tier (dp, ccp); the chain must
+    // degrade to the polynomial tiers with structured failures, not
+    // wrap masks or hit an assert-turned-panic.
+    let inst = chain_qon_instance(33, 23);
+    let cfg = QonDriverConfig {
+        chain: vec![QonTier::Dp, QonTier::Ccp, QonTier::Greedy],
+        allow_cartesian: false,
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("greedy answers");
+    assert_eq!(outcome.report.tier, "greedy");
+    let kinds: Vec<&str> =
+        outcome.report.failures.iter().map(|a| a.failure.kind_str()).collect();
+    assert_eq!(kinds, ["unsupported", "unsupported"]);
+    for a in &outcome.report.failures {
+        match &a.failure {
+            aqo_driver::TierFailure::Unsupported(msg) => {
+                assert!(msg.contains("n = 33"), "boundary in message: {msg}");
+            }
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+    }
+    assert_valid_sequence(&inst, &outcome);
+}
+
+#[test]
+fn mask_tiers_accept_exactly_their_documented_caps() {
+    // Boundary: n == ccp::MAX_N (32) is in range for ccp and out of range
+    // for dp; n == dp::MAX_N is in range for dp. Tiny deadline keeps the
+    // in-range attempts cheap — a budget trip proves the tier *ran*.
+    let inst = chain_qon_instance(aqo_optimizer::ccp::MAX_N, 24);
+    let cfg = QonDriverConfig {
+        budget: BudgetSpec { timeout: Some(Duration::ZERO), ..BudgetSpec::unlimited() },
+        chain: vec![QonTier::Dp, QonTier::Ccp, QonTier::Greedy],
+        allow_cartesian: false,
+        ..QonDriverConfig::default()
+    };
+    let outcome = optimize_qon(&inst, &cfg).expect("greedy answers");
+    let by_tier: Vec<(&str, &str)> =
+        outcome.report.failures.iter().map(|a| (a.tier, a.failure.kind_str())).collect();
+    assert_eq!(by_tier, [("dp", "unsupported"), ("ccp", "budget")]);
 }
 
 fn qoh_chain_instance(n: usize) -> QoHInstance {

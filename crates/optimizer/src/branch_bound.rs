@@ -72,6 +72,23 @@ pub fn optimize<S: CostScalar>(inst: &QoNInstance, allow_cartesian: bool) -> Opt
         .expect("unlimited budget cannot be exceeded")
 }
 
+/// A worker's best-so-far: the exact cost plus its cached `log2`, so the
+/// shared-bound check never recomputes the expensive exact→float bridge
+/// on the DFS hot path (only on the rare incumbent improvement).
+struct Incumbent<S> {
+    order: Vec<usize>,
+    cost: S,
+    log2: f64,
+}
+
+impl<S: CostScalar> Incumbent<S> {
+    fn from_warm(inst: &QoNInstance, z: JoinSequence) -> Incumbent<S> {
+        let cost: S = inst.total_cost(&z);
+        let log2 = cost.log2();
+        Incumbent { order: z.order().to_vec(), cost, log2 }
+    }
+}
+
 /// As [`optimize`], under a cooperative [`Budget`] ticked once per DFS
 /// node. The search unwinds promptly when the budget trips; the incumbent
 /// found so far is discarded (the driver layer decides what to fall back
@@ -87,12 +104,24 @@ pub fn optimize_with_budget<S: CostScalar>(
         return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
     }
     budget.checkpoint()?;
-    // Warm start.
-    let warm = greedy::min_intermediate(inst, allow_cartesian);
-    let mut best: Option<(Vec<usize>, S)> =
-        warm.map(|z| (z.order().to_vec(), inst.total_cost(&z)));
-
+    let mut best = greedy::min_intermediate(inst, allow_cartesian)
+        .map(|z| Incumbent::from_warm(inst, z));
     let mut stats = SearchStats::default();
+    search_all_roots(inst, allow_cartesian, &mut best, budget, None, &mut stats)?;
+    stats.flush("seq", 1);
+    Ok(best.map(|b| Optimum { sequence: JoinSequence::new(b.order), cost: b.cost }))
+}
+
+/// The sequential search body: every root vertex in order, one DFS each.
+fn search_all_roots<S: CostScalar>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    best: &mut Option<Incumbent<S>>,
+    budget: &Budget,
+    shared: Option<&SharedBound>,
+    stats: &mut SearchStats,
+) -> Result<(), BudgetExceeded> {
+    let n = inst.n();
     let mut prefix = Vec::with_capacity(n);
     let mut in_prefix = BitSet::new(n);
     for start in 0..n {
@@ -105,29 +134,37 @@ pub fn optimize_with_budget<S: CostScalar>(
             &mut in_prefix,
             S::from_count(&inst.sizes()[start]),
             S::zero(),
-            &mut best,
+            best,
             budget,
-            None,
-            &mut stats,
+            shared,
+            stats,
         );
         in_prefix.remove(start);
         prefix.pop();
         outcome?;
     }
-    stats.flush("seq", 1);
-    Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
+    Ok(())
 }
 
-/// Parallel branch-and-bound: root vertices are strided across a scoped
-/// worker pool and workers share the incumbent upper bound through a
-/// lock-free atomic ([`SharedBound`], log₂ domain), so a strong incumbent
-/// found by one worker immediately sharpens pruning in all the others.
+/// Parallel branch-and-bound: the *ordered pairs* of root vertices —
+/// `n(n−1)` depth-2 subtrees instead of `n` depth-1 ones — are strided
+/// across a scoped worker pool, and workers share the incumbent upper
+/// bound through a lock-free atomic ([`SharedBound`], log₂ domain), so a
+/// strong incumbent found by one worker immediately sharpens pruning in
+/// all the others. The finer split matters on real graphs: depth-1
+/// subtree sizes vary by orders of magnitude (a hub root dominates), and
+/// with only `n` units a stride of `threads` routinely leaves workers
+/// idle while one drains the big subtree.
 ///
 /// Each worker keeps its *exact* local incumbent; the shared float bound
 /// only decides what gets pruned (with [`SHARED_BOUND_MARGIN_BITS`] of
 /// slack), never what is returned — so the returned cost equals the
 /// sequential optimum for every thread count. `threads = 0` means one
-/// worker per hardware thread.
+/// worker per hardware thread; when that resolves to a single worker
+/// (e.g. a 1-core host) the search delegates to the sequential DFS
+/// outright, skipping the shared-bound machinery it would pay for and
+/// never benefit from (the `mode=par` rows in BENCH_optimizer.json on a
+/// 1-thread host measure exactly this delegation).
 pub fn optimize_par<S: CostScalar + Send + Sync>(
     inst: &QoNInstance,
     allow_cartesian: bool,
@@ -157,56 +194,149 @@ pub fn optimize_par_with_budget<S: CostScalar + Send + Sync>(
     budget.charge_memory((threads * scratch_per_worker) as u64)?;
     budget.checkpoint()?;
 
-    let warm = greedy::min_intermediate(inst, allow_cartesian);
-    let warm: Option<(Vec<usize>, S)> = warm.map(|z| (z.order().to_vec(), inst.total_cost(&z)));
-    let shared = SharedBound::unbounded();
-    if let Some((_, c)) = &warm {
-        shared.tighten(c.log2());
+    if threads == 1 {
+        // One worker gains nothing from the shared bound but would pay
+        // its per-node check; run the plain sequential DFS instead.
+        let mut best = greedy::min_intermediate(inst, allow_cartesian)
+            .map(|z| Incumbent::from_warm(inst, z));
+        let mut stats = SearchStats::default();
+        search_all_roots(inst, allow_cartesian, &mut best, budget, None, &mut stats)?;
+        stats.flush("par", 1);
+        return Ok(best.map(|b| Optimum { sequence: JoinSequence::new(b.order), cost: b.cost }));
     }
 
-    type WorkerOut<S> = (Option<(Vec<usize>, S)>, SearchStats);
+    let warm = greedy::min_intermediate(inst, allow_cartesian)
+        .map(|z| Incumbent::<S>::from_warm(inst, z));
+    let shared = SharedBound::unbounded();
+    if let Some(b) = &warm {
+        shared.tighten(b.log2);
+    }
+
+    // Depth-2 seeds: every ordered root pair whose second join is legal.
+    // Deterministic order, so the stride assignment is reproducible.
+    let mut seeds: Vec<(usize, usize)> = Vec::with_capacity(n * (n - 1));
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && (allow_cartesian || inst.graph().has_edge(a, b)) {
+                seeds.push((a, b));
+            }
+        }
+    }
+    if seeds.is_empty() {
+        // No legal second join anywhere (edgeless graph, cartesian-free):
+        // only the warm start (which is `None` then) could answer.
+        return Ok(warm.map(|b| Optimum { sequence: JoinSequence::new(b.order), cost: b.cost }));
+    }
+    let threads = threads.min(seeds.len());
+
+    type WorkerOut<S> = (Option<Incumbent<S>>, SearchStats);
+    let seeds = &seeds;
     let outcomes = run_workers(threads, |t| -> Result<WorkerOut<S>, BudgetExceeded> {
-        let mut best = warm.clone();
+        let mut best = warm.as_ref().map(|b| Incumbent {
+            order: b.order.clone(),
+            cost: b.cost.clone(),
+            log2: b.log2,
+        });
         let mut stats = SearchStats::default();
         let mut prefix = Vec::with_capacity(n);
         let mut in_prefix = BitSet::new(n);
-        let mut start = t;
-        while start < n {
-            prefix.push(start);
-            in_prefix.insert(start);
-            let outcome = dfs(
-                inst,
-                allow_cartesian,
-                &mut prefix,
-                &mut in_prefix,
-                S::from_count(&inst.sizes()[start]),
-                S::zero(),
-                &mut best,
-                budget,
-                Some(&shared),
-                &mut stats,
-            );
-            in_prefix.remove(start);
+        let mut i = t;
+        while i < seeds.len() {
+            let (a, b) = seeds[i];
+            i += threads;
+            // The depth-1 node (root `a`) is re-entered once per seed
+            // sharing that root; tick it so expansion accounting stays
+            // proportional to work actually done.
+            budget.tick()?;
+            stats.nodes += 1;
+            prefix.push(a);
+            in_prefix.insert(a);
+            let n_a = S::from_count(&inst.sizes()[a]);
+            let outcome = match step(inst, allow_cartesian, &in_prefix, 1, &n_a, b) {
+                None => Ok(()),
+                Some((n_ab, delta)) => {
+                    prefix.push(b);
+                    in_prefix.insert(b);
+                    let r = dfs(
+                        inst,
+                        allow_cartesian,
+                        &mut prefix,
+                        &mut in_prefix,
+                        n_ab,
+                        delta,
+                        &mut best,
+                        budget,
+                        Some(&shared),
+                        &mut stats,
+                    );
+                    in_prefix.remove(b);
+                    prefix.pop();
+                    r
+                }
+            };
+            in_prefix.remove(a);
             prefix.pop();
             outcome?;
-            start += threads;
         }
         Ok((best, stats))
     });
 
-    let mut best: Option<(Vec<usize>, S)> = None;
+    let mut best: Option<Incumbent<S>> = None;
     let mut stats = SearchStats::default();
     for outcome in outcomes {
         let (worker_best, worker_stats) = outcome?;
         stats.merge(&worker_stats);
-        if let Some((order, cost)) = worker_best {
-            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
-                best = Some((order, cost));
+        if let Some(wb) = worker_best {
+            if best.as_ref().is_none_or(|b| wb.cost < b.cost) {
+                best = Some(wb);
             }
         }
     }
     stats.flush("par", threads);
-    Ok(best.map(|(order, cost)| Optimum { sequence: JoinSequence::new(order), cost }))
+    Ok(best.map(|b| Optimum { sequence: JoinSequence::new(b.order), cost: b.cost }))
+}
+
+/// One DFS transition: the cost delta and new intermediate size of
+/// joining `j` into the current prefix, or `None` when that join would be
+/// a cartesian product and those are not admissible. Shared between the
+/// inner DFS loop and the parallel depth-2 seeding so the two can never
+/// drift apart on the cost model.
+fn step<S: CostScalar>(
+    inst: &QoNInstance,
+    allow_cartesian: bool,
+    in_prefix: &BitSet,
+    prefix_len: usize,
+    n_x: &S,
+    j: usize,
+) -> Option<(S, S)> {
+    let mut w_min: Option<BigUint> = None;
+    let mut nbr_count = 0usize;
+    let mut new_n = n_x.mul(&S::from_count(&inst.sizes()[j]));
+    for k in inst.graph().neighbors(j).iter() {
+        if in_prefix.contains(k) {
+            nbr_count += 1;
+            let w = inst.w(j, k);
+            w_min = Some(match w_min {
+                None => w,
+                Some(cur) => cur.min(w),
+            });
+            new_n = new_n.mul(&S::from_ratio(&inst.selectivity().get(j, k)));
+        }
+    }
+    if nbr_count == 0 && !allow_cartesian {
+        return None;
+    }
+    if nbr_count < prefix_len {
+        let tj = inst.sizes()[j].clone();
+        w_min = Some(match w_min {
+            None => tj,
+            Some(cur) => cur.min(tj),
+        });
+    }
+    // analyze:allow(no-unwrap-in-lib) -- a nonempty prefix always yields a
+    // w_min: either a neighbour contributed or the default branch fired.
+    let delta = n_x.mul(&S::from_count(&w_min.expect("prefix nonempty")));
+    Some((new_n, delta))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -217,7 +347,7 @@ fn dfs<S: CostScalar>(
     in_prefix: &mut BitSet,
     n_x: S,
     cost: S,
-    best: &mut Option<(Vec<usize>, S)>,
+    best: &mut Option<Incumbent<S>>,
     budget: &Budget,
     shared: Option<&SharedBound>,
     stats: &mut SearchStats,
@@ -225,26 +355,37 @@ fn dfs<S: CostScalar>(
     let n = inst.n();
     budget.tick()?;
     stats.nodes += 1;
-    if let Some((_, b)) = best {
-        if cost >= *b {
+    if let Some(b) = best {
+        if cost >= b.cost {
             stats.bound_prunes += 1;
             return Ok(());
         }
     }
     if let Some(sb) = shared {
         // Another worker's exact incumbent, as a float bound with slack.
-        if cost.log2() > sb.get() + SHARED_BOUND_MARGIN_BITS {
+        // `cost.log2()` is an exact→float bridge (a BigRational bit scan),
+        // far too expensive per node; only pay for it when the shared
+        // bound is strictly tighter than our cached local incumbent —
+        // i.e. when it could prune something the local check above
+        // didn't. Soundness is unchanged: skipping the check never
+        // prunes, and the local exact compare already ran.
+        let sbv = sb.get();
+        let local = best.as_ref().map_or(f64::INFINITY, |b| b.log2);
+        if sbv + SHARED_BOUND_MARGIN_BITS < local
+            && cost.log2() > sbv + SHARED_BOUND_MARGIN_BITS
+        {
             stats.shared_prunes += 1;
             return Ok(());
         }
     }
     if prefix.len() == n {
-        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            let log2 = cost.log2();
             if let Some(sb) = shared {
-                sb.tighten(cost.log2());
+                sb.tighten(log2);
             }
             stats.incumbent_improvements += 1;
-            *best = Some((prefix.clone(), cost));
+            *best = Some(Incumbent { order: prefix.clone(), cost, log2 });
         }
         return Ok(());
     }
@@ -252,31 +393,11 @@ fn dfs<S: CostScalar>(
         if in_prefix.contains(j) {
             continue;
         }
-        let mut w_min: Option<BigUint> = None;
-        let mut nbr_count = 0usize;
-        let mut new_n = n_x.mul(&S::from_count(&inst.sizes()[j]));
-        for k in inst.graph().neighbors(j).iter() {
-            if in_prefix.contains(k) {
-                nbr_count += 1;
-                let w = inst.w(j, k);
-                w_min = Some(match w_min {
-                    None => w,
-                    Some(cur) => cur.min(w),
-                });
-                new_n = new_n.mul(&S::from_ratio(&inst.selectivity().get(j, k)));
-            }
-        }
-        if nbr_count == 0 && !allow_cartesian {
+        let Some((new_n, delta)) = step(inst, allow_cartesian, in_prefix, prefix.len(), &n_x, j)
+        else {
             continue;
-        }
-        if nbr_count < prefix.len() {
-            let tj = inst.sizes()[j].clone();
-            w_min = Some(match w_min {
-                None => tj,
-                Some(cur) => cur.min(tj),
-            });
-        }
-        let new_cost = cost.add(&n_x.mul(&S::from_count(&w_min.expect("prefix nonempty"))));
+        };
+        let new_cost = cost.add(&delta);
         prefix.push(j);
         in_prefix.insert(j);
         let outcome = dfs(

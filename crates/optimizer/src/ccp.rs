@@ -1,0 +1,231 @@
+//! DPccp: exact join ordering by connected-subgraph enumeration.
+//!
+//! Moerkotte & Neumann's DPccp observation, specialized to QO_N's
+//! left-deep sequences: under the no-cartesian-product rule a join
+//! sequence is feasible exactly when every prefix induces a *connected*
+//! subgraph of the query graph, so the subset DP of [`crate::dp`] /
+//! [`crate::engine`] only ever needs DP states for connected subgraphs.
+//! This tier enumerates them directly — breadth-first `csg` expansion of
+//! each frontier set `S` by its neighborhood `N(S)∖S` over the per-vertex
+//! neighbour bitmasks (the csg/cmp recurrence; for left-deep plans the
+//! complement part of each pair is the single joined-in vertex, so the
+//! `cmp` side degenerates into the neighbour scan of the DP transition) —
+//! and runs the engine's layer-parallel two-phase DP over just those
+//! states. A chain has `n(n+1)/2` connected subsets and a cycle
+//! `n(n−1)+1`, versus `2^n − 1` subsets overall: on the paper's §6 sparse
+//! families the state space collapses from exponential to quadratic, which
+//! is what pushes exact optimization past n=25 (see BENCH_optimizer.json
+//! `algo=ccp` rows).
+//!
+//! **Cartesian-free only.** With cartesian products admissible, an
+//! optimal sequence may pass through *disconnected* prefixes even on a
+//! connected graph (a star whose hub dwarfs its satellites: joining two
+//! cheap satellites first — a cartesian product — can undercut every
+//! connected order). Restricting to connected states would silently
+//! return a non-optimal "exact" answer, so this module simply does not
+//! accept an `allow_cartesian` flag; callers that need cartesian products
+//! use [`crate::engine`] (the driver reports `ccp` as unsupported for
+//! such configs rather than falling through to it).
+//!
+//! Shares the sparse-frontier machinery of [`crate::engine`]
+//! ([`crate::engine::FrontierMode::Connected`]), reporting under the
+//! `optimizer.ccp.*` counters; `optimizer.ccp.subsets_expanded` counts
+//! every connected subgraph the enumeration touches (singletons included),
+//! so it equals [`connected_subset_count`] exactly — property-tested
+//! against a brute-force connectivity scan in `tests/prop_ccp.rs`.
+
+use crate::engine::{nbr_masks, two_phase_impl, FrontierMode, Frontiers, Tier};
+use crate::Optimum;
+use aqo_core::budget::{Budget, BudgetExceeded};
+use aqo_core::qon::QoNInstance;
+use aqo_core::CostScalar;
+
+/// Hard cap on `n`: subset masks are `u32`. Unlike the all-subsets
+/// engine, nothing here is sized `2^n`, so the full mask width is usable
+/// — a 32-chain has 528 connected subsets. Larger instances need wider
+/// masks and a structured rejection upstream (driver/CLI), not silent
+/// wraparound.
+pub const MAX_N: usize = 32;
+
+/// Exact QO_N optimization over the cartesian-free sequence space by
+/// connected-subgraph DP: log-domain phase A for a candidate plan and
+/// pruning estimates, exact phase B in the caller's scalar `S`. Returns
+/// `None` when the query graph is disconnected (no cartesian-free
+/// sequence exists). Cost is identical to
+/// `dp::optimize::<S>(inst, false)` for every thread count.
+pub fn optimize_two_phase<S: CostScalar + Send + Sync>(
+    inst: &QoNInstance,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let n = inst.n();
+    assert!((1..=MAX_N).contains(&n), "ccp is for n in 1..={MAX_N}");
+    two_phase_impl(inst, FrontierMode::Connected, false, threads, budget, Tier::Ccp)
+}
+
+/// Number of connected subgraphs of the instance's query graph
+/// (singletons included) — the exact DP state count of this tier, and
+/// the value `optimizer.ccp.subsets_expanded` reports after a run.
+pub fn connected_subset_count(inst: &QoNInstance) -> u64 {
+    let nbr = nbr_masks(inst);
+    // analyze:allow(no-unwrap-in-lib) -- an unlimited budget never trips,
+    // so the build's only error path is unreachable here.
+    Frontiers::build(inst.n(), &nbr, FrontierMode::Connected, &Budget::unlimited())
+        .expect("unlimited budget")
+        .total_subsets()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use aqo_bignum::{BigInt, BigRational, BigUint, LogNum};
+    use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+    use aqo_graph::Graph;
+
+    fn instance_from_graph(g: Graph, seed: u64) -> QoNInstance {
+        let n = g.n();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let sizes: Vec<BigUint> = (0..n).map(|_| BigUint::from(2 + next() % 40)).collect();
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        for (u, v) in g.edges().collect::<Vec<_>>() {
+            let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 9));
+            s.set(u, v, sel.clone());
+            for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    }
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(v - 1, v);
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = chain(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    #[test]
+    fn connected_counts_on_closed_forms() {
+        // Chain: intervals only, n(n+1)/2. Cycle: n(n−1)+1. Clique: 2^n−1.
+        for n in [2usize, 5, 9, 14] {
+            let inst = instance_from_graph(chain(n), 1);
+            assert_eq!(connected_subset_count(&inst), (n * (n + 1) / 2) as u64);
+        }
+        for n in [3usize, 5, 9, 14] {
+            let inst = instance_from_graph(cycle(n), 1);
+            assert_eq!(connected_subset_count(&inst), (n * (n - 1) + 1) as u64);
+        }
+        let mut k = Graph::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                k.add_edge(u, v);
+            }
+        }
+        assert_eq!(connected_subset_count(&instance_from_graph(k, 1)), 31);
+    }
+
+    #[test]
+    fn matches_sequential_dp_on_chain_cycle_random() {
+        let mut graphs = vec![chain(7), cycle(7)];
+        for seed in 0..4u64 {
+            let mut state = seed * 9973 + 1;
+            let mut next = move || {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let mut g = chain(7);
+            for _ in 0..3 {
+                let u = (next() % 7) as usize;
+                let v = (next() % 7) as usize;
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            graphs.push(g);
+        }
+        for (gi, g) in graphs.into_iter().enumerate() {
+            let inst = instance_from_graph(g, gi as u64 + 3);
+            let oracle = dp::optimize::<BigRational>(&inst, false);
+            for threads in [1usize, 2, 4] {
+                let got =
+                    optimize_two_phase::<BigRational>(&inst, threads, &Budget::unlimited())
+                        .unwrap();
+                match (&oracle, &got) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.cost, b.cost, "graph {gi} threads {threads}");
+                        assert!(!inst.has_cartesian_product(&b.sequence));
+                        let recost: BigRational = inst.total_cost(&b.sequence);
+                        assert_eq!(recost, b.cost);
+                    }
+                    (None, None) => {}
+                    other => panic!("feasibility mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_infeasible() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(4, 5);
+        let inst = instance_from_graph(g, 11);
+        assert!(optimize_two_phase::<BigRational>(&inst, 2, &Budget::unlimited())
+            .unwrap()
+            .is_none());
+        assert_eq!(connected_subset_count(&inst), 9); // 6 singletons + 3 edges
+    }
+
+    #[test]
+    fn single_vertex_and_lognum_backend() {
+        let inst = instance_from_graph(Graph::new(1), 5);
+        let opt = optimize_two_phase::<BigRational>(&inst, 1, &Budget::unlimited())
+            .unwrap()
+            .unwrap();
+        assert!(opt.cost.is_zero());
+        let inst = instance_from_graph(chain(10), 7);
+        let log = optimize_two_phase::<LogNum>(&inst, 2, &Budget::unlimited())
+            .unwrap()
+            .unwrap();
+        let seq = dp::optimize::<LogNum>(&inst, false).unwrap();
+        assert!((log.cost.log2() - seq.cost.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expansion_cap_trips() {
+        let inst = instance_from_graph(chain(16), 13);
+        let budget = Budget::unlimited().with_max_expansions(50);
+        let err = optimize_two_phase::<BigRational>(&inst, 2, &budget).unwrap_err();
+        assert_eq!(err.kind, aqo_core::budget::BudgetKind::Expansions);
+    }
+
+    #[test]
+    fn large_chain_stays_cheap() {
+        // n=30 would be hopeless for the 2^n engine; the connected
+        // frontier holds only 465 states.
+        let inst = instance_from_graph(chain(30), 17);
+        let budget = Budget::unlimited();
+        let opt = optimize_two_phase::<BigRational>(&inst, 1, &budget).unwrap().unwrap();
+        let recost: BigRational = inst.total_cost(&opt.sequence);
+        assert_eq!(recost, opt.cost);
+        assert_eq!(connected_subset_count(&inst), 465);
+        // Frontier-sized tables: far below even one dense layer of 2^30.
+        assert!(budget.memory_charged() < 1 << 20, "{}", budget.memory_charged());
+    }
+}

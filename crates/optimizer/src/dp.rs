@@ -18,7 +18,7 @@ use aqo_core::qon::QoNInstance;
 use aqo_core::{CostScalar, JoinSequence};
 
 /// Hard cap on `n` (a `2^n` table is allocated).
-pub const MAX_N: usize = 24;
+pub const MAX_N: usize = 25;
 
 /// Exact optimum by subset DP.
 ///

@@ -1,4 +1,5 @@
-//! Parallel, allocation-lean two-phase subset-DP engine for QO_N.
+//! Parallel, allocation-lean two-phase subset-DP engine for QO_N over
+//! sparse per-layer frontiers.
 //!
 //! The classic subset DP in [`crate::dp`] is exact but single-threaded and
 //! clones big-number scalars in its `O(2^n · n²)` inner loop. This engine
@@ -12,25 +13,38 @@
 //!    reading only the previous layer. Every target is written by exactly
 //!    one worker (disjoint `&mut` chunks of a layer buffer), so results
 //!    are bit-identical for every thread count.
-//! 2. **Incremental min-weight-into-prefix table.** Instead of rescanning
-//!    `min_{k ∈ S} w*(j,k)` per transition, the engine maintains, per
-//!    prefix `S` of the previous layer, the row `M[S][j]` via
-//!    `M[S][j] = min(M[S∖{lowest}][j], w*(j, lowest))` — one comparison
-//!    per relation per subset instead of one scan per transition (where
-//!    `w*(j,k) = w(j,k)` on query-graph edges and the default `t_j`
-//!    otherwise, exactly the cost model's access-path rule).
+//! 2. **Sparse per-layer frontiers.** Cost tables are per-layer vectors
+//!    aligned with a sorted frontier of subset masks, not dense `2^n`
+//!    arrays. The frontier is built in one of two modes
+//!    ([`FrontierMode`]): *all subsets* when cartesian products are
+//!    admissible (every subset is reachable), or *connected subgraphs
+//!    only* — grown by neighborhood-restricted breadth-first `csg`
+//!    expansion à la DPccp (Moerkotte–Neumann) — when they are not, since
+//!    under the no-cartesian rule exactly the connected subsets are
+//!    reachable. On the paper's §6 sparse families that collapses the
+//!    table from `2^n` to `O(n²)` entries. Predecessor ranks come from
+//!    the combinatorial number system (all-subsets mode, `O(k)` for all
+//!    `k` predecessors of a target together) or a binary search in the
+//!    sorted previous layer (connected mode) — no dense mask→rank table.
 //! 3. **Two-phase costing.** Phase A runs the whole DP in the `f64`
 //!    log-domain [`LogNum`] scalar, producing a candidate plan and, per
-//!    subset, a log-domain estimate of the cheapest way to reach it.
-//!    Phase B re-runs the DP in the caller's exact scalar, but *prunes*
-//!    every subset whose phase-A estimate exceeds the exact candidate
-//!    cost by more than [`PRUNE_MARGIN_BITS`] — on realistic instances
-//!    this skips the vast majority of subsets, eliminating almost all
-//!    big-number arithmetic while provably returning the true optimum
-//!    (see DESIGN.md §9 for the safety argument: phase-A error is bounded
-//!    far below the margin, and costs only grow along a sequence, so a
-//!    subset estimated more than the margin above the incumbent cannot
-//!    prefix any plan that beats the incumbent).
+//!    frontier entry, a log-domain estimate of the cheapest way to reach
+//!    it. Phase B re-runs the DP in the caller's exact scalar, but
+//!    *prunes* every subset whose phase-A estimate exceeds the exact
+//!    candidate cost by more than [`PRUNE_MARGIN_BITS`] — on realistic
+//!    instances this skips the vast majority of subsets, eliminating
+//!    almost all big-number arithmetic while provably returning the true
+//!    optimum (see DESIGN.md §9 and §13 for the safety argument: phase-A
+//!    error is bounded far below the margin, and costs only grow along a
+//!    sequence, so a subset estimated more than the margin above the
+//!    incumbent cannot prefix any plan that beats the incumbent).
+//!
+//! The per-transition access cost `min_{k ∈ S} w*(j,k)` is computed
+//! directly from the neighbour bitmasks — `w(j,k)` over `nbr(j) ∩ S`,
+//! with the default `t_j` competing whenever `S` holds a non-neighbour of
+//! `j` — instead of through the incremental min-weight tables the dense
+//! engine used to carry (two `widest·n` [`LogNum`] generations, the
+//! dominant share of its 2.5× memory overhead over the sequential DP).
 //!
 //! Cancellation and deadlines keep working mid-layer: every worker ticks
 //! the shared [`Budget`] (atomic interior) and unwinds with
@@ -44,12 +58,14 @@ use aqo_core::parallel::{par_chunks_zip, resolve_threads};
 use aqo_core::qon::QoNInstance;
 use aqo_core::{CostScalar, JoinSequence};
 
-/// Hard cap on `n`, same as the sequential DP (a `2^n` table is allocated).
+/// Hard cap on `n` for the all-subsets mode, same as the sequential DP
+/// (a `2^n` frontier is materialized). The connected mode is capped by
+/// the mask width instead ([`crate::ccp::MAX_N`]).
 pub const MAX_N: usize = crate::dp::MAX_N;
 
 /// Safety margin, in bits, added to the exact incumbent's log₂ cost when
 /// phase B prunes on phase-A estimates. Accumulated `f64` log-domain error
-/// over a DP path is below `n · 2⁻⁴⁰` bits for `n ≤ MAX_N` — more than
+/// over a DP path is below `n · 2⁻⁴⁰` bits for `n ≤ 32` — more than
 /// nine orders of magnitude smaller than this margin — so no subset on an
 /// optimal path is ever pruned.
 pub const PRUNE_MARGIN_BITS: f64 = 0.5;
@@ -69,44 +85,241 @@ impl Default for DpOptions {
     }
 }
 
-/// All `2^n − 1` nonempty subset masks grouped by popcount ("layer"),
-/// ascending within each layer.
-struct Layers {
-    masks: Vec<u32>,
-    offsets: Vec<usize>,
+/// How the per-layer frontiers are populated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FrontierMode {
+    /// Every nonempty subset, grouped by popcount (cartesian products
+    /// admissible: all of them are reachable).
+    AllSubsets,
+    /// Connected subgraphs only, grown by breadth-first neighborhood
+    /// expansion (the reachable prefixes under the no-cartesian rule).
+    Connected,
 }
 
-impl Layers {
-    fn build(n: usize) -> Layers {
-        let full = (1usize << n) - 1;
-        let mut counts = vec![0usize; n + 1];
-        for m in 1..=full {
-            counts[m.count_ones() as usize] += 1;
+/// Which counter family a run reports under: the engine entry points or
+/// the DPccp tier ([`crate::ccp`]). Both share this machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Tier {
+    Engine,
+    Ccp,
+}
+
+impl Tier {
+    fn record_run(self) {
+        match self {
+            Tier::Engine => aqo_obs::counter_handle!("optimizer.engine.runs").inc(),
+            Tier::Ccp => aqo_obs::counter_handle!("optimizer.ccp.runs").inc(),
         }
-        let mut offsets = vec![0usize; n + 2];
-        for k in 1..=n {
-            offsets[k + 1] = offsets[k] + counts[k];
-        }
-        let mut masks = vec![0u32; full];
-        let mut cursor: Vec<usize> = offsets[..=n].to_vec();
-        for m in 1..=full {
-            let k = m.count_ones() as usize;
-            masks[cursor[k]] = m as u32;
-            cursor[k] += 1;
-        }
-        Layers { masks, offsets }
     }
 
-    fn layer(&self, k: usize) -> &[u32] {
-        &self.masks[self.offsets[k]..self.offsets[k + 1]]
+    fn record_log_layer(self, width: usize, k: usize) {
+        match self {
+            Tier::Engine => {
+                aqo_obs::counter_handle!("optimizer.engine.subsets_expanded").add(width as u64);
+                aqo_obs::counter_handle!("optimizer.engine.transitions").add((width * k) as u64);
+            }
+            Tier::Ccp => {
+                aqo_obs::counter_handle!("optimizer.ccp.subsets_expanded").add(width as u64);
+                aqo_obs::counter_handle!("optimizer.ccp.transitions").add((width * k) as u64);
+            }
+        }
     }
 
-    fn widest_layer(&self) -> usize {
-        (1..self.offsets.len() - 1)
-            .map(|k| self.offsets[k + 1] - self.offsets[k])
-            .max()
-            .unwrap_or(0)
+    /// The ccp tier counts singletons too, so its expansion total equals
+    /// the number of connected subgraphs of the query graph exactly.
+    fn record_singletons(self, n: usize) {
+        if let Tier::Ccp = self {
+            aqo_obs::counter_handle!("optimizer.ccp.subsets_expanded").add(n as u64);
+        }
     }
+
+    fn record_exact_layer(self, recosted: u64, pruned: u64) {
+        match self {
+            Tier::Engine => {
+                aqo_obs::counter_handle!("optimizer.engine.exact_recosts").add(recosted);
+                aqo_obs::counter_handle!("optimizer.engine.pruned").add(pruned);
+            }
+            Tier::Ccp => {
+                aqo_obs::counter_handle!("optimizer.ccp.exact_recosts").add(recosted);
+                aqo_obs::counter_handle!("optimizer.ccp.pruned").add(pruned);
+            }
+        }
+    }
+}
+
+/// Pascal's triangle up to `n`, backing the combinatorial-number-system
+/// subset ranking that replaced the dense mask→rank table.
+pub(crate) struct Binom {
+    w: usize,
+    c: Vec<u32>,
+}
+
+impl Binom {
+    pub(crate) fn build(n: usize) -> Binom {
+        let w = n + 1;
+        let mut c = vec![0u32; w * w];
+        c[0] = 1;
+        for p in 1..=n {
+            c[p * w] = 1;
+            for i in 1..=p {
+                let up = c[(p - 1) * w + i - 1];
+                let left = if i < p { c[(p - 1) * w + i] } else { 0 };
+                c[p * w + i] = up + left;
+            }
+        }
+        Binom { w, c }
+    }
+
+    #[inline]
+    fn c(&self, p: usize, i: usize) -> u32 {
+        if i > p {
+            0
+        } else {
+            self.c[p * self.w + i]
+        }
+    }
+}
+
+/// Per-layer subset frontiers: `layers[k]` holds the masks the DP visits
+/// at popcount `k`, sorted ascending. Cost tables are vectors aligned
+/// with these frontiers, so their size tracks the *reachable* state
+/// space, not `2^n`.
+pub(crate) struct Frontiers {
+    mode: FrontierMode,
+    layers: Vec<Vec<u32>>,
+}
+
+impl Frontiers {
+    /// Builds the frontiers for `n` relations with per-vertex neighbour
+    /// bitmasks `nbr`. Every layer's bytes are charged against the budget
+    /// before allocation; construction checkpoints (deadline/cancel) per
+    /// layer but does not consume expansion ticks — only DP transitions
+    /// do.
+    pub(crate) fn build(
+        n: usize,
+        nbr: &[u32],
+        mode: FrontierMode,
+        budget: &Budget,
+    ) -> Result<Frontiers, BudgetExceeded> {
+        let mut layers: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        layers[1] = (0..n).map(|v| 1u32 << v).collect();
+        budget.charge_memory((n * 4) as u64)?;
+        match mode {
+            FrontierMode::AllSubsets => {
+                let full = (1usize << n) - 1;
+                budget.charge_memory((full * 4) as u64)?;
+                budget.checkpoint()?;
+                let binom = Binom::build(n);
+                for (k, layer) in layers.iter_mut().enumerate().skip(2) {
+                    layer.reserve_exact(binom.c(n, k) as usize);
+                }
+                for m in (1..=full).map(|m| m as u32) {
+                    let k = m.count_ones() as usize;
+                    if k >= 2 {
+                        layers[k].push(m);
+                    }
+                }
+            }
+            FrontierMode::Connected => {
+                for k in 1..n {
+                    budget.checkpoint()?;
+                    // Candidate count first, so the expansion buffer is
+                    // charged before it is allocated.
+                    let mut cand = 0usize;
+                    for &s in &layers[k] {
+                        cand += (nbr_union(nbr, s) & !s).count_ones() as usize;
+                    }
+                    budget.charge_memory((cand * 4) as u64)?;
+                    let mut next: Vec<u32> = Vec::with_capacity(cand);
+                    for &s in &layers[k] {
+                        let mut ext = nbr_union(nbr, s) & !s;
+                        while ext != 0 {
+                            let j = ext.trailing_zeros();
+                            ext &= ext - 1;
+                            next.push(s | 1 << j);
+                        }
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    if next.is_empty() {
+                        break; // disconnected graph: no larger subgraph
+                    }
+                    layers[k + 1] = next;
+                }
+            }
+        }
+        Ok(Frontiers { mode, layers })
+    }
+
+    pub(crate) fn layer(&self, k: usize) -> &[u32] {
+        &self.layers[k]
+    }
+
+    /// Total frontier entries across all layers (singletons included).
+    pub(crate) fn total_subsets(&self) -> u64 {
+        self.layers.iter().map(|l| l.len() as u64).sum()
+    }
+}
+
+/// Union of the neighbour masks over the members of `s`.
+#[inline]
+fn nbr_union(nbr: &[u32], s: u32) -> u32 {
+    let mut acc = 0u32;
+    let mut b = s;
+    while b != 0 {
+        let v = b.trailing_zeros() as usize;
+        b &= b - 1;
+        acc |= nbr[v];
+    }
+    acc
+}
+
+/// Writes, for each set bit `b_i` of `t` (ascending), the rank of
+/// `t ∖ {b_i}` in the previous layer into `out[i]`, or `u32::MAX` when
+/// that subset is not on the frontier (a cut vertex in connected mode).
+/// Returns the popcount of `t`.
+///
+/// All-subsets mode needs no search: the rank of a `k`-subset in the
+/// ascending order is its combinatorial number system value
+/// `Σ C(b_i, i+1)`, and removing `b_i` keeps the prefix terms while the
+/// suffix bits each drop one index — two running sums give all `k`
+/// predecessor ranks in `O(k)`.
+fn pred_ranks(
+    mode: FrontierMode,
+    binom: &Binom,
+    prev_layer: &[u32],
+    t: u32,
+    out: &mut [u32; 32],
+) -> usize {
+    let mut bits = [0u8; 32];
+    let mut k = 0usize;
+    let mut b = t;
+    while b != 0 {
+        bits[k] = b.trailing_zeros() as u8;
+        b &= b - 1;
+        k += 1;
+    }
+    match mode {
+        FrontierMode::AllSubsets => {
+            let mut suf = 0u32;
+            for i in (0..k).rev() {
+                out[i] = suf;
+                suf += binom.c(bits[i] as usize, i);
+            }
+            let mut pre = 0u32;
+            for (i, &bi) in bits[..k].iter().enumerate() {
+                out[i] += pre;
+                pre += binom.c(bi as usize, i + 1);
+            }
+        }
+        FrontierMode::Connected => {
+            for (i, &bi) in bits[..k].iter().enumerate() {
+                let s = t & !(1u32 << bi);
+                out[i] = prev_layer.binary_search(&s).map_or(u32::MAX, |r| r as u32);
+            }
+        }
+    }
+    k
 }
 
 /// Precomputed log-domain view of an instance: neighbour bitmasks and the
@@ -150,30 +363,11 @@ impl LogView {
     }
 }
 
-/// Phase-A output: per-subset log-domain cost estimates (`+inf` =
-/// unreachable) and the winning predecessor per subset.
+/// Phase-A output: per-layer log-domain cost estimates, frontier-aligned,
+/// and the winning predecessor per entry.
 struct LogDp {
-    dp: Vec<LogNum>,
-    parent: Vec<u8>,
-}
-
-impl LogDp {
-    fn reconstruct(&self, n: usize) -> Option<JoinSequence> {
-        let full = (1usize << n) - 1;
-        if self.dp[full].log2() == f64::INFINITY {
-            return None;
-        }
-        let mut order = Vec::with_capacity(n);
-        let mut mask = full;
-        while mask.count_ones() > 1 {
-            let j = self.parent[mask] as usize;
-            order.push(j);
-            mask &= !(1 << j);
-        }
-        order.push(mask.trailing_zeros() as usize);
-        order.reverse();
-        Some(JoinSequence::new(order))
-    }
+    dp: Vec<Vec<LogNum>>,
+    parent: Vec<Vec<u8>>,
 }
 
 #[inline]
@@ -181,97 +375,134 @@ fn unreached(v: LogNum) -> bool {
     v.log2() == f64::INFINITY
 }
 
-/// Phase A: the full subset DP in log domain, layer-parallel, with the
-/// incremental min-weight-into-prefix table.
+/// Walks parent pointers down the frontiers from the full set. `None`
+/// when the full set never made it onto the frontier (disconnected graph
+/// in connected mode) or was never reached.
+fn reconstruct_order(frontiers: &Frontiers, parent: &[Vec<u8>], n: usize) -> Option<JoinSequence> {
+    if frontiers.layer(n).is_empty() {
+        return None;
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut mask = frontiers.layer(n)[0];
+    let mut rank = 0usize;
+    for k in (2..=n).rev() {
+        let j = parent[k][rank];
+        if j == u8::MAX {
+            return None;
+        }
+        order.push(j as usize);
+        mask &= !(1u32 << j);
+        rank = frontiers.layer(k - 1).binary_search(&mask).ok()?;
+    }
+    order.push(mask.trailing_zeros() as usize);
+    order.reverse();
+    Some(JoinSequence::new(order))
+}
+
+/// `min_{k ∈ S} w*(j,k)` straight off the neighbour bitmask: edges of `j`
+/// inside `s` contribute `w(j,k)`; any non-neighbour in `s` lets the
+/// default access path `t_j` compete. Replaces the dense engine's
+/// incremental min-weight tables.
+#[inline]
+fn wmin_log(view: &LogView, n: usize, j: usize, s: u32) -> LogNum {
+    let mut wmin = LogNum::INFINITY;
+    let mut bits = view.nbr[j] & s;
+    while bits != 0 {
+        let k = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        wmin = wmin.min(view.wlog[j * n + k]);
+    }
+    if s & !view.nbr[j] != 0 {
+        wmin = wmin.min(view.tlog[j]);
+    }
+    wmin
+}
+
+/// Phase A: the subset DP in log domain over the sparse frontiers,
+/// layer-parallel.
 fn log_phase(
     inst: &QoNInstance,
-    layers: &Layers,
+    frontiers: &Frontiers,
     allow_cartesian: bool,
     threads: usize,
     budget: &Budget,
+    tier: Tier,
 ) -> Result<LogDp, BudgetExceeded> {
     let _span = aqo_obs::span("engine.log_phase");
     let n = inst.n();
-    let full = (1usize << n) - 1;
     let view = LogView::build(inst);
-    let widest = layers.widest_layer();
-
-    // Charge every table this phase allocates — the shared 2^n arrays AND
-    // the per-layer worker scratch (result buffer + two min-weight table
-    // generations) — before allocating anything.
-    let scratch_bytes = widest * std::mem::size_of::<(LogNum, LogNum, u8)>()
-        + 2 * widest * n * std::mem::size_of::<LogNum>();
-    let table_bytes = (full + 1) * (2 * std::mem::size_of::<LogNum>() + 1 + 4)
-        + layers.masks.len() * 4
-        + (2 * n * n + n) * std::mem::size_of::<LogNum>();
-    budget.charge_memory((table_bytes + scratch_bytes) as u64)?;
+    let binom = Binom::build(n);
+    // The n×n log-domain view tables, charged before the layer loop.
+    budget.charge_memory(((2 * n * n + n) * std::mem::size_of::<LogNum>()) as u64)?;
     budget.checkpoint()?;
 
-    let mut dp = vec![LogNum::INFINITY; full + 1];
-    let mut nlog = vec![LogNum::ZERO; full + 1];
-    let mut parent = vec![u8::MAX; full + 1];
-    // Layer 1 + its min-weight rows: M[{v}][j] = w*(j, v).
-    let mut m_prev: Vec<LogNum> = vec![LogNum::INFINITY; n * n];
-    for v in 0..n {
-        dp[1 << v] = LogNum::ZERO;
-        nlog[1 << v] = view.tlog[v];
-        for j in 0..n {
-            m_prev[v * n + j] = view.wlog[j * n + v];
-        }
-    }
-    let mut m_cur: Vec<LogNum> = Vec::new();
+    let mut dp_layers: Vec<Vec<LogNum>> = vec![Vec::new(); n + 1];
+    let mut parent_layers: Vec<Vec<u8>> = vec![Vec::new(); n + 1];
+    dp_layers[1] = vec![LogNum::ZERO; n];
+    parent_layers[1] = vec![u8::MAX; n];
+    let mut nlog_prev: Vec<LogNum> = view.tlog.clone();
+    let mut nlog_cur: Vec<LogNum> = Vec::new();
     let mut results: Vec<(LogNum, LogNum, u8)> = Vec::new();
-    // Direct mask → index-within-its-layer table: replaces a binary search
-    // per predecessor in the hot loop with one array read. Refilled for the
-    // new "previous" layer between layers (one pass over 2^n total).
-    let mut pos = vec![0u32; full + 1];
-    for (i, &m) in layers.layer(1).iter().enumerate() {
-        pos[m as usize] = i as u32;
-    }
+    let mut scratch_charged = 0usize;
+    tier.record_singletons(n);
 
     for k in 2..=n {
-        let targets = layers.layer(k);
+        let targets = frontiers.layer(k);
+        if targets.is_empty() {
+            break; // connected mode on a disconnected graph
+        }
+        let width = targets.len();
+        // Persistent per-layer tables plus the reusable worker scratch
+        // (results + the rolling N(S) buffer), charged before resizing.
+        let persist = width * (std::mem::size_of::<LogNum>() + 1);
+        let scratch = width
+            * (std::mem::size_of::<(LogNum, LogNum, u8)>() + std::mem::size_of::<LogNum>());
+        let grow = scratch.saturating_sub(scratch_charged);
+        budget.charge_memory((persist + grow) as u64)?;
+        scratch_charged = scratch_charged.max(scratch);
         results.clear();
-        results.resize(targets.len(), (LogNum::INFINITY, LogNum::ZERO, u8::MAX));
-        m_cur.clear();
-        m_cur.resize(targets.len() * n, LogNum::INFINITY);
+        results.resize(width, (LogNum::INFINITY, LogNum::ZERO, u8::MAX));
+        let dp_prev: &[LogNum] = &dp_layers[k - 1];
+        let prev_layer = frontiers.layer(k - 1);
 
-        par_layer(threads, targets, &mut results, &mut m_cur, n, |ts, res, rows| {
+        par_chunks_zip(threads, targets, &mut results, |_, ts, res| {
+            let mut ranks = [u32::MAX; 32];
             for (i, &tm) in ts.iter().enumerate() {
                 budget.tick_n(k as u64)?;
-                let t = tm as usize;
-                let lb = tm.trailing_zeros() as usize;
-                let s0 = t & (t - 1);
-                // Min-weight row for T from the canonical parent T∖{lowest}.
-                let p0 = pos[s0] as usize * n;
-                let row = &mut rows[i * n..(i + 1) * n];
-                for (j, r) in row.iter_mut().enumerate() {
-                    *r = m_prev[p0 + j].min(view.wlog[j * n + lb]);
-                }
-                // N(T), order-invariant, from the same canonical parent.
-                let mut nl = nlog[s0] * view.tlog[lb];
-                let mut bits = view.nbr[lb] & s0 as u32;
-                while bits != 0 {
-                    let kk = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    nl = nl * view.slog[lb * n + kk];
-                }
-                // Relax over every last-joined relation j ∈ T.
+                let kk = pred_ranks(frontiers.mode, &binom, prev_layer, tm, &mut ranks);
+                // N(T), order-invariant, from the canonical parent: the
+                // lowest removed bit whose remainder is on the frontier
+                // (in all-subsets mode that is always the lowest bit).
+                let mut nl = LogNum::ZERO;
                 let mut best = LogNum::INFINITY;
                 let mut bj = u8::MAX;
+                let mut canonical = false;
                 let mut tb = tm;
-                while tb != 0 {
+                for &r in &ranks[..kk] {
                     let j = tb.trailing_zeros() as usize;
                     tb &= tb - 1;
-                    let s = t & !(1 << j);
-                    if unreached(dp[s]) {
+                    if r == u32::MAX {
+                        continue; // T∖{j} is off the frontier (cut vertex)
+                    }
+                    let s = tm & !(1u32 << j);
+                    if !canonical {
+                        canonical = true;
+                        nl = nlog_prev[r as usize] * view.tlog[j];
+                        let mut bits = view.nbr[j] & s;
+                        while bits != 0 {
+                            let v = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            nl = nl * view.slog[j * n + v];
+                        }
+                    }
+                    let d = dp_prev[r as usize];
+                    if unreached(d) {
                         continue;
                     }
-                    if !allow_cartesian && view.nbr[j] & s as u32 == 0 {
+                    if !allow_cartesian && view.nbr[j] & s == 0 {
                         continue;
                     }
-                    let wmin = m_prev[pos[s] as usize * n + j];
-                    let cand = dp[s] + nlog[s] * wmin;
+                    let cand = d + nlog_prev[r as usize] * wmin_log(&view, n, j, s);
                     if cand < best {
                         best = cand;
                         bj = j as u8;
@@ -282,21 +513,23 @@ fn log_phase(
             Ok(())
         })?;
 
-        for (i, &tm) in targets.iter().enumerate() {
-            let (c, nl, pj) = results[i];
-            dp[tm as usize] = c;
-            nlog[tm as usize] = nl;
-            parent[tm as usize] = pj;
-            pos[tm as usize] = i as u32;
+        nlog_cur.clear();
+        nlog_cur.reserve(width);
+        let mut dp_k = Vec::with_capacity(width);
+        let mut parent_k = Vec::with_capacity(width);
+        for &(c, nl, pj) in &results {
+            dp_k.push(c);
+            nlog_cur.push(nl);
+            parent_k.push(pj);
         }
-        std::mem::swap(&mut m_prev, &mut m_cur);
+        dp_layers[k] = dp_k;
+        parent_layers[k] = parent_k;
+        std::mem::swap(&mut nlog_prev, &mut nlog_cur);
         // Layer stats are pure functions of the layer geometry, recorded
         // once per layer on the coordinating thread — deterministic for
         // every thread count, zero cost inside the worker hot loop.
         if aqo_obs::enabled() {
-            let width = targets.len();
-            aqo_obs::counter_handle!("optimizer.engine.subsets_expanded").add(width as u64);
-            aqo_obs::counter_handle!("optimizer.engine.transitions").add((width * k) as u64);
+            tier.record_log_layer(width, k);
             let chunk = width.div_ceil(threads.max(1));
             let chunks = if chunk >= width { 1 } else { width.div_ceil(chunk) };
             aqo_obs::journal::event(
@@ -310,52 +543,7 @@ fn log_phase(
             );
         }
     }
-    Ok(LogDp { dp, parent })
-}
-
-/// Runs `f(targets_chunk, results_chunk, mrows_chunk)` over aligned chunks
-/// of a layer on scoped workers; `mrows` carries `n` entries per target.
-fn par_layer<E: Send>(
-    threads: usize,
-    targets: &[u32],
-    results: &mut [(LogNum, LogNum, u8)],
-    mrows: &mut [LogNum],
-    n: usize,
-    f: impl Fn(&[u32], &mut [(LogNum, LogNum, u8)], &mut [LogNum]) -> Result<(), E> + Sync,
-) -> Result<(), E> {
-    if targets.is_empty() {
-        return Ok(());
-    }
-    let chunk = targets.len().div_ceil(threads.max(1));
-    if chunk >= targets.len() {
-        return f(targets, results, mrows);
-    }
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut handles = Vec::new();
-        for ((tc, rc), mc) in
-            targets.chunks(chunk).zip(results.chunks_mut(chunk)).zip(mrows.chunks_mut(chunk * n))
-        {
-            handles.push(scope.spawn(move || f(tc, rc, mc)));
-        }
-        let mut result = Ok(());
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for h in handles {
-            match h.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    if result.is_ok() {
-                        result = Err(e);
-                    }
-                }
-                Err(p) => panic = Some(p),
-            }
-        }
-        if let Some(p) = panic {
-            std::panic::resume_unwind(p);
-        }
-        result
-    })
+    Ok(LogDp { dp: dp_layers, parent: parent_layers })
 }
 
 /// Precomputed exact-scalar view: `t_j`, `w*(j,k)`, and edge selectivities
@@ -391,93 +579,122 @@ impl<S: CostScalar> ExactView<S> {
     }
 }
 
-/// Phase B: the exact DP, layer-parallel, skipping every subset whose
-/// phase-A estimate exceeds `bound_log2`.
+/// Phase B: the exact DP over the same frontiers, layer-parallel,
+/// skipping every entry whose phase-A estimate exceeds `bound_log2`.
 #[allow(clippy::too_many_arguments)]
 fn exact_phase<S: CostScalar + Send + Sync>(
     inst: &QoNInstance,
-    layers: &Layers,
+    frontiers: &Frontiers,
     allow_cartesian: bool,
     threads: usize,
     budget: &Budget,
-    prune: Option<(&[LogNum], f64)>,
+    prune: Option<(&[Vec<LogNum>], f64)>,
     nbr: &[u32],
+    tier: Tier,
 ) -> Result<Option<Optimum<S>>, BudgetExceeded> {
     let _span = aqo_obs::span("engine.exact_phase");
     let n = inst.n();
-    let full = (1usize << n) - 1;
-    let widest = layers.widest_layer();
+    let binom = Binom::build(n);
     let entry = std::mem::size_of::<Option<S>>();
-    let table_bytes = (full + 1) * (2 * entry + 1)
-        + widest * std::mem::size_of::<Option<(S, S, u8)>>()
-        + (2 * n * n + n) * entry;
-    budget.charge_memory(table_bytes as u64)?;
+    budget.charge_memory(((2 * n * n + n) * entry) as u64)?;
     budget.checkpoint()?;
 
     let view = ExactView::<S>::build(inst);
-    let mut dp: Vec<Option<S>> = vec![None; full + 1];
-    let mut nsize: Vec<Option<S>> = vec![None; full + 1];
-    let mut parent = vec![u8::MAX; full + 1];
-    for v in 0..n {
-        dp[1 << v] = Some(S::zero());
-        nsize[1 << v] = Some(S::from_count(&inst.sizes()[v]));
-    }
+    let mut dp_prev: Vec<Option<S>> = (0..n).map(|_| Some(S::zero())).collect();
+    let mut ns_prev: Vec<Option<S>> =
+        inst.sizes().iter().map(|t| Some(S::from_count(t))).collect();
+    let mut parent_layers: Vec<Vec<u8>> = vec![Vec::new(); n + 1];
+    parent_layers[1] = vec![u8::MAX; n];
     let mut results: Vec<Option<(S, S, u8)>> = Vec::new();
+    let mut scratch_charged = 0usize;
 
     for k in 2..=n {
-        let targets = layers.layer(k);
+        let targets = frontiers.layer(k);
+        if targets.is_empty() {
+            return Ok(None);
+        }
+        let width = targets.len();
+        let persist = width * (2 * entry + 1);
+        let scratch = width * std::mem::size_of::<Option<(S, S, u8)>>();
+        let grow = scratch.saturating_sub(scratch_charged);
+        budget.charge_memory((persist + grow) as u64)?;
+        scratch_charged = scratch_charged.max(scratch);
         results.clear();
-        results.resize(targets.len(), None);
+        results.resize(width, None);
+        let prev_layer = frontiers.layer(k - 1);
+        let est = prune.map(|(layers, bound)| (&layers[k], bound));
 
-        par_chunks_zip(threads, targets, &mut results, |_, ts, res| {
+        par_chunks_zip(threads, targets, &mut results, |offset, ts, res| {
+            let mut ranks = [u32::MAX; 32];
             for (i, &tm) in ts.iter().enumerate() {
-                let t = tm as usize;
-                if let Some((est, bound)) = prune {
-                    if est[t].log2() > bound {
+                if let Some((est, bound)) = est {
+                    if est[offset + i].log2() > bound {
                         budget.tick_n(1)?;
                         continue; // provably off every improving path
                     }
                 }
                 budget.tick_n(k as u64)?;
+                let kk = pred_ranks(frontiers.mode, &binom, prev_layer, tm, &mut ranks);
                 let mut best: Option<(S, u8)> = None;
                 let mut tb = tm;
-                while tb != 0 {
+                for &r in &ranks[..kk] {
                     let j = tb.trailing_zeros() as usize;
                     tb &= tb - 1;
-                    let s = t & !(1 << j);
-                    let Some(dps) = dp[s].as_ref() else { continue };
-                    if !allow_cartesian && nbr[j] & s as u32 == 0 {
+                    if r == u32::MAX {
                         continue;
                     }
-                    let ns = nsize[s].as_ref().expect("N(S) set with dp");
+                    let Some(dps) = dp_prev[r as usize].as_ref() else { continue };
+                    let s = tm & !(1u32 << j);
+                    if !allow_cartesian && nbr[j] & s == 0 {
+                        continue;
+                    }
+                    // analyze:allow(no-unwrap-in-lib) -- dp and ns entries
+                    // are written together; a reached dp without its N(S)
+                    // is a programming error, not a runtime condition.
+                    let ns = ns_prev[r as usize].as_ref().expect("N(S) set with dp");
                     // min_{k ∈ S} w*(j,k), by reference: zero clones.
-                    let mut sb = s as u32;
-                    let k0 = sb.trailing_zeros() as usize;
-                    sb &= sb - 1;
-                    let mut wmin = &view.wexs[j * n + k0];
-                    while sb != 0 {
-                        let kk = sb.trailing_zeros() as usize;
-                        sb &= sb - 1;
-                        let w = &view.wexs[j * n + kk];
-                        if w < wmin {
-                            wmin = w;
+                    let mut wmin: Option<&S> = None;
+                    let mut bits = nbr[j] & s;
+                    while bits != 0 {
+                        let v = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let w = &view.wexs[j * n + v];
+                        if wmin.is_none_or(|cur| w < cur) {
+                            wmin = Some(w);
                         }
                     }
-                    let cand = dps.add(&ns.mul(wmin));
+                    if s & !nbr[j] != 0 {
+                        let tj = &view.ts[j];
+                        if wmin.is_none_or(|cur| tj < cur) {
+                            wmin = Some(tj);
+                        }
+                    }
+                    // analyze:allow(no-unwrap-in-lib) -- `s` has k−1 ≥ 1
+                    // members, and every member feeds wmin through its
+                    // edge or the non-neighbour default branch.
+                    let cand = dps.add(&ns.mul(wmin.expect("prefix nonempty")));
                     if best.as_ref().is_none_or(|(b, _)| cand < *b) {
                         best = Some((cand, j as u8));
                     }
                 }
+                // analyze:allow(no-unwrap-in-lib) -- the winning parent's
+                // rank and N(S) both exist by construction: `j` won the
+                // min over exactly the predecessors found on the frontier.
                 res[i] = best.map(|(cost, j)| {
                     // N(T) once per subset, from the winning parent only.
-                    let s = t & !(1 << j as usize);
+                    let s = tm & !(1u32 << j);
+                    let r = match frontiers.mode {
+                        FrontierMode::AllSubsets | FrontierMode::Connected => prev_layer
+                            .binary_search(&s)
+                            .expect("winning parent is on the frontier"),
+                    };
                     let mut nn =
-                        nsize[s].as_ref().expect("winner has N(S)").mul(&view.ts[j as usize]);
-                    let mut bits = nbr[j as usize] & s as u32;
+                        ns_prev[r].as_ref().expect("winner has N(S)").mul(&view.ts[j as usize]);
+                    let mut bits = nbr[j as usize] & s;
                     while bits != 0 {
-                        let kk = bits.trailing_zeros() as usize;
+                        let v = bits.trailing_zeros() as usize;
                         bits &= bits - 1;
-                        nn = nn.mul(&view.sels[j as usize * n + kk]);
+                        nn = nn.mul(&view.sels[j as usize * n + v]);
                     }
                     (cost, nn, j)
                 });
@@ -485,38 +702,50 @@ fn exact_phase<S: CostScalar + Send + Sync>(
             Ok(())
         })?;
 
-        for (i, &tm) in targets.iter().enumerate() {
-            if let Some((c, nn, pj)) = results[i].take() {
-                dp[tm as usize] = Some(c);
-                nsize[tm as usize] = Some(nn);
-                parent[tm as usize] = pj;
+        let mut dp_k: Vec<Option<S>> = Vec::with_capacity(width);
+        let mut ns_k: Vec<Option<S>> = Vec::with_capacity(width);
+        let mut parent_k = Vec::with_capacity(width);
+        for slot in results.iter_mut() {
+            match slot.take() {
+                Some((c, nn, pj)) => {
+                    dp_k.push(Some(c));
+                    ns_k.push(Some(nn));
+                    parent_k.push(pj);
+                }
+                None => {
+                    dp_k.push(None);
+                    ns_k.push(None);
+                    parent_k.push(u8::MAX);
+                }
             }
         }
+        dp_prev = dp_k;
+        ns_prev = ns_k;
+        parent_layers[k] = parent_k;
         // Prune/recost counts are a pure function of the phase-A estimates
         // and the bound — replayed here on the coordinating thread so the
         // totals are deterministic for every thread count.
         if aqo_obs::enabled() {
             let (mut pruned, mut recosted) = (0u64, 0u64);
-            match prune {
+            match est {
                 Some((est, bound)) => {
-                    for &tm in targets {
-                        if est[tm as usize].log2() > bound {
+                    for e in est {
+                        if e.log2() > bound {
                             pruned += 1;
                         } else {
                             recosted += 1;
                         }
                     }
                 }
-                None => recosted = targets.len() as u64,
+                None => recosted = width as u64,
             }
-            aqo_obs::counter_handle!("optimizer.engine.exact_recosts").add(recosted);
-            aqo_obs::counter_handle!("optimizer.engine.pruned").add(pruned);
+            tier.record_exact_layer(recosted, pruned);
             aqo_obs::journal::event(
                 "dp_layer",
                 vec![
                     ("phase", "exact".into()),
                     ("k", k.into()),
-                    ("width", targets.len().into()),
+                    ("width", width.into()),
                     ("recosted", recosted.into()),
                     ("pruned", pruned.into()),
                 ],
@@ -524,17 +753,83 @@ fn exact_phase<S: CostScalar + Send + Sync>(
         }
     }
 
-    let Some(cost) = dp[full].take() else { return Ok(None) };
-    let mut order = Vec::with_capacity(n);
-    let mut mask = full;
-    while mask.count_ones() > 1 {
-        let j = parent[mask] as usize;
-        order.push(j);
-        mask &= !(1 << j);
+    let Some(cost) = dp_prev[0].take() else { return Ok(None) };
+    let Some(sequence) = reconstruct_order(frontiers, &parent_layers, n) else {
+        return Ok(None);
+    };
+    Ok(Some(Optimum { sequence, cost }))
+}
+
+/// The shared log-phase-only path behind [`optimize_log_parallel`].
+fn log_impl(
+    inst: &QoNInstance,
+    mode: FrontierMode,
+    allow_cartesian: bool,
+    threads: usize,
+    budget: &Budget,
+    tier: Tier,
+) -> Result<Option<Optimum<LogNum>>, BudgetExceeded> {
+    let n = inst.n();
+    let view_nbr: Vec<u32> = nbr_masks(inst);
+    let frontiers = Frontiers::build(n, &view_nbr, mode, budget)?;
+    let log = log_phase(inst, &frontiers, allow_cartesian, threads, budget, tier)?;
+    if frontiers.layer(n).is_empty() || unreached(log.dp[n][0]) {
+        return Ok(None);
     }
-    order.push(mask.trailing_zeros() as usize);
-    order.reverse();
-    Ok(Some(Optimum { sequence: JoinSequence::new(order), cost }))
+    let cost = log.dp[n][0];
+    Ok(reconstruct_order(&frontiers, &log.parent, n).map(|sequence| Optimum { sequence, cost }))
+}
+
+/// The shared two-phase path behind [`optimize_two_phase`] and
+/// [`crate::ccp::optimize_two_phase`].
+pub(crate) fn two_phase_impl<S: CostScalar + Send + Sync>(
+    inst: &QoNInstance,
+    mode: FrontierMode,
+    allow_cartesian: bool,
+    threads: usize,
+    budget: &Budget,
+    tier: Tier,
+) -> Result<Option<Optimum<S>>, BudgetExceeded> {
+    let _span = aqo_obs::span("engine.two_phase");
+    let n = inst.n();
+    if n == 1 {
+        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
+    }
+    tier.record_run();
+    let threads = resolve_threads(threads);
+    let nbr = nbr_masks(inst);
+    let frontiers = Frontiers::build(n, &nbr, mode, budget)?;
+    let log = log_phase(inst, &frontiers, allow_cartesian, threads, budget, tier)?;
+    if frontiers.layer(n).is_empty() || unreached(log.dp[n][0]) {
+        // Unreachable full set is a combinatorial fact (disconnected graph
+        // under the no-cartesian rule), identical in both scalars.
+        return Ok(None);
+    }
+    let Some(candidate) = reconstruct_order(&frontiers, &log.parent, n) else {
+        return Ok(None);
+    };
+    let exact_candidate: S = inst.total_cost(&candidate);
+    let bound = exact_candidate.log2() + PRUNE_MARGIN_BITS;
+    aqo_obs::journal::event("engine_bound", vec![("bound_log2", bound.into())]);
+    let opt = exact_phase::<S>(
+        inst,
+        &frontiers,
+        allow_cartesian,
+        threads,
+        budget,
+        Some((&log.dp, bound)),
+        &nbr,
+        tier,
+    )?;
+    debug_assert!(opt.is_some(), "candidate path is never pruned");
+    Ok(opt)
+}
+
+/// Per-vertex neighbour bitmasks of the query graph.
+pub(crate) fn nbr_masks(inst: &QoNInstance) -> Vec<u32> {
+    (0..inst.n())
+        .map(|j| inst.graph().neighbors(j).iter().fold(0u32, |m, k| m | 1 << k))
+        .collect()
 }
 
 /// Phase A alone: the layer-parallel log-domain DP. Fast and allocation
@@ -552,17 +847,18 @@ pub fn optimize_log_parallel(
         return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: LogNum::ZERO }));
     }
     let threads = resolve_threads(opts.threads);
-    let layers = Layers::build(n);
-    let log = log_phase(inst, &layers, opts.allow_cartesian, threads, budget)?;
-    let full = (1usize << n) - 1;
-    Ok(log
-        .reconstruct(n)
-        .map(|sequence| Optimum { sequence, cost: log.dp[full] }))
+    let mode =
+        if opts.allow_cartesian { FrontierMode::AllSubsets } else { FrontierMode::Connected };
+    log_impl(inst, mode, opts.allow_cartesian, threads, budget, Tier::Engine)
 }
 
 /// The two-phase engine: log-domain phase A for a candidate and per-subset
 /// pruning estimates, exact phase B (in the caller's scalar `S`) that
 /// verifies or repairs the candidate and returns the certified optimum.
+///
+/// With `allow_cartesian = false` the frontiers hold connected subgraphs
+/// only — exactly the reachable prefixes — so table sizes follow the
+/// query graph's density instead of `2^n`.
 ///
 /// Bit-identical to [`crate::dp::optimize_with_budget`] in returned cost
 /// for every thread count; the plan is a valid sequence achieving that
@@ -572,38 +868,11 @@ pub fn optimize_two_phase<S: CostScalar + Send + Sync>(
     opts: &DpOptions,
     budget: &Budget,
 ) -> Result<Option<Optimum<S>>, BudgetExceeded> {
-    let _span = aqo_obs::span("engine.two_phase");
     let n = inst.n();
     assert!((1..=MAX_N).contains(&n), "engine DP is for n in 1..={MAX_N}");
-    if n == 1 {
-        return Ok(Some(Optimum { sequence: JoinSequence::identity(1), cost: S::zero() }));
-    }
-    aqo_obs::counter_handle!("optimizer.engine.runs").inc();
-    let threads = resolve_threads(opts.threads);
-    let layers = Layers::build(n);
-    let log = log_phase(inst, &layers, opts.allow_cartesian, threads, budget)?;
-    let Some(candidate) = log.reconstruct(n) else {
-        // Unreachable full set is a combinatorial fact (disconnected graph
-        // under the no-cartesian rule), identical in both scalars.
-        return Ok(None);
-    };
-    let exact_candidate: S = inst.total_cost(&candidate);
-    let bound = exact_candidate.log2() + PRUNE_MARGIN_BITS;
-    aqo_obs::journal::event("engine_bound", vec![("bound_log2", bound.into())]);
-    let nbr: Vec<u32> = (0..n)
-        .map(|j| inst.graph().neighbors(j).iter().fold(0u32, |m, k| m | 1 << k))
-        .collect();
-    let opt = exact_phase::<S>(
-        inst,
-        &layers,
-        opts.allow_cartesian,
-        threads,
-        budget,
-        Some((&log.dp, bound)),
-        &nbr,
-    )?;
-    debug_assert!(opt.is_some(), "candidate path is never pruned");
-    Ok(opt)
+    let mode =
+        if opts.allow_cartesian { FrontierMode::AllSubsets } else { FrontierMode::Connected };
+    two_phase_impl(inst, mode, opts.allow_cartesian, opts.threads, budget, Tier::Engine)
 }
 
 #[cfg(test)]
@@ -638,6 +907,23 @@ mod tests {
             let sel = BigRational::new(BigInt::one(), BigUint::from(2 + next() % 9));
             s.set(u, v, sel.clone());
             for (j, k) in [(u, v), (v, u)] {
+                let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+                w.set(j, k, lower.magnitude().clone());
+            }
+        }
+        QoNInstance::new(g, sizes, s, w)
+    }
+
+    fn chain_instance(n: usize) -> QoNInstance {
+        let mut g = Graph::new(n);
+        let mut s = SelectivityMatrix::new();
+        let mut w = AccessCostMatrix::new();
+        let sizes: Vec<BigUint> = (0..n).map(|i| BigUint::from(3 + i as u64)).collect();
+        for v in 1..n {
+            g.add_edge(v - 1, v);
+            let sel = BigRational::new(BigInt::one(), BigUint::from(3u64));
+            s.set(v - 1, v, sel.clone());
+            for (j, k) in [(v - 1, v), (v, v - 1)] {
                 let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
                 w.set(j, k, lower.magnitude().clone());
             }
@@ -755,15 +1041,9 @@ mod tests {
     }
 
     #[test]
-    fn memory_cap_counts_worker_scratch() {
+    fn memory_cap_trips_before_any_expansion() {
         let inst = random_instance(6, 12, 8);
-        // The shared 2^n tables alone would fit; the scratch must push the
-        // charge over this cap.
-        let layers = Layers::build(12);
-        let shared = (4096 + 1) * (2 * std::mem::size_of::<LogNum>() + 1);
-        let scratch = layers.widest_layer() * std::mem::size_of::<(LogNum, LogNum, u8)>();
-        assert!(scratch > 0);
-        let budget = Budget::unlimited().with_max_memory_bytes((shared + scratch / 2) as u64);
+        let budget = Budget::unlimited().with_max_memory_bytes(64);
         let opts = DpOptions { allow_cartesian: true, threads: 2 };
         let err = optimize_two_phase::<BigRational>(&inst, &opts, &budget).unwrap_err();
         assert_eq!(err.kind, aqo_core::budget::BudgetKind::Memory);
@@ -771,12 +1051,32 @@ mod tests {
     }
 
     #[test]
-    fn layers_cover_all_masks_in_order() {
-        let l = Layers::build(5);
-        assert_eq!(l.masks.len(), 31);
+    fn connected_frontier_charges_far_less_memory_than_all_subsets() {
+        let inst = chain_instance(14);
+        let dense_budget = Budget::unlimited();
+        let opts = DpOptions { allow_cartesian: true, threads: 2 };
+        optimize_two_phase::<BigRational>(&inst, &opts, &dense_budget).unwrap().unwrap();
+        let sparse_budget = Budget::unlimited();
+        let opts = DpOptions { allow_cartesian: false, threads: 2 };
+        optimize_two_phase::<BigRational>(&inst, &opts, &sparse_budget).unwrap().unwrap();
+        // A chain has n(n+1)/2 connected subsets vs 2^n − 1 subsets
+        // overall; the charge must collapse accordingly (well over 10×).
+        assert!(
+            sparse_budget.memory_charged() * 10 < dense_budget.memory_charged(),
+            "sparse {} vs dense {}",
+            sparse_budget.memory_charged(),
+            dense_budget.memory_charged()
+        );
+    }
+
+    #[test]
+    fn frontiers_cover_all_masks_in_order() {
+        let nbr = vec![0u32; 5];
+        let f =
+            Frontiers::build(5, &nbr, FrontierMode::AllSubsets, &Budget::unlimited()).unwrap();
         let mut seen = std::collections::HashSet::new();
         for k in 1..=5usize {
-            let layer = l.layer(k);
+            let layer = f.layer(k);
             assert!(layer.windows(2).all(|w| w[0] < w[1]));
             for &m in layer {
                 assert_eq!(m.count_ones() as usize, k);
@@ -784,6 +1084,46 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 31);
-        assert_eq!(l.widest_layer(), 10);
+        assert_eq!(f.total_subsets(), 31);
+    }
+
+    #[test]
+    fn connected_frontier_of_a_chain_has_interval_subsets_only() {
+        let inst = chain_instance(6);
+        let nbr = nbr_masks(&inst);
+        let f = Frontiers::build(6, &nbr, FrontierMode::Connected, &Budget::unlimited()).unwrap();
+        // Connected subsets of a 6-chain are exactly the 21 intervals.
+        assert_eq!(f.total_subsets(), 21);
+        for k in 1..=6usize {
+            assert_eq!(f.layer(k).len(), 6 - k + 1, "layer {k}");
+            for &m in f.layer(k) {
+                // An interval mask is a contiguous run of ones.
+                let shifted = m >> m.trailing_zeros();
+                assert_eq!(shifted & (shifted + 1), 0, "mask {m:b} not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_pred_ranks_match_binary_search() {
+        let nbr = vec![0u32; 8];
+        let f =
+            Frontiers::build(8, &nbr, FrontierMode::AllSubsets, &Budget::unlimited()).unwrap();
+        let binom = Binom::build(8);
+        let mut out = [u32::MAX; 32];
+        for k in 2..=8usize {
+            let prev = f.layer(k - 1);
+            for &t in f.layer(k) {
+                let kk = pred_ranks(FrontierMode::AllSubsets, &binom, prev, t, &mut out);
+                assert_eq!(kk, k);
+                let mut tb = t;
+                for &r in &out[..kk] {
+                    let j = tb.trailing_zeros();
+                    tb &= tb - 1;
+                    let s = t & !(1u32 << j);
+                    assert_eq!(r as usize, prev.binary_search(&s).unwrap(), "t={t:b} j={j}");
+                }
+            }
+        }
     }
 }

@@ -13,7 +13,11 @@
 //!   - [`branch_bound`] — DFS with the admissible partial-cost bound,
 //!     optionally parallel with a shared atomic incumbent bound;
 //!   - [`engine`] — the layer-parallel, allocation-lean two-phase
-//!     (log-domain then exact) subset DP engine;
+//!     (log-domain then exact) subset DP engine over sparse per-layer
+//!     frontiers;
+//!   - [`ccp`] — DPccp: the engine's DP restricted to *connected
+//!     subgraphs only*, exact for the cartesian-free sequence space and
+//!     polynomially sized on the paper's §6 sparse families;
 //!   - [`pipeline`] — QO_H: optimal pipeline decomposition of a given
 //!     sequence by interval DP with per-fragment optimal memory allocation;
 //!   - [`star`] — SQO−CP: subset DP over satellites, plus an exhaustive
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod branch_bound;
+pub mod ccp;
 pub mod dp;
 pub mod engine;
 pub mod exhaustive;
