@@ -453,10 +453,11 @@ pub fn counter_catalog_sync(models: &[SourceModel], doc: &str) -> Vec<Finding> {
 
     for (d, line, kind) in &doc_names {
         let n = normalize_metric(d);
-        // `span.<name>` histograms are a derived family, and the `span`
-        // journal event is emitted inside `aqo-obs` itself (out of the
-        // code-side scan's scope); neither has a registration site here.
-        if n == "span.*" || (n == "span" && *kind == MetricKind::Event) {
+        // `span.<name>` histograms are a derived family, and the `span` /
+        // `span_start` journal events are emitted inside `aqo-obs` itself
+        // (out of the code-side scan's scope); none has a registration
+        // site here.
+        if n == "span.*" || ((n == "span" || n == "span_start") && *kind == MetricKind::Event) {
             continue;
         }
         let registered = uses

@@ -12,6 +12,8 @@
 //! aqo request <addr> <op> [file]                                # one-shot service client
 //! aqo loadgen [--addr <host:port>] [--concurrency 1,2,4]        # benchmark a live server
 //! aqo chaos [--quick] [--out CHAOS.json]                        # deterministic fault campaign
+//! aqo top [--addr <host:port>] [--once] [--json]                # live metrics dashboard
+//! aqo trace view <trace.jsonl>                                  # per-request span trees
 //! ```
 //!
 //! Instances use the text formats of `aqo_core::textio` (`.qon`, `.qoh`),
@@ -135,7 +137,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|ccp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|ccp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>] [--obs-interval-ms <n>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|metrics|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo trace view <trace.jsonl>                         # render per-request span trees\n  aqo top [--addr <host:port>] [--once] [--json] [--interval-ms <n>]\n                                                       # live dashboard from the `metrics` op\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -242,6 +244,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace-check") => cmd_trace_check(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
         Some("clique") => cmd_clique(&args[1..]),
         Some(other) => Err(CliError::usage(format!("unknown subcommand `{other}`"))),
@@ -570,8 +574,194 @@ fn cmd_trace_check(args: &[String]) -> Result<(), CliError> {
             });
         }
     }
+    // Schema-v2 nesting check: balanced span_start/span pairs, no orphan
+    // parents, no cross-trace references. A journal with no trace context
+    // (schema v1, or collection off) passes with a zero report.
+    let report = aqo_obs::traceview::check(&text)
+        .map_err(|message| CliError::Parse { path: path.to_string(), message })?;
+    if report.traces > 0 {
+        println!(
+            "traces {} spans {} traced-events {}",
+            report.traces, report.spans, report.traced_events
+        );
+    }
     println!("ok");
     Ok(())
+}
+
+/// `aqo trace view <journal>` — reconstructs the per-request span trees
+/// from a schema-v2 journal and prints them with self/total times and the
+/// critical path marked. `trace` exists as a command group so future
+/// verbs (diff, grep) have a home.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("view") => {
+            let path =
+                args.get(1).ok_or_else(|| CliError::usage("trace view: missing file"))?;
+            let text = read_file(path)?;
+            let rendered = aqo_obs::traceview::render(&text)
+                .map_err(|message| CliError::Parse { path: path.to_string(), message })?;
+            if rendered.is_empty() {
+                println!("(no traced spans in journal)");
+            } else {
+                print!("{rendered}");
+            }
+            Ok(())
+        }
+        Some(other) => Err(CliError::usage(format!("trace: unknown verb `{other}`"))),
+        None => Err(CliError::usage("trace: missing verb (try `trace view <file>`)")),
+    }
+}
+
+/// One decoded `metrics` reply, reduced to what the dashboard shows.
+struct TopSnapshot {
+    uptime_us: u64,
+    workers: u64,
+    queue_depth: u64,
+    executing: u64,
+    max_inflight: u64,
+    accepting: bool,
+    /// Total requests accepted (sum of `serve.requests.*` counters).
+    requests: u64,
+    ok: u64,
+    errors: u64,
+    overloaded: u64,
+    degraded: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// `(tier name, success count)` from `driver.tier_success.<tier>`.
+    tiers: Vec<(String, u64)>,
+    /// `serve.request_us` quantiles: (p50, p99), when any request ran.
+    latency: Option<(u64, u64)>,
+}
+
+impl TopSnapshot {
+    fn parse(line: &str) -> Result<TopSnapshot, String> {
+        use aqo_obs::json::JsonValue;
+        let doc = aqo_obs::json::parse(line)?;
+        let num =
+            |v: Option<&JsonValue>| -> u64 { v.and_then(|v| v.as_num()).unwrap_or(0.0) as u64 };
+        let counters = doc.get("counters").ok_or("reply has no `counters` object")?;
+        let counter = |name: &str| num(counters.get(name));
+        let mut requests = 0u64;
+        let mut tiers = Vec::new();
+        if let JsonValue::Obj(fields) = counters {
+            for (k, v) in fields {
+                if let Some(tier) = k.strip_prefix("driver.tier_success.") {
+                    tiers.push((tier.to_string(), num(Some(v))));
+                } else if k.starts_with("serve.requests.") {
+                    requests += num(Some(v));
+                }
+            }
+        }
+        let latency = doc
+            .get("histograms")
+            .and_then(|h| h.get("serve.request_us"))
+            .map(|h| (num(h.get("p50")), num(h.get("p99"))));
+        Ok(TopSnapshot {
+            uptime_us: num(doc.get("uptime_us")),
+            workers: num(doc.get("workers")),
+            queue_depth: num(doc.get("queue_depth")),
+            executing: num(doc.get("executing")),
+            max_inflight: num(doc.get("max_inflight")),
+            accepting: matches!(doc.get("accepting"), Some(JsonValue::Bool(true))),
+            requests,
+            ok: counter("serve.responses.ok"),
+            errors: counter("serve.responses.error"),
+            overloaded: counter("serve.overloaded"),
+            degraded: counter("serve.degraded"),
+            cache_hits: counter("serve.cache.hits"),
+            cache_misses: counter("serve.cache.misses"),
+            tiers,
+            latency,
+        })
+    }
+
+    /// Renders the dashboard; `prev` (previous poll) turns counter totals
+    /// into rates over the polling interval.
+    fn render(&self, prev: Option<&TopSnapshot>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let uptime_s = self.uptime_us as f64 / 1e6;
+        let rps = match prev {
+            Some(p) if self.uptime_us > p.uptime_us => {
+                (self.requests.saturating_sub(p.requests)) as f64
+                    / ((self.uptime_us - p.uptime_us) as f64 / 1e6)
+            }
+            _ => self.requests as f64 / uptime_s.max(1e-9),
+        };
+        let _ = writeln!(
+            out,
+            "uptime {uptime_s:8.1}s   workers {}   accepting {}",
+            self.workers, self.accepting
+        );
+        let _ = writeln!(
+            out,
+            "requests {}   ok {}   errors {}   rps {rps:.1}",
+            self.requests, self.ok, self.errors
+        );
+        let _ = writeln!(
+            out,
+            "queue {} / inflight {} (max {})   overloaded {}   degraded {}",
+            self.queue_depth, self.executing, self.max_inflight, self.overloaded, self.degraded
+        );
+        let lookups = self.cache_hits + self.cache_misses;
+        let _ = writeln!(
+            out,
+            "cache hits {}   misses {}   hit-rate {:.2}",
+            self.cache_hits,
+            self.cache_misses,
+            if lookups == 0 { 0.0 } else { self.cache_hits as f64 / lookups as f64 }
+        );
+        match self.latency {
+            Some((p50, p99)) => {
+                let _ = writeln!(out, "latency p50 {p50}us   p99 {p99}us");
+            }
+            None => out.push_str("latency (no requests yet)\n"),
+        }
+        for (tier, n) in &self.tiers {
+            let _ = writeln!(out, "tier {tier:<12} {n}");
+        }
+        out
+    }
+}
+
+/// `aqo top` — polls a live server's `metrics` op and renders a terminal
+/// dashboard. `--once` polls a single time; `--json` prints the raw
+/// metrics reply instead of the rendered view (for scripts/CI).
+fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    let addr = required_flag_value(args, "--addr")?.unwrap_or("127.0.0.1:7878");
+    let once = args.iter().any(|a| a == "--once");
+    let json = args.iter().any(|a| a == "--json");
+    let interval =
+        Duration::from_millis(u64_flag(args, "--interval-ms")?.unwrap_or(1000).max(50));
+    let poll = || -> Result<String, CliError> {
+        let mut req = aqo_serve::Request::new(aqo_serve::Op::Metrics, aqo_serve::Problem::Qon);
+        req.id = 0;
+        aqo_serve::client::oneshot(addr, &req)
+            .map_err(|source| CliError::Io { path: addr.to_string(), source })
+    };
+    let mut prev: Option<TopSnapshot> = None;
+    loop {
+        let line = poll()?;
+        if json {
+            println!("{line}");
+        } else {
+            let snap = TopSnapshot::parse(&line)
+                .map_err(|e| CliError::Remote(format!("bad metrics reply: {e}")))?;
+            if !once {
+                // ANSI clear-screen + home, like `top`.
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("aqo top — {addr}");
+            print!("{}", snap.render(prev.as_ref()));
+            prev = Some(snap);
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
@@ -670,10 +860,19 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         degrade: !args.iter().any(|a| a == "--no-degrade"),
         snapshot_path: required_flag_value(args, "--cache-snapshot")?
             .map(std::path::PathBuf::from),
+        // 0 disables the time-series sampler; stdio mode never samples.
+        obs_interval: match u64_flag(args, "--obs-interval-ms")? {
+            _ if stdio => None,
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => defaults.obs_interval,
+        },
     };
-    if obs.collecting() {
-        aqo_obs::set_enabled(true);
-    }
+    // A server always keeps the metric registry live so the `metrics` op
+    // and `aqo top` have data; the journal (which grows without bound) is
+    // only captured when `--trace-json` asks for it.
+    aqo_obs::set_enabled(true);
+    aqo_obs::journal::set_capture(obs.trace_json.is_some());
     let server = aqo_serve::Server::new(&cfg);
     let report = if stdio {
         server.run_stdio()
@@ -709,6 +908,7 @@ fn cmd_request(args: &[String]) -> Result<(), CliError> {
         "explain-qoh" => (Op::Explain, Problem::Qoh),
         "clique" => (Op::Optimize, Problem::Clique),
         "status" => (Op::Status, Problem::Qon),
+        "metrics" => (Op::Metrics, Problem::Qon),
         "shutdown" => (Op::Shutdown, Problem::Qon),
         other => return Err(CliError::usage(format!("request: unknown operation `{other}`"))),
     };

@@ -89,7 +89,8 @@ fn serve_request_loadgen_roundtrip() {
     assert!(ok, "loadgen failed: {err}");
     assert!(out.contains("wrong_cost=0"), "loadgen saw wrong costs: {out}");
     let bench = std::fs::read_to_string(&out_path).unwrap();
-    assert!(bench.contains("\"schema\": \"aqo-bench-serve/v1\""));
+    assert!(bench.contains("\"schema\": \"aqo-bench-serve/v2\""));
+    assert!(bench.contains("\"p999_us\""), "v2 rows carry tail quantiles: {bench}");
 
     let (ok, out, _) = aqo(&["request", &addr, "status"]);
     assert!(ok);

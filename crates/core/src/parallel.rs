@@ -45,6 +45,10 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// returns the results in worker order. Worker 0 runs on the calling
 /// thread (a 1-thread pool spawns nothing). A worker panic is re-raised
 /// here after every other worker has been joined.
+///
+/// The caller's [`aqo_obs::trace`] context (if any) is propagated to
+/// every spawned worker, so journal events and spans emitted inside the
+/// pool keep the surrounding request's trace id.
 pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
 where
     R: Send,
@@ -54,10 +58,17 @@ where
     if threads == 1 {
         return vec![worker(0)];
     }
+    let trace = aqo_obs::trace::current();
     std::thread::scope(|scope| {
         let worker = &worker;
-        let handles: Vec<_> =
-            (1..threads).map(|t| scope.spawn(move || worker(t))).collect();
+        let handles: Vec<_> = (1..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let _trace = trace.map(aqo_obs::trace::install);
+                    worker(t)
+                })
+            })
+            .collect();
         let mut results = Vec::with_capacity(threads);
         results.push(worker(0));
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
@@ -100,6 +111,7 @@ where
     if chunk >= items.len() {
         return f(0, items, out);
     }
+    let trace = aqo_obs::trace::current();
     std::thread::scope(|scope| {
         let f = &f;
         let mut handles = Vec::new();
@@ -107,7 +119,10 @@ where
         for (ic, oc) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let off = offset;
             offset += ic.len();
-            handles.push(scope.spawn(move || f(off, ic, oc)));
+            handles.push(scope.spawn(move || {
+                let _trace = trace.map(aqo_obs::trace::install);
+                f(off, ic, oc)
+            }));
         }
         let mut result = Ok(());
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;

@@ -303,6 +303,10 @@ pub struct QohOutcome {
 
 /// The chain engine: runs tiers in order under one shared budget, isolating
 /// panics, retrying transient injections, and recording every failure.
+// The per-tier accessors (name/exact/tier_span) stay separate closures so
+// each call site keeps one static span literal per tier for the
+// counter-catalog scanner; folding them into a struct would hide those.
+#[allow(clippy::too_many_arguments)]
 fn drive<T, Tier: Copy>(
     chain: &[Tier],
     budget: &Budget,
@@ -310,6 +314,7 @@ fn drive<T, Tier: Copy>(
     site_prefix: &str,
     name: impl Fn(Tier) -> &'static str,
     exact: impl Fn(Tier) -> bool,
+    tier_span: impl Fn(Tier) -> aqo_obs::Span,
     run: impl Fn(Tier, &Budget) -> Result<Option<T>, TierFailure>,
 ) -> Result<(T, DriverReport), DriverError> {
     let mut failures: Vec<Attempt> = Vec::new();
@@ -329,6 +334,10 @@ fn drive<T, Tier: Copy>(
             }
             let outcome = with_quiet_panics(|| {
                 catch_unwind(AssertUnwindSafe(|| {
+                    // The per-tier span lives inside the catch_unwind so
+                    // a panicking tier still closes it on unwind —
+                    // trace-check's balance invariant holds on every path.
+                    let _tier_span = tier_span(tier);
                     faults::fail_point(&site)
                         .map_err(|e| TierFailure::Injected(e.to_string()))?;
                     run(tier, budget)
@@ -338,6 +347,7 @@ fn drive<T, Tier: Copy>(
                 Ok(Ok(Some(answer))) => {
                     if aqo_obs::enabled() {
                         aqo_obs::counter_handle!("driver.tier_success").inc();
+                        aqo_obs::counter(&format!("driver.tier_success.{}", name(tier))).inc();
                         aqo_obs::journal::event(
                             "tier_success",
                             vec![("tier", name(tier).into()), ("attempt", attempt.into())],
@@ -410,6 +420,28 @@ fn drive<T, Tier: Copy>(
 
 use faults::with_quiet_panics;
 
+/// Per-tier span for QO_N attempts, timing each tier's execution inside
+/// the driver chain (one static name per tier so the catalog scanner and
+/// the `span.<name>` histograms see every variant).
+fn qon_tier_span(tier: QonTier) -> aqo_obs::Span {
+    match tier {
+        QonTier::Dp => aqo_obs::span("tier.dp"),
+        QonTier::Ccp => aqo_obs::span("tier.ccp"),
+        QonTier::BranchBound => aqo_obs::span("tier.bnb"),
+        QonTier::Ikkbz => aqo_obs::span("tier.ikkbz"),
+        QonTier::Greedy => aqo_obs::span("tier.greedy"),
+    }
+}
+
+/// Per-tier span for QO_H attempts (`tier.greedy` is shared with QO_N —
+/// same histogram, distinguishable by the surrounding driver span).
+fn qoh_tier_span(tier: QohTier) -> aqo_obs::Span {
+    match tier {
+        QohTier::Exhaustive => aqo_obs::span("tier.exhaustive"),
+        QohTier::Greedy => aqo_obs::span("tier.greedy"),
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -439,6 +471,7 @@ pub fn optimize_qon(
         "qon",
         QonTier::name,
         QonTier::is_exact,
+        qon_tier_span,
         |tier, budget| match tier {
             // The mask-based exact tiers reject oversized instances with a
             // structured failure (degrading down the chain) instead of
@@ -503,6 +536,7 @@ pub fn optimize_qoh(
         "qoh",
         QohTier::name,
         QohTier::is_exact,
+        qoh_tier_span,
         |tier, budget| match tier {
             QohTier::Exhaustive if cfg.threads == 1 => {
                 pipeline::optimize_exhaustive_with_budget(inst, budget)

@@ -12,7 +12,7 @@
 //! event of the process) and `type`, followed by the event's own fields.
 
 use crate::json;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -104,10 +104,39 @@ fn events() -> MutexGuard<'static, Vec<Event>> {
 
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Appends an event (no-op while collection is disabled).
-pub fn event(etype: &'static str, fields: Vec<(&'static str, Value)>) {
-    if !crate::enabled() {
+/// Journal capture switch, independent of the metrics flag: a
+/// long-running server wants live counters and quantiles
+/// ([`crate::set_enabled`] on) without an unbounded in-memory event
+/// buffer. Defaults to on, so `set_enabled(true)` alone behaves exactly
+/// as before this flag existed.
+static CAPTURE: AtomicBool = AtomicBool::new(true);
+
+/// Turns journal event capture on or off (metrics keep collecting either
+/// way). On is the default.
+pub fn set_capture(on: bool) {
+    // ordering: see `crate::set_enabled` — flag toggles carry no
+    // dependent data.
+    CAPTURE.store(on, Ordering::Relaxed);
+}
+
+/// Whether journal events are being buffered (requires both
+/// [`crate::enabled`] and the capture switch).
+pub fn capturing() -> bool {
+    crate::enabled() && CAPTURE.load(Ordering::Relaxed) // ordering: see `set_capture`
+}
+
+/// Appends an event (no-op while collection is disabled or capture is
+/// off). While a [`crate::trace`] context is active on this thread, the
+/// event is stamped with `trace_id` and `parent_span_id` fields
+/// (journal schema v2); without one the line is byte-identical to
+/// schema v1.
+pub fn event(etype: &'static str, mut fields: Vec<(&'static str, Value)>) {
+    if !capturing() {
         return;
+    }
+    if let Some((trace_id, parent_span_id)) = crate::trace::current_ids() {
+        fields.push(("trace_id", Value::U64(trace_id)));
+        fields.push(("parent_span_id", Value::U64(parent_span_id)));
     }
     let us = epoch().elapsed().as_micros() as u64;
     let mut events = events();

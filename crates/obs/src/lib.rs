@@ -27,6 +27,9 @@
 
 pub mod journal;
 pub mod json;
+pub mod series;
+pub mod trace;
+pub mod traceview;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,10 +98,54 @@ impl Gauge {
     }
 
     /// Raises the gauge to `v` if larger (no-op while disabled).
+    ///
+    /// Race note: `fetch_max` is a single atomic RMW, so concurrent
+    /// `set_max` calls cannot lose updates. The lost-update hazard is the
+    /// *composed* pattern `g.set(g.get() + 1)` — two threads read the
+    /// same value and one increment vanishes. Use [`add`](Gauge::add) /
+    /// [`sub`](Gauge::sub) for level tracking instead; the interleaving
+    /// model test `tests/model_gauge.rs` exhibits the lost update under
+    /// get+set and proves `add` free of it. (The serve gauges
+    /// `serve.queue_depth`/`serve.inflight` are `set` under the server
+    /// state lock, which also rules the race out — audited for ISSUE 8.)
     #[inline]
     pub fn set_max(&self, v: u64) {
         if enabled() {
             self.0.fetch_max(v, Ordering::Relaxed); // ordering: see `set`
+        }
+    }
+
+    /// Adds `n` to the gauge level (no-op while disabled). A single
+    /// atomic RMW, so concurrent adds never lose updates — unlike
+    /// `set(get() + n)`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed); // ordering: see `set`
+        }
+    }
+
+    /// Subtracts `n` from the gauge level, saturating at 0 (no-op while
+    /// disabled). Saturation uses a CAS loop so a racing `sub` below
+    /// zero clamps instead of wrapping to `u64::MAX`.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if enabled() {
+            // ordering: see `set`; the CAS only needs the value, not any
+            // other memory.
+            let mut cur = self.0.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(n);
+                match self.0.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed, // ordering: see `set`
+                    Ordering::Relaxed, // ordering: see `set`
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
         }
     }
 
@@ -108,9 +155,41 @@ impl Gauge {
     }
 }
 
-/// Power-of-two bucket count for [`Histogram`]; bucket `b` holds values in
-/// `[2^(b-1), 2^b)` (bucket 0 holds zero).
-const HIST_BUCKETS: usize = 40;
+/// Bucket count for [`Histogram`]: log-bucketed with **2 sub-buckets per
+/// octave**. Bucket 0 holds zero; for `v >= 1` with `k = floor(log2 v)`,
+/// the index is `1 + 2k + half` where `half` is the bit below the
+/// leading bit (so each power-of-two range `[2^k, 2^(k+1))` splits into
+/// two equal halves). 128 buckets cover the full `u64` range; the
+/// half-octave resolution bounds quantile error to about ±17%.
+const HIST_BUCKETS: usize = 128;
+
+/// Bucket index for sample `v` (see [`HIST_BUCKETS`]).
+#[inline]
+fn hist_bucket(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let k = 63 - v.leading_zeros() as usize;
+    let half = if k >= 1 { ((v >> (k - 1)) & 1) as usize } else { 0 };
+    (1 + 2 * k + half).min(HIST_BUCKETS - 1)
+}
+
+/// Representative value (midpoint) of bucket `idx`, used when reading
+/// quantiles back out.
+fn hist_bucket_rep(idx: usize) -> u64 {
+    if idx == 0 {
+        return 0;
+    }
+    let k = (idx - 1) / 2;
+    let half = ((idx - 1) % 2) as u64;
+    if k == 0 {
+        return 1;
+    }
+    // Bucket spans [low, low + width): low = (2 + half) << (k-1).
+    let low = (2 + half) << (k - 1);
+    let width = 1u64 << (k - 1);
+    low + width / 2
+}
 
 #[derive(Debug)]
 struct HistogramInner {
@@ -132,17 +211,32 @@ impl HistogramInner {
 }
 
 /// A histogram over `u64` samples (span timers record microseconds) with
-/// power-of-two buckets plus exact count/sum/max.
+/// half-octave log buckets plus exact count/sum/max, and approximate
+/// quantiles via [`quantile`](Histogram::quantile).
 #[derive(Clone, Debug)]
 pub struct Histogram(Arc<HistogramInner>);
 
 impl Histogram {
+    /// A fresh, **unregistered** histogram for offline aggregation (the
+    /// loadgen computes latency quantiles through one of these without
+    /// touching the global registry or the enabled flag).
+    pub fn detached() -> Histogram {
+        Histogram(Arc::new(HistogramInner::new()))
+    }
+
     /// Records one sample (no-op while collection is disabled).
     #[inline]
     pub fn record(&self, v: u64) {
         if !enabled() {
             return;
         }
+        self.record_always(v);
+    }
+
+    /// Records one sample unconditionally, ignoring the global enabled
+    /// flag. For [`detached`](Histogram::detached) histograms.
+    #[inline]
+    pub fn record_always(&self, v: u64) {
         let h = &*self.0;
         // ordering: the four fields are independent monotone aggregates;
         // `stats` makes no cross-field consistency claim (a snapshot may
@@ -151,8 +245,7 @@ impl Histogram {
         h.count.fetch_add(1, Ordering::Relaxed);
         h.sum.fetch_add(v, Ordering::Relaxed); // ordering: see above
         h.max.fetch_max(v, Ordering::Relaxed); // ordering: see above
-        let b = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
-        h.buckets[b].fetch_add(1, Ordering::Relaxed); // ordering: see above
+        h.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed); // ordering: see above
     }
 
     /// `(count, sum, max)` so far.
@@ -164,6 +257,30 @@ impl Histogram {
             h.sum.load(Ordering::Relaxed), // ordering: see above
             h.max.load(Ordering::Relaxed), // ordering: see above
         )
+    }
+
+    /// The approximate `q`-quantile (`0.0 < q <= 1.0`) of the samples so
+    /// far: the midpoint of the bucket containing the rank-`ceil(q·count)`
+    /// sample, capped at the exact observed max. 0 when empty. Half-octave
+    /// buckets bound the relative error to about ±17%.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = &*self.0;
+        let count = h.count.load(Ordering::Relaxed); // ordering: see `stats`
+        if count == 0 {
+            return 0;
+        }
+        let max = h.max.load(Ordering::Relaxed); // ordering: see `stats`
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (idx, b) in h.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed); // ordering: see `stats`
+            if cum >= rank {
+                return hist_bucket_rep(idx).min(max);
+            }
+        }
+        // A racing record can leave count ahead of the bucket sums; the
+        // highest observed sample is the right answer for any tail rank.
+        max
     }
 }
 
@@ -253,7 +370,7 @@ pub enum SnapshotValue {
     Counter(u64),
     /// Gauge value.
     Gauge(u64),
-    /// Histogram `(count, sum, max)`.
+    /// Histogram aggregates plus approximate quantiles.
     Histogram {
         /// Samples recorded.
         count: u64,
@@ -261,6 +378,14 @@ pub enum SnapshotValue {
         sum: u64,
         /// Largest sample.
         max: u64,
+        /// Approximate 50th percentile.
+        p50: u64,
+        /// Approximate 90th percentile.
+        p90: u64,
+        /// Approximate 99th percentile.
+        p99: u64,
+        /// Approximate 99.9th percentile.
+        p999: u64,
     },
 }
 
@@ -284,7 +409,15 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
                 Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
                 Metric::Histogram(h) => {
                     let (count, sum, max) = h.stats();
-                    SnapshotValue::Histogram { count, sum, max }
+                    SnapshotValue::Histogram {
+                        count,
+                        sum,
+                        max,
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                        p999: h.quantile(0.999),
+                    }
                 }
             },
         })
@@ -325,18 +458,25 @@ pub fn reset_metrics() {
 }
 
 /// Renders the registry as a human-readable summary table (the CLI's
-/// `--metrics` output). Zero-valued counters are omitted.
+/// `--metrics` output). Zero-valued counters and empty histograms are
+/// omitted; lines are sorted by metric name so the output is
+/// byte-deterministic for a given registry state and diffs cleanly
+/// across runs.
 pub fn render_summary() -> String {
+    let mut snap = snapshot();
+    // `snapshot` is BTreeMap-ordered already; sort explicitly so the
+    // determinism contract survives a registry reimplementation.
+    snap.sort_by(|a, b| a.name.cmp(&b.name));
     let mut out = String::from("metrics:\n");
     let mut any = false;
-    for s in snapshot() {
+    for s in snap {
         let line = match s.value {
             SnapshotValue::Counter(0) => continue,
             SnapshotValue::Counter(v) => format!("  {:<44} {v}\n", s.name),
             SnapshotValue::Gauge(v) => format!("  {:<44} {v} (gauge)\n", s.name),
             SnapshotValue::Histogram { count: 0, .. } => continue,
-            SnapshotValue::Histogram { count, sum, max } => format!(
-                "  {:<44} count={count} mean={:.1}us max={max}us\n",
+            SnapshotValue::Histogram { count, sum, max, p50, p90, p99, p999 } => format!(
+                "  {:<44} count={count} mean={:.1}us p50={p50}us p90={p90}us p99={p99}us p999={p999}us max={max}us\n",
                 s.name,
                 sum as f64 / count as f64
             ),
@@ -353,16 +493,41 @@ pub fn render_summary() -> String {
 /// A live span timer: created by [`span`], it records its wall time into
 /// the `span.<name>` histogram and emits a `span` journal event on drop.
 /// Inert (no clock read at all) when collection is disabled at creation.
+///
+/// When a [`trace`] context is active on the creating thread the span is
+/// additionally *traced*: it mints a span id, emits a `span_start` event
+/// (stamped with its parent via the context), and pushes itself onto the
+/// context stack so nested spans and events parent to it. The closing
+/// `span` event then carries the same `span_id`, and `trace view`
+/// reassembles the tree. Without a context nothing changes — exactly one
+/// `span` event, no ids.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    /// Minted span id when traced; 0 when untraced.
+    span_id: u64,
 }
 
 /// Starts a span named `name`. Hold the returned guard for the measured
 /// region; drop ends it.
 pub fn span(name: &'static str) -> Span {
-    Span { name, start: enabled().then(Instant::now) }
+    let start = enabled().then(Instant::now);
+    let mut span_id = 0;
+    if start.is_some() && trace::active() {
+        span_id = trace::next_span_id();
+        // Emit before pushing so the start event's auto-attached
+        // `parent_span_id` is this span's parent, not itself.
+        journal::event(
+            "span_start",
+            vec![
+                ("name", journal::Value::from(name)),
+                ("span_id", journal::Value::from(span_id)),
+            ],
+        );
+        trace::push_span(span_id);
+    }
+    Span { name, start, span_id }
 }
 
 impl Drop for Span {
@@ -370,10 +535,30 @@ impl Drop for Span {
         if let Some(start) = self.start.take() {
             let us = start.elapsed().as_micros() as u64;
             histogram(&format!("span.{}", self.name)).record(us);
-            journal::event(
-                "span",
-                vec![("name", journal::Value::from(self.name)), ("us", journal::Value::from(us))],
-            );
+            if self.span_id != 0 {
+                // Pop first so the end event parents to this span's
+                // parent — symmetric with `span_start`.
+                trace::pop_span(self.span_id);
+                // `dur_us`, not `us`: the serialized line already carries
+                // the reserved `us` timestamp key, and the journal parser
+                // returns the first match for a duplicated key.
+                journal::event(
+                    "span",
+                    vec![
+                        ("name", journal::Value::from(self.name)),
+                        ("span_id", journal::Value::from(self.span_id)),
+                        ("dur_us", journal::Value::from(us)),
+                    ],
+                );
+            } else {
+                journal::event(
+                    "span",
+                    vec![
+                        ("name", journal::Value::from(self.name)),
+                        ("us", journal::Value::from(us)),
+                    ],
+                );
+            }
         }
     }
 }
@@ -475,6 +660,160 @@ mod tests {
         let events = journal::drain();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].etype, "span");
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_accurate() {
+        let h = Histogram::detached();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=1000u64 {
+            h.record_always(v);
+        }
+        let (count, sum, max) = h.stats();
+        assert_eq!((count, sum, max), (1000, 500500, 1000));
+        let (p50, p90, p99, p999) =
+            (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99), h.quantile(0.999));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max);
+        // Half-octave buckets: each estimate within ±25% of the exact
+        // rank value (bucket midpoint error is < 17%, rank rounding adds
+        // a little).
+        assert!((375..=625).contains(&p50), "p50={p50}");
+        assert!((675..=1000).contains(&p90), "p90={p90}");
+        assert!((742..=1000).contains(&p99), "p99={p99}");
+        // The max cap keeps tail quantiles from overshooting the data.
+        assert!(p999 <= 1000, "p999={p999}");
+        // Single-sample histogram: every quantile is that sample's bucket,
+        // capped at max.
+        let one = Histogram::detached();
+        one.record_always(7);
+        assert_eq!(one.quantile(0.5), 7);
+        assert_eq!(one.quantile(0.999), 7);
+    }
+
+    #[test]
+    fn hist_buckets_partition_and_round_trip() {
+        // Bucket index is monotone in v and the representative lands in
+        // the same bucket it represents.
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 16, 100, 1000, 1 << 20, u64::MAX] {
+            let b = hist_bucket(v);
+            assert!(b >= prev, "bucket index not monotone at {v}");
+            prev = b;
+            if b < HIST_BUCKETS - 1 {
+                assert_eq!(hist_bucket(hist_bucket_rep(b)), b, "rep of bucket {b} escapes it");
+            }
+        }
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 3);
+        assert_eq!(hist_bucket(3), 4);
+    }
+
+    #[test]
+    fn traced_spans_nest_and_stamp_events() {
+        let _g = lock();
+        set_enabled(true);
+        reset_metrics();
+        journal::clear();
+        let tid = trace::next_trace_id();
+        {
+            let _t = trace::install(trace::TraceHandle::root(tid));
+            let _outer = span("obs-test-outer");
+            journal::event("obs_test_mark", vec![]);
+            let _inner = span("obs-test-inner");
+        }
+        set_enabled(false);
+        let events = journal::drain();
+        // span_start(outer), mark, span_start(inner), span(inner), span(outer)
+        let types: Vec<&str> = events.iter().map(|e| e.etype).collect();
+        assert_eq!(
+            types,
+            vec!["span_start", "obs_test_mark", "span_start", "span", "span"],
+            "{types:?}"
+        );
+        let field = |e: &journal::Event, key: &str| -> u64 {
+            e.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| match v {
+                    journal::Value::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("missing {key} in {e:?}"))
+        };
+        for e in &events {
+            assert_eq!(field(e, "trace_id"), tid, "{e:?}");
+        }
+        let outer_id = field(&events[0], "span_id");
+        assert_eq!(field(&events[0], "parent_span_id"), 0);
+        assert_eq!(field(&events[1], "parent_span_id"), outer_id, "event parents to open span");
+        assert_eq!(field(&events[2], "parent_span_id"), outer_id, "inner span parents to outer");
+        let inner_id = field(&events[2], "span_id");
+        assert_eq!(field(&events[3], "span_id"), inner_id, "inner closes first");
+        assert_eq!(field(&events[4], "span_id"), outer_id);
+        assert_eq!(field(&events[4], "parent_span_id"), 0, "outer end back at root");
+        // The journal must pass its own nesting check.
+        let jsonl = journal::to_jsonl(&events);
+        let report = traceview::check(&jsonl).expect("nesting check");
+        assert_eq!(report.spans, 2);
+        assert_eq!(report.traces, 1);
+        reset_metrics();
+    }
+
+    #[test]
+    fn capture_gate_stops_events_not_metrics() {
+        let _g = lock();
+        set_enabled(true);
+        reset_metrics();
+        journal::clear();
+        journal::set_capture(false);
+        counter("obs-test.gated").inc();
+        journal::event("obs_test_gated", vec![]);
+        assert_eq!(counter("obs-test.gated").get(), 1, "metrics keep collecting");
+        assert!(journal::drain().is_empty(), "events gated off");
+        journal::set_capture(true);
+        journal::event("obs_test_gated", vec![]);
+        assert_eq!(journal::drain().len(), 1);
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn series_rings_fill_and_wrap() {
+        let _g = lock();
+        set_enabled(true);
+        reset_metrics();
+        series::reset_series();
+        let c = counter("obs-test.series.ctr");
+        gauge("obs-test.series.gauge").set(5);
+        let h = histogram("obs-test.series.hist");
+        h.record(10);
+        c.add(3);
+        series::sample_tick();
+        c.add(2);
+        series::sample_tick();
+        let snap = series::series_snapshot();
+        let get = |name: &str| -> Vec<f64> {
+            snap.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone()).unwrap_or_default()
+        };
+        assert_eq!(get("obs-test.series.ctr"), vec![3.0, 2.0], "counter deltas per tick");
+        assert_eq!(get("obs-test.series.gauge"), vec![5.0, 5.0], "gauge level per tick");
+        assert_eq!(get("obs-test.series.hist.p50").len(), 2, "histogram quantile series");
+        // Rings cap at SERIES_SLOTS, dropping oldest.
+        for i in 0..(series::SERIES_SLOTS + 10) {
+            series::record_point("obs-test.series.ring", i as f64);
+        }
+        let ring = series::series_snapshot()
+            .into_iter()
+            .find(|(n, _)| n == "obs-test.series.ring")
+            .map(|(_, v)| v)
+            .unwrap_or_default();
+        assert_eq!(ring.len(), series::SERIES_SLOTS);
+        assert_eq!(ring[0], 10.0, "oldest points dropped");
+        assert_eq!(*ring.last().unwrap(), (series::SERIES_SLOTS + 9) as f64);
+        series::reset_series();
         set_enabled(false);
         reset_metrics();
     }

@@ -1,0 +1,200 @@
+//! Request-scoped trace contexts.
+//!
+//! A *trace* groups every journal event and span emitted on behalf of one
+//! logical request. The context is a per-thread stack: [`install`] binds a
+//! trace id (plus the parent span inherited from another thread) to the
+//! current thread, and [`crate::span`] pushes/pops span ids on it. While a
+//! context is active, [`crate::journal::event`] stamps `trace_id` and
+//! `parent_span_id` onto every event automatically — instrumentation
+//! sites don't change at all.
+//!
+//! Id scheme: trace ids and span ids are minted from two process-global
+//! monotone counters starting at 1; **0 is reserved** and means "no
+//! trace" / "no parent" everywhere. Ids are unique per process, not
+//! globally.
+//!
+//! Cross-thread propagation is explicit and cheap: capture [`current`] on
+//! the spawning thread, move the returned [`TraceHandle`] (it is `Copy`)
+//! into the worker, and [`install`] it there. `aqo_core::parallel` does
+//! this for every scoped worker it spawns, so fan-out inside a traced
+//! request keeps the request's trace id.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Both start at 1: id 0 is the reserved "none" value.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Ctx {
+    trace_id: u64,
+    /// Open span ids, innermost last. The bottom entry may be a span
+    /// owned by *another* thread (the inherited parent).
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Mints a fresh trace id (monotone, unique per process, never 0).
+pub fn next_trace_id() -> u64 {
+    // ordering: uniqueness only; ids carry no payload.
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Mints a fresh span id (monotone, unique per process, never 0).
+pub(crate) fn next_span_id() -> u64 {
+    // ordering: uniqueness only; ids carry no payload.
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A portable reference to a position in a trace: the trace id plus the
+/// span that should become the parent of whatever runs under it. `Copy`,
+/// so it moves into worker closures freely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceHandle {
+    trace_id: u64,
+    parent_span: u64,
+}
+
+impl TraceHandle {
+    /// A handle at the root of trace `trace_id` (no parent span).
+    pub fn root(trace_id: u64) -> Self {
+        TraceHandle { trace_id, parent_span: 0 }
+    }
+
+    /// The trace id this handle refers to.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+}
+
+/// The current thread's trace position, if a context is installed:
+/// the trace id plus the innermost open span (the parent any spawned
+/// worker should inherit).
+pub fn current() -> Option<TraceHandle> {
+    CTX.with(|c| {
+        c.borrow().as_ref().map(|ctx| TraceHandle {
+            trace_id: ctx.trace_id,
+            parent_span: ctx.stack.last().copied().unwrap_or(0),
+        })
+    })
+}
+
+/// Installs `handle` as the current thread's trace context; the returned
+/// guard restores the previous context (usually none) on drop. Guards
+/// nest: installing over an existing context shadows it until drop.
+pub fn install(handle: TraceHandle) -> TraceGuard {
+    let stack = if handle.parent_span != 0 { vec![handle.parent_span] } else { Vec::new() };
+    let prev = CTX.with(|c| {
+        c.borrow_mut().replace(Ctx { trace_id: handle.trace_id, stack })
+    });
+    TraceGuard { prev }
+}
+
+/// Restores the previous trace context on drop. Returned by [`install`].
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: Option<Ctx>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("trace_id", &self.trace_id).field("stack", &self.stack).finish()
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CTX.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// `(trace_id, parent_span_id)` for the current thread, if a context is
+/// installed. `parent_span_id` is 0 at the trace root. This is what the
+/// journal stamps onto events.
+pub(crate) fn current_ids() -> Option<(u64, u64)> {
+    CTX.with(|c| {
+        c.borrow().as_ref().map(|ctx| (ctx.trace_id, ctx.stack.last().copied().unwrap_or(0)))
+    })
+}
+
+/// True when a trace context is installed on this thread.
+pub fn active() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Pushes an open span onto the current context (no-op without one).
+pub(crate) fn push_span(span_id: u64) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            ctx.stack.push(span_id);
+        }
+    });
+}
+
+/// Pops `span_id` from the current context. Spans are guards so drops
+/// normally match the top of the stack; out-of-order drops (possible when
+/// a guard is moved) remove the matching entry instead of corrupting the
+/// stack, and a missing entry is ignored (the context may have been
+/// replaced between push and pop).
+pub(crate) fn pop_span(span_id: u64) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow_mut().as_mut() {
+            if ctx.stack.last() == Some(&span_id) {
+                ctx.stack.pop();
+            } else if let Some(pos) = ctx.stack.iter().rposition(|&s| s == span_id) {
+                ctx.stack.remove(pos);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_restore() {
+        assert!(current().is_none());
+        let tid = next_trace_id();
+        {
+            let _g = install(TraceHandle::root(tid));
+            let h = current().expect("context installed");
+            assert_eq!(h.trace_id(), tid);
+            assert_eq!(h.parent_span, 0);
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn handles_propagate_parent_span() {
+        let tid = next_trace_id();
+        let _g = install(TraceHandle::root(tid));
+        push_span(42);
+        let h = current().expect("context installed");
+        assert_eq!(h.parent_span, 42);
+        // Installing the captured handle on "another thread" seeds the
+        // stack with the inherited parent.
+        let inner = install(h);
+        assert_eq!(current_ids(), Some((tid, 42)));
+        drop(inner);
+        pop_span(42);
+        assert_eq!(current_ids(), Some((tid, 0)));
+    }
+
+    #[test]
+    fn pop_tolerates_out_of_order_drops() {
+        let tid = next_trace_id();
+        let _g = install(TraceHandle::root(tid));
+        push_span(1);
+        push_span(2);
+        pop_span(1); // moved guard dropped early
+        assert_eq!(current_ids(), Some((tid, 2)));
+        pop_span(2);
+        pop_span(2); // double pop ignored
+        assert_eq!(current_ids(), Some((tid, 0)));
+    }
+}

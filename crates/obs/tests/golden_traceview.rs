@@ -1,0 +1,44 @@
+//! Golden test for `traceview::render` over a committed mini-journal.
+//!
+//! The fixture is the verbatim `--trace-json` output of a single optimize
+//! request served through `aqo serve --stdio` (chain n=5, seed 3): one
+//! trace whose span tree nests serve.request → driver.optimize_qon →
+//! tier.dp → dp.optimize. Pinning the rendered text keeps the tree
+//! layout, time accounting, and critical-path marking stable for anything
+//! that scrapes `aqo trace view` output.
+
+use aqo_obs::traceview;
+
+const FIXTURE: &str = include_str!("fixtures/mini_journal.jsonl");
+
+const GOLDEN: &str = "\
+trace 1 (4 spans, 7 events)
+  * serve.request                total=498us self=113us events=1
+    * driver.optimize_qon          total=385us self=12us events=3
+      * tier.dp                      total=373us self=5us
+        * dp.optimize                  total=368us self=368us events=2
+";
+
+#[test]
+fn render_matches_golden_tree() {
+    let rendered = traceview::render(FIXTURE).expect("fixture renders");
+    assert_eq!(rendered, GOLDEN, "rendered:\n{rendered}\nexpected:\n{GOLDEN}");
+}
+
+#[test]
+fn check_passes_on_fixture() {
+    let report = traceview::check(FIXTURE).expect("fixture is balanced");
+    assert_eq!(report.traces, 1);
+    assert_eq!(report.spans, 4);
+    // Every line except the untraced serve_shutdown carries the trace id.
+    assert_eq!(report.traced_events, 15);
+}
+
+#[test]
+fn fixture_lines_all_parse_as_journal_events() {
+    for (i, line) in FIXTURE.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let v = aqo_obs::json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        assert!(v.get("type").is_some(), "line {} has no type", i + 1);
+        assert!(v.get("seq").is_some(), "line {} has no seq", i + 1);
+    }
+}

@@ -727,6 +727,9 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         max_line_bytes: 4096,
         degrade: true,
         snapshot_path: Some(snap_path.clone()),
+        // Chaos runs sample aggressively so the series rings exercise
+        // wraparound under fault churn.
+        obs_interval: Some(Duration::from_millis(50)),
     };
     let read_deadline = Duration::from_millis(400);
     let server = Server::new(&serve_cfg);

@@ -1,7 +1,7 @@
 //! The load generator behind `aqo loadgen`: fires a deterministic mixed
 //! QO_N/QO_H workload at a live server, validates every answer against
 //! the sequential driver, and emits `BENCH_serve.json`
-//! (schema `aqo-bench-serve/v1`).
+//! (schema `aqo-bench-serve/v2`).
 //!
 //! Every request's expected cost is precomputed *in-process* with the
 //! same sequential driver defaults the server uses, so "wrong cost" means
@@ -103,8 +103,12 @@ pub struct LevelResult {
     pub elapsed_us: u64,
     /// Median request latency, microseconds.
     pub p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile request latency, microseconds.
+    pub p999_us: u64,
     /// Requests per second over the level.
     pub throughput_rps: f64,
     /// Server-side cache hits during the level (status delta).
@@ -151,10 +155,12 @@ impl LoadgenReport {
         self.levels.iter().map(|l| l.degraded).sum()
     }
 
-    /// `BENCH_serve.json` rendering, schema `aqo-bench-serve/v1`.
+    /// `BENCH_serve.json` rendering, schema `aqo-bench-serve/v2` (v2 adds
+    /// `p90_us`/`p999_us` per level, computed from the same log-bucketed
+    /// histogram that powers the live `metrics` op).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema\": \"aqo-bench-serve/v1\",\n");
+        out.push_str("{\n  \"schema\": \"aqo-bench-serve/v2\",\n");
         let _ = writeln!(out, "  \"mix\": \"{}\",", self.mix.name());
         let _ = writeln!(out, "  \"pool_qon\": {},", self.pool_qon);
         let _ = writeln!(out, "  \"pool_qoh\": {},", self.pool_qoh);
@@ -169,7 +175,8 @@ impl LoadgenReport {
                 out,
                 "    {{\"concurrency\": {}, \"requests\": {}, \"errors\": {}, \
                  \"wrong_cost\": {}, \"degraded\": {}, \"cached\": {}, \"elapsed_us\": {}, \
-                 \"p50_us\": {}, \"p99_us\": {}, \"throughput_rps\": {:.1}, \
+                 \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+                 \"throughput_rps\": {:.1}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}",
                 l.concurrency,
                 l.requests,
@@ -179,7 +186,9 @@ impl LoadgenReport {
                 l.cached,
                 l.elapsed_us,
                 l.p50_us,
+                l.p90_us,
                 l.p99_us,
+                l.p999_us,
                 l.throughput_rps,
                 l.cache_hits,
                 l.cache_misses,
@@ -350,19 +359,19 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         });
         let elapsed_us = t0.elapsed().as_micros().max(1) as u64;
         let (hits1, misses1) = cache_counters(&cfg.addr)?;
-        let mut latencies: Vec<u64> =
-            tallies.iter().flat_map(|t| t.latencies_us.iter().copied()).collect();
-        latencies.sort_unstable();
-        let pct = |p: usize| -> u64 {
-            if latencies.is_empty() {
-                0
-            } else {
-                latencies[(latencies.len() * p / 100).min(latencies.len() - 1)]
+        // Quantiles come from the same log-bucketed histogram the live
+        // `metrics` op uses, so offline BENCH numbers and online `aqo top`
+        // numbers share one definition (half-octave resolution).
+        let hist = aqo_obs::Histogram::detached();
+        let mut answered = 0usize;
+        for t in &tallies {
+            for &us in &t.latencies_us {
+                hist.record_always(us);
+                answered += 1;
             }
-        };
+        }
         let hits = hits1.saturating_sub(hits0);
         let misses = misses1.saturating_sub(misses0);
-        let answered = latencies.len();
         levels.push(LevelResult {
             concurrency: c,
             requests: prepared.len(),
@@ -371,8 +380,10 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
             degraded: tallies.iter().map(|t| t.degraded).sum(),
             cached: tallies.iter().map(|t| t.cached).sum(),
             elapsed_us,
-            p50_us: pct(50),
-            p99_us: pct(99),
+            p50_us: hist.quantile(0.50),
+            p90_us: hist.quantile(0.90),
+            p99_us: hist.quantile(0.99),
+            p999_us: hist.quantile(0.999),
             throughput_rps: answered as f64 / (elapsed_us as f64 / 1e6),
             cache_hits: hits,
             cache_misses: misses,

@@ -24,6 +24,10 @@ pub enum Op {
     Explain,
     /// Service counters snapshot (answered on the connection thread).
     Status,
+    /// Full observability snapshot — counters, gauges, histogram
+    /// quantiles, recent time-series — answered on the connection thread
+    /// like `status` (never touches the worker pool).
+    Metrics,
     /// Drain in-flight work and stop the server.
     Shutdown,
 }
@@ -35,6 +39,7 @@ impl Op {
             Op::Optimize => "optimize",
             Op::Explain => "explain",
             Op::Status => "status",
+            Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
         }
     }
@@ -44,6 +49,7 @@ impl Op {
             "optimize" => Some(Op::Optimize),
             "explain" => Some(Op::Explain),
             "status" => Some(Op::Status),
+            "metrics" => Some(Op::Metrics),
             "shutdown" => Some(Op::Shutdown),
             _ => None,
         }
@@ -408,6 +414,9 @@ pub enum Reply {
     Err(ErrReply),
     /// `status` snapshot.
     Status(Box<StatusReply>),
+    /// `metrics` snapshot: a prebuilt JSON line (the server renders the
+    /// registry directly; clients treat it as an opaque JSON object).
+    Metrics(String),
     /// `shutdown` acknowledgement.
     ShutdownAck {
         /// Echoed request id.
@@ -509,6 +518,7 @@ impl Reply {
                     s.uptime_us,
                 );
             }
+            Reply::Metrics(line) => out.push_str(line),
             Reply::ShutdownAck { id } => {
                 let _ = write!(
                     out,

@@ -86,6 +86,11 @@ pub struct ServeConfig {
     /// Plan-cache snapshot file (`--cache-snapshot`): loaded on startup
     /// for a warm cache, rewritten atomically at shutdown.
     pub snapshot_path: Option<std::path::PathBuf>,
+    /// Observability sampling interval (`--obs-interval-ms`): how often
+    /// the sampler thread captures counter deltas, gauge levels, and
+    /// histogram quantiles into the [`aqo_obs::series`] rings. `None`
+    /// disables the sampler (TCP transport only; stdio never samples).
+    pub obs_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +106,7 @@ impl Default for ServeConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             degrade: true,
             snapshot_path: None,
+            obs_interval: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -184,6 +190,10 @@ struct Job {
     req: Request,
     out: SharedWriter,
     degrade: Degrade,
+    /// Trace id minted at intake (0 when collection is disabled); the
+    /// worker re-installs it so the handling spans/events join the
+    /// request's trace across the queue hop.
+    trace_id: u64,
 }
 
 /// A connection's reply channel: the writer (locked so concurrent replies
@@ -232,6 +242,7 @@ pub struct Server {
     max_line_bytes: usize,
     degrade: bool,
     snapshot_path: Option<std::path::PathBuf>,
+    obs_interval: Option<Duration>,
     state: Mutex<QueueState>,
     work_cv: Condvar,
     accepting: AtomicBool,
@@ -282,6 +293,7 @@ impl Server {
             max_line_bytes: cfg.max_line_bytes.max(1),
             degrade: cfg.degrade,
             snapshot_path: cfg.snapshot_path.clone(),
+            obs_interval: cfg.obs_interval,
             state: Mutex::new(QueueState { queue: VecDeque::new(), executing: 0 }),
             work_cv: Condvar::new(),
             accepting: AtomicBool::new(true),
@@ -316,6 +328,11 @@ impl Server {
             let pool = scope.spawn(|| {
                 parallel::run_workers(self.workers, |_t| self.worker_loop());
             });
+            // The sampler is scoped too: it exits on the shutdown flag and
+            // the scope joins it after the drain.
+            if let Some(interval) = self.obs_interval {
+                scope.spawn(move || self.sampler_loop(interval));
+            }
             let mut accept_err = None;
             loop {
                 // ordering: Relaxed — monotone stop flag; the acceptor
@@ -369,6 +386,27 @@ impl Server {
         })?;
         self.save_snapshot();
         Ok(self.report())
+    }
+
+    /// The observability sampler: once per `interval` (while collection
+    /// is enabled), captures one [`aqo_obs::series`] tick — counter
+    /// deltas, gauge levels, histogram quantiles — and counts it. Sleeps
+    /// in short slices so shutdown is noticed within ~50ms regardless of
+    /// the interval.
+    fn sampler_loop(&self, interval: Duration) {
+        let mut next = Instant::now() + interval;
+        // ordering: Relaxed — monotone stop flag, same as the acceptor.
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let now = Instant::now();
+            if now >= next {
+                next = now + interval;
+                if aqo_obs::enabled() {
+                    aqo_obs::series::sample_tick();
+                    aqo_obs::counter_handle!("serve.sampler.ticks").inc();
+                }
+            }
+            std::thread::sleep(interval.min(Duration::from_millis(50)));
+        }
     }
 
     /// Writes the plan-cache snapshot if one was configured. Failures are
@@ -489,6 +527,11 @@ impl Server {
                 }
             };
             let Some(job) = job else { return };
+            // Rejoin the request's trace across the queue hop: handling
+            // spans and events share the trace id minted at intake.
+            let _trace = (job.trace_id != 0).then(|| {
+                aqo_obs::trace::install(aqo_obs::trace::TraceHandle::root(job.trace_id))
+            });
             let reply = self.engine.handle_degraded(&job.req, job.degrade);
             // ordering: Relaxed — statistics counters only.
             match reply.is_ok() {
@@ -603,10 +646,20 @@ impl Server {
                 return false;
             }
         };
+        // Mint the request's trace id and bind it to this thread: every
+        // event from here to the reply (intake, admission, and — via the
+        // Job — worker handling) shares it.
+        let trace_id = if aqo_obs::enabled() { aqo_obs::trace::next_trace_id() } else { 0 };
+        let _trace = (trace_id != 0)
+            .then(|| aqo_obs::trace::install(aqo_obs::trace::TraceHandle::root(trace_id)));
         self.note_request(&req);
         match req.op {
             Op::Status => {
                 write_reply(out, &self.status_reply(req.id));
+                false
+            }
+            Op::Metrics => {
+                write_reply(out, &self.metrics_reply(req.id));
                 false
             }
             Op::Shutdown => {
@@ -623,7 +676,7 @@ impl Server {
                         false => self.errors.fetch_add(1, Ordering::Relaxed), // ordering: stats only
                     };
                     write_reply(out, &reply);
-                } else if let Some(rejection) = self.submit(req, out) {
+                } else if let Some(rejection) = self.submit(req, out, trace_id) {
                     write_reply(out, &rejection);
                 }
                 false
@@ -634,7 +687,7 @@ impl Server {
     /// Admission control: enqueue (at an overload-chosen ladder level),
     /// or return the structured rejection. The pressure reading and the
     /// enqueue happen under one lock acquisition, so the cap is exact.
-    fn submit(&self, req: Request, out: &SharedWriter) -> Option<Reply> {
+    fn submit(&self, req: Request, out: &SharedWriter, trace_id: u64) -> Option<Reply> {
         let mut st = self.lock_state();
         // ordering: Relaxed — read under the same lock `begin_shutdown`
         // sets it under.
@@ -667,7 +720,7 @@ impl Server {
             }));
         }
         let degrade = self.ladder_level(inflight);
-        st.queue.push_back(Job { req, out: Arc::clone(out), degrade });
+        st.queue.push_back(Job { req, out: Arc::clone(out), degrade, trace_id });
         self.publish_gauges(&st);
         drop(st);
         self.work_cv.notify_one();
@@ -734,6 +787,104 @@ impl Server {
             cache_capacity: cache.capacity,
             uptime_us: self.started.elapsed().as_micros() as u64,
         }))
+    }
+
+    /// The `metrics` reply: a full observability snapshot rendered as one
+    /// JSON line — nonzero counters, all gauges, live histograms with
+    /// quantiles, and the recent time-series rings. Served inline on the
+    /// connection thread (registry + series locks only — never the worker
+    /// pool), so it stays responsive under full queue pressure.
+    fn metrics_reply(&self, id: u64) -> Reply {
+        use std::fmt::Write as _;
+        let (queue_depth, executing) = {
+            let st = self.lock_state();
+            (st.queue.len(), st.executing)
+        };
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"id\": {id}, \"ok\": true, \"op\": \"metrics\", \
+             \"schema\": \"aqo-metrics/v1\", \"enabled\": {}, \"uptime_us\": {}, \
+             \"workers\": {}, \"queue_depth\": {queue_depth}, \"executing\": {executing}, \
+             \"max_inflight\": {}, \"accepting\": {}",
+            aqo_obs::enabled(),
+            self.started.elapsed().as_micros() as u64,
+            self.workers,
+            self.max_inflight,
+            // ordering: Relaxed — statistics snapshot only.
+            self.accepting.load(Ordering::Relaxed),
+        );
+        let snap = aqo_obs::snapshot();
+        let mut first = true;
+        out.push_str(", \"counters\": {");
+        for m in &snap {
+            if let aqo_obs::SnapshotValue::Counter(v) = m.value {
+                if v == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                aqo_obs::json::escape_into(&mut out, &m.name);
+                let _ = write!(out, ": {v}");
+            }
+        }
+        out.push_str("}, \"gauges\": {");
+        first = true;
+        for m in &snap {
+            if let aqo_obs::SnapshotValue::Gauge(v) = m.value {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                aqo_obs::json::escape_into(&mut out, &m.name);
+                let _ = write!(out, ": {v}");
+            }
+        }
+        out.push_str("}, \"histograms\": {");
+        first = true;
+        for m in &snap {
+            if let aqo_obs::SnapshotValue::Histogram { count, sum, max, p50, p90, p99, p999 } =
+                m.value
+            {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                aqo_obs::json::escape_into(&mut out, &m.name);
+                let _ = write!(
+                    out,
+                    ": {{\"count\": {count}, \"mean_us\": {:.1}, \"max\": {max}, \
+                     \"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"p999\": {p999}}}",
+                    sum as f64 / count as f64
+                );
+            }
+        }
+        out.push_str("}, \"series\": {");
+        first = true;
+        for (name, points) in aqo_obs::series::series_snapshot() {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            aqo_obs::json::escape_into(&mut out, &name);
+            out.push_str(": [");
+            for (i, p) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                // Points are u64 values or quantiles cast to f64 — always
+                // finite, and `{p:?}` is valid JSON for finite floats.
+                let _ = write!(out, "{p:?}");
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        Reply::Metrics(out)
     }
 }
 
