@@ -131,13 +131,7 @@ mod tests {
     use crate::rules::Severity;
 
     fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
-        Finding {
-            rule,
-            severity: Severity::Error,
-            path: path.to_string(),
-            line,
-            message: "m".to_string(),
-        }
+        Finding::new(rule, Severity::Error, path, line, "m")
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Workspace call graph: name-resolution over the symbol layer plus the
+//! **panic-path** reachability rule.
+//!
+//! Resolution is a heuristic, tuned to over-approximate (docs/ANALYSIS.md
+//! lists the trade-offs):
+//!
+//! * `self.foo(…)` resolves to `foo` on the caller's impl type only.
+//! * `recv.foo(…)` resolves via the receiver's field type when the last
+//!   receiver segment is a known struct field; otherwise to *every*
+//!   workspace method named `foo` — except names on the [`UBIQUITOUS`]
+//!   blocklist (std-colliding names like `len`/`push`/`clone`), which
+//!   would connect everything to everything.
+//! * `Qual::foo(…)` resolves to the associated function when `Qual` is a
+//!   known impl type, else to free functions named `foo` (module path).
+//! * `foo(…)` resolves to free functions named `foo`.
+
+use crate::rules::{Finding, Severity};
+use crate::symbols::{CallKind, Item, Workspace};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names too common in std to use for cross-type matching: an
+/// unresolvable `.len()` edge to some workspace `len` would wire the
+/// whole graph together. Receiver-field-typed calls bypass this list.
+const UBIQUITOUS: [&str; 53] = [
+    "len", "get", "get_mut", "insert", "push", "pop", "push_back", "pop_front", "lock",
+    "read", "write", "flush", "clone", "fmt", "next", "iter", "iter_mut", "load", "store",
+    "wait", "join", "clear", "is_empty", "contains", "contains_key", "remove", "new",
+    "default", "from", "into", "to_string", "as_str", "as_bytes", "cmp", "eq", "hash",
+    "drop", "take", "set", "min", "max", "count",
+    // std I/O trait methods: `stdin.lock().read_line(…)` must not edge
+    // to a workspace type's same-named wrapper.
+    "read_line", "write_all", "write_fmt", "read_to_end", "read_exact", "read_until",
+    "recv", "recv_timeout", "send", "accept", "connect",
+];
+
+/// A resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Index of the callee in `ws.items`.
+    pub callee: usize,
+    /// 1-based call-site line in the caller's file.
+    pub line: usize,
+    /// Inside `catch_unwind` — panic reachability stops, lock analysis
+    /// does not.
+    pub contained: bool,
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph<'a> {
+    /// The symbol layer the graph was resolved against.
+    pub ws: &'a Workspace,
+    /// Outgoing edges per item (indices into `ws.items`).
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Resolves every call site in `ws` to zero or more edges.
+    pub fn build(ws: &'a Workspace) -> CallGraph<'a> {
+        // Indices.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut assoc: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, it) in ws.items.iter().enumerate() {
+            match &it.self_type {
+                Some(ty) => {
+                    methods.entry(it.name.as_str()).or_default().push(i);
+                    assoc.entry((ty.as_str(), it.name.as_str())).or_default().push(i);
+                }
+                None => free.entry(it.name.as_str()).or_default().push(i),
+            }
+        }
+        // Field name → unique type's last path segment, for
+        // receiver-directed method resolution. Ambiguous names drop out.
+        let mut field_types: BTreeMap<&str, Option<String>> = BTreeMap::new();
+        for s in &ws.structs {
+            for f in &s.fields {
+                let ty = type_last_segment(&f.ty);
+                match field_types.entry(f.name.as_str()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(Some(ty));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        if e.get().as_deref() != Some(ty.as_str()) {
+                            e.insert(None);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Method name → unique returned type, with guard wrappers
+        // unwrapped (`MutexGuard<'_, Shard>` → `Shard`), so
+        // `self.shard(h).lookup(…)` resolves on `Shard`, not by name.
+        let mut return_types: BTreeMap<&str, Option<String>> = BTreeMap::new();
+        for it in &ws.items {
+            let Some(ret) = it.signature.split("->").nth(1) else { continue };
+            let ret = ret.trim().trim_end_matches('{').trim();
+            let ty = match ret.find("Guard<") {
+                Some(pos) => {
+                    let inner = ret[pos..]
+                        .trim_start_matches(|c| c != '<')
+                        .trim_start_matches('<')
+                        .trim_end_matches('>');
+                    type_last_segment(inner.rsplit(',').next().unwrap_or(inner))
+                }
+                None => type_last_segment(ret),
+            };
+            match return_types.entry(it.name.as_str()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(Some(ty));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if e.get().as_deref() != Some(ty.as_str()) {
+                        e.insert(None);
+                    }
+                }
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); ws.items.len()];
+        for (i, it) in ws.items.iter().enumerate() {
+            // Name-only fallbacks (unqualified free calls, methods on
+            // untyped receivers) stay within the caller's crate:
+            // cross-crate calls are in practice qualified or go through
+            // typed fields, and a workspace-wide name match would wire
+            // `run`/`build` between unrelated crates.
+            let same_crate =
+                |targets: Vec<usize>| -> Vec<usize> {
+                    targets
+                        .into_iter()
+                        .filter(|&t| crate_of(&ws.items[t].file) == crate_of(&it.file))
+                        .collect()
+                };
+            for call in &it.calls {
+                let targets: Vec<usize> = match &call.kind {
+                    CallKind::SelfMethod => {
+                        let ty = it.self_type.as_deref().unwrap_or("");
+                        assoc.get(&(ty, call.name.as_str())).cloned().unwrap_or_default()
+                    }
+                    CallKind::Method { receiver } => {
+                        let by_field = receiver
+                            .as_deref()
+                            .and_then(|r| field_types.get(r).or_else(|| return_types.get(r)))
+                            .and_then(|t| t.as_deref())
+                            .and_then(|ty| assoc.get(&(ty, call.name.as_str())));
+                        match by_field {
+                            Some(t) => t.clone(),
+                            None if UBIQUITOUS.contains(&call.name.as_str()) => Vec::new(),
+                            None => same_crate(
+                                methods.get(call.name.as_str()).cloned().unwrap_or_default(),
+                            ),
+                        }
+                    }
+                    CallKind::Path { qualifier } => {
+                        match assoc.get(&(qualifier.as_str(), call.name.as_str())) {
+                            Some(t) => t.clone(),
+                            // A qualifier that names a known impl type but
+                            // lacks this associated fn stays unresolved
+                            // (std type or constructor); otherwise treat
+                            // the qualifier as a module path.
+                            None if ws.items.iter().any(|o| {
+                                o.self_type.as_deref() == Some(qualifier.as_str())
+                            }) =>
+                            {
+                                Vec::new()
+                            }
+                            None => same_crate(
+                                free.get(call.name.as_str()).cloned().unwrap_or_default(),
+                            ),
+                        }
+                    }
+                    CallKind::Free => same_crate(
+                        free.get(call.name.as_str()).cloned().unwrap_or_default(),
+                    ),
+                };
+                for t in targets {
+                    edges[i].push(Edge { callee: t, line: call.line, contained: call.contained });
+                }
+            }
+        }
+        CallGraph { ws, edges }
+    }
+
+    /// Display label for an item: `file::fn` with the impl type folded in.
+    pub fn label(&self, idx: usize) -> String {
+        let it = &self.ws.items[idx];
+        let stem = it.file.rsplit('/').next().unwrap_or(&it.file);
+        match &it.self_type {
+            Some(ty) => format!("{stem}:{}::{}", ty, it.name),
+            None => format!("{stem}:{}", it.name),
+        }
+    }
+}
+
+/// Serve entry points by exact name; any `handle*` in `crates/serve/src/`
+/// also counts.
+const ENTRY_FNS: [&str; 13] = [
+    "run", "run_stdio", "serve_connection", "worker_loop", "intake_line", "submit",
+    "evict_connection", "status_reply", "metrics_reply", "next_line", "write_reply",
+    "sampler_loop", "begin_shutdown",
+];
+
+fn is_entry(it: &Item) -> bool {
+    // chaos.rs / loadgen.rs drive the server from the *outside* (fault
+    // campaigns, load harnesses); a panic there aborts a campaign, not a
+    // live connection, so they are not hot-path entry points.
+    it.file.starts_with("crates/serve/src/")
+        && !it.file.ends_with("/chaos.rs")
+        && !it.file.ends_with("/loadgen.rs")
+        && !it.is_test
+        && it.body.0 != 0
+        && (ENTRY_FNS.contains(&it.name.as_str()) || it.name.starts_with("handle"))
+}
+
+/// **panic-path** — no serve entry point may reach a panic token outside
+/// test code or an allow span. Traversal stops at `catch_unwind`
+/// containment. One finding per panic site, witnessed by the shortest
+/// entry→site call chain.
+pub fn panic_path(graph: &CallGraph<'_>) -> Vec<Finding> {
+    const RULE: &str = "panic-path";
+    let items = &graph.ws.items;
+    let mut findings: BTreeMap<(String, usize), Finding> = BTreeMap::new();
+
+    for (entry, it) in items.iter().enumerate() {
+        if !is_entry(it) {
+            continue;
+        }
+        // BFS, recording predecessor for chain reconstruction.
+        let mut pred: Vec<Option<usize>> = vec![None; items.len()];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(entry);
+        queue.push_back(entry);
+        while let Some(cur) = queue.pop_front() {
+            for e in &graph.edges[cur] {
+                if e.contained || items[e.callee].is_test || seen.contains(&e.callee) {
+                    continue;
+                }
+                seen.insert(e.callee);
+                pred[e.callee] = Some(cur);
+                queue.push_back(e.callee);
+            }
+        }
+        for &node in &seen {
+            let target = &items[node];
+            for p in &target.panics {
+                if p.allowed {
+                    continue;
+                }
+                let key = (target.file.clone(), p.line);
+                let mut chain: Vec<String> = Vec::new();
+                let mut cur = node;
+                chain.push(graph.label(cur));
+                while let Some(prev) = pred[cur] {
+                    chain.push(graph.label(prev));
+                    cur = prev;
+                }
+                chain.reverse();
+                let better = findings
+                    .get(&key)
+                    .is_none_or(|f| chain.len() < f.chain.len());
+                if better {
+                    findings.insert(
+                        key,
+                        Finding {
+                            rule: RULE,
+                            severity: Severity::Error,
+                            path: target.file.clone(),
+                            line: p.line,
+                            message: format!(
+                                "{} in `{}` is reachable from serve entry `{}`; return an \
+                                 error, contain with catch_unwind, or add \
+                                 `// analyze:allow({RULE}) -- <why>`",
+                                p.label,
+                                target.name,
+                                items[entry].name
+                            ),
+                            chain,
+                            cycle: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    findings.into_values().collect()
+}
+
+/// Crate-identifying path prefix: `crates/serve/src/x.rs` → `crates/serve`.
+pub(crate) fn crate_of(file: &str) -> &str {
+    match file.match_indices('/').nth(1).map(|(i, _)| i) {
+        Some(i) => &file[..i],
+        None => file,
+    }
+}
+
+/// Last path segment of a type expression: `aqo_core::Bitset` → `Bitset`,
+/// `Mutex<QueueState>` → `Mutex`, `&'a PlanCache` → `PlanCache`.
+fn type_last_segment(ty: &str) -> String {
+    let head = ty.split('<').next().unwrap_or(ty);
+    let head = head.trim_start_matches(['&', ' ']).trim();
+    let head = head.strip_prefix("'").map_or(head, |r| {
+        r.split_once(' ').map(|(_, t)| t).unwrap_or(r)
+    });
+    let head = head.trim_start_matches("mut ").trim();
+    head.rsplit("::").next().unwrap_or(head).trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::SourceModel;
+    use crate::symbols;
+
+    fn graph_findings(src: &str) -> Vec<Finding> {
+        let models = vec![SourceModel::scan("crates/serve/src/server.rs", src)];
+        let ws = Box::leak(Box::new(symbols::extract(&models)));
+        panic_path(&CallGraph::build(ws))
+    }
+
+    #[test]
+    fn reachable_panic_is_found_with_chain() {
+        let src = "impl Server {\n    pub fn handle(&self) {\n        self.step();\n    }\n    fn step(&self) {\n        deep();\n    }\n}\nfn deep() {\n    x.unwrap();\n}\n";
+        let hits = graph_findings(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 10);
+        assert_eq!(hits[0].chain.len(), 3);
+        assert!(hits[0].chain[0].contains("handle"));
+        assert!(hits[0].chain[2].contains("deep"));
+    }
+
+    #[test]
+    fn catch_unwind_and_allows_stop_the_walk() {
+        let src = "impl Server {\n    pub fn handle(&self) {\n        let r = std::panic::catch_unwind(|| contained());\n        // analyze:allow(panic-path) -- slice bounds proven by cut < len\n        let b = &line[..cut];\n    }\n}\nfn contained() {\n    x.unwrap();\n}\n";
+        let hits = graph_findings(src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn ubiquitous_names_do_not_wire_the_graph() {
+        // `.len()` on an unknown receiver must not resolve to the
+        // workspace `len` method even though one exists.
+        let src = "impl Server {\n    pub fn handle(&self, v: &Thing) {\n        v.len();\n    }\n}\nstruct Other;\nimpl Other {\n    fn len(&self) -> usize {\n        self.raw.unwrap()\n    }\n}\n";
+        let hits = graph_findings(src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn field_typed_receiver_bypasses_the_blocklist() {
+        let src = "struct Server {\n    cache: PlanCache,\n}\nimpl Server {\n    pub fn handle(&self) {\n        self.cache.insert(1);\n    }\n}\nstruct PlanCache;\nimpl PlanCache {\n    fn insert(&self, k: u64) {\n        self.slots[k].set(1);\n    }\n}\n";
+        let hits = graph_findings(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("indexing"));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use crate::scanner::SourceModel;
+    use crate::symbols;
+
+    #[test]
+    #[ignore]
+    fn dump_real_edges() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut models = Vec::new();
+        for f in ["crates/serve/src/server.rs", "crates/serve/src/chaos.rs", "crates/serve/src/client.rs", "crates/serve/src/loadgen.rs", "crates/serve/src/snapshot.rs"] {
+            let text = std::fs::read_to_string(root.join(f)).unwrap();
+            models.push(SourceModel::scan(f, &text));
+        }
+        let ws = symbols::extract(&models);
+        let g = CallGraph::build(&ws);
+        for (i, it) in ws.items.iter().enumerate() {
+            if it.name == "run" && it.file.ends_with("server.rs") {
+                println!("item {} {} body {:?}", g.label(i), it.file, it.body);
+                for e in &g.edges[i] {
+                    println!("  edge line {} -> {}", e.line, g.label(e.callee));
+                }
+                for c in &it.calls {
+                    if c.name == "run" { println!("  rawcall line {} {:?}", c.line, c.kind); }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! **error-kind-sync** — the wire error kinds emitted by `crates/serve`
+//! must be classified by the client and documented.
+//!
+//! Source of truth: the string literals in `ErrorKind::name()`
+//! (`crates/serve/src/proto.rs`) — that is the exact set a server can
+//! put on the wire. Each kind must then appear:
+//!
+//! * in `ErrorKind::from_wire` (the client-side decoder round-trips it),
+//! * somewhere in `crates/serve/src/client.rs` (the retriable/fatal
+//!   classification tables and their exhaustiveness tests name every
+//!   kind — an unnamed kind falls into a default arm nobody audited),
+//! * backticked in `docs/SERVING.md` (operators grep the doc, not the
+//!   enum).
+
+use crate::rules::{Finding, Severity};
+use crate::scanner::SourceModel;
+use crate::symbols::Workspace;
+
+/// A plausible wire kind: short lowercase identifier.
+fn is_kind_literal(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 24
+        && s.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+}
+
+/// Runs the rule; see the module docs for the three coverage targets.
+pub fn error_kind_sync(
+    ws: &Workspace,
+    models: &[SourceModel],
+    serving_doc: Option<&str>,
+) -> Vec<Finding> {
+    const RULE: &str = "error-kind-sync";
+    let mut findings = Vec::new();
+
+    // The emitting enum: ErrorKind::name() in crates/serve/src/.
+    let Some(name_fn) = ws.items.iter().find(|it| {
+        it.name == "name"
+            && it.self_type.as_deref() == Some("ErrorKind")
+            && it.file.starts_with("crates/serve/src/")
+            && it.body.0 != 0
+    }) else {
+        return findings; // no serve wire enum in this workspace/fixture
+    };
+    let Some(proto) = models.iter().find(|m| m.rel_path == name_fn.file) else {
+        return findings;
+    };
+    let kinds: Vec<(String, usize)> = (name_fn.body.0..=name_fn.body.1)
+        .flat_map(|ln| {
+            proto.lines[ln - 1]
+                .strings
+                .iter()
+                .filter(|s| is_kind_literal(s))
+                .map(move |s| (s.clone(), ln))
+        })
+        .collect();
+
+    // from_wire coverage (same file).
+    let from_wire = ws.items.iter().find(|it| {
+        it.name == "from_wire"
+            && it.self_type.as_deref() == Some("ErrorKind")
+            && it.file == name_fn.file
+            && it.body.0 != 0
+    });
+
+    // Everything client.rs mentions (strings in code *and* tests: the
+    // classification arrays live in the exhaustiveness tests).
+    let client = models
+        .iter()
+        .find(|m| m.rel_path.starts_with("crates/serve/src/") && m.rel_path.ends_with("client.rs"));
+
+    for (kind, ln) in &kinds {
+        if proto.is_allowed(RULE, *ln) {
+            continue;
+        }
+        if let Some(fw) = from_wire {
+            let covered = (fw.body.0..=fw.body.1)
+                .any(|l| proto.lines[l - 1].strings.iter().any(|s| s == kind));
+            if !covered {
+                findings.push(Finding::new(
+                    RULE,
+                    Severity::Error,
+                    name_fn.file.clone(),
+                    *ln,
+                    format!(
+                        "wire error kind `{kind}` is emitted by ErrorKind::name() but \
+                         not decoded in ErrorKind::from_wire"
+                    ),
+                ));
+            }
+        }
+        if let Some(cl) = client {
+            let mentioned = cl
+                .lines
+                .iter()
+                .any(|l| l.strings.iter().any(|s| s == kind) || l.code.contains(kind.as_str()));
+            if !mentioned {
+                findings.push(Finding::new(
+                    RULE,
+                    Severity::Error,
+                    name_fn.file.clone(),
+                    *ln,
+                    format!(
+                        "wire error kind `{kind}` has no retriable/fatal classification \
+                         coverage in {} (name it in the ErrorClass tables or their \
+                         exhaustiveness tests)",
+                        cl.rel_path
+                    ),
+                ));
+            }
+        }
+        if let Some(doc) = serving_doc {
+            if !doc.contains(&format!("`{kind}`")) {
+                findings.push(Finding::new(
+                    RULE,
+                    Severity::Error,
+                    name_fn.file.clone(),
+                    *ln,
+                    format!(
+                        "wire error kind `{kind}` is not documented (backticked) in \
+                         docs/SERVING.md"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols;
+
+    fn run(proto: &str, client: &str, doc: Option<&str>) -> Vec<Finding> {
+        let models = vec![
+            SourceModel::scan("crates/serve/src/proto.rs", proto),
+            SourceModel::scan("crates/serve/src/client.rs", client),
+        ];
+        let ws = symbols::extract(&models);
+        error_kind_sync(&ws, &models, doc)
+    }
+
+    const PROTO: &str = "pub enum ErrorKind {\n    Parse,\n    Frobbed,\n}\nimpl ErrorKind {\n    pub fn name(self) -> &'static str {\n        match self {\n            ErrorKind::Parse => \"parse\",\n            ErrorKind::Frobbed => \"frobbed\",\n        }\n    }\n    pub fn from_wire(s: &str) -> ErrorKind {\n        match s {\n            \"frobbed\" => ErrorKind::Frobbed,\n            _ => ErrorKind::Parse,\n        }\n    }\n}\n";
+
+    #[test]
+    fn missing_coverage_is_reported_per_target() {
+        // client only knows "parse"; doc only documents `parse`.
+        let hits = run(PROTO, "fn classify(k: &str) { matches!(k, \"parse\"); }\n", Some("kinds: `parse`"));
+        // `parse` missing from from_wire; `frobbed` missing from client + doc.
+        assert!(
+            hits.iter().any(|f| f.message.contains("`parse`") && f.message.contains("from_wire")),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter().any(|f| f.message.contains("`frobbed`") && f.message.contains("classification")),
+            "{hits:?}"
+        );
+        assert!(
+            hits.iter().any(|f| f.message.contains("`frobbed`") && f.message.contains("SERVING")),
+            "{hits:?}"
+        );
+        assert!(!hits.iter().any(|f| f.message.contains("`parse`") && f.message.contains("SERVING")));
+    }
+
+    #[test]
+    fn full_coverage_is_clean() {
+        let client = "fn classify(k: &str) { matches!(k, \"parse\" | \"frobbed\"); }\n";
+        let proto_full = PROTO.replace(
+            "\"frobbed\" => ErrorKind::Frobbed,",
+            "\"frobbed\" => ErrorKind::Frobbed,\n            \"parse\" => ErrorKind::Parse,",
+        );
+        let hits = run(&proto_full, client, Some("kinds: `parse`, `frobbed`"));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

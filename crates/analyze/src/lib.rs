@@ -28,8 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod error_kinds;
+pub mod locks;
 pub mod rules;
 pub mod scanner;
+pub mod symbols;
 
 use baseline::Baseline;
 use rules::{Finding, Severity};
@@ -127,16 +131,22 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), AnalyzeError> {
 }
 
 /// Runs the full rule catalog over the workspace at `root`. Reads
-/// `docs/OBSERVABILITY.md` for `counter-catalog-sync` (skipped with a
-/// warning finding if the catalog file is missing).
+/// `docs/OBSERVABILITY.md`, `docs/SERVING.md`, and `docs/ANALYSIS.md`
+/// for the doc-sync rules (a missing doc skips that rule's doc-side
+/// checks — fixture workspaces rarely carry docs).
 pub fn analyze(root: &Path) -> Result<Vec<Finding>, AnalyzeError> {
     let models = scan_workspace(root)?;
-    let doc_path = root.join("docs").join("OBSERVABILITY.md");
-    let doc = std::fs::read_to_string(&doc_path).ok();
-    Ok(rules::run_all(&models, doc.as_deref()))
+    let docs = root.join("docs");
+    let ctx = rules::RuleContext {
+        observability_doc: std::fs::read_to_string(docs.join("OBSERVABILITY.md")).ok(),
+        serving_doc: std::fs::read_to_string(docs.join("SERVING.md")).ok(),
+        analysis_doc: std::fs::read_to_string(docs.join("ANALYSIS.md")).ok(),
+    };
+    Ok(rules::run_all(&models, &ctx))
 }
 
-/// Renders findings as `path:line: severity [rule] message` lines.
+/// Renders findings as `path:line: severity [rule] message` lines, with
+/// indented witness lines (call chain / lock cycle) where present.
 pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
@@ -144,16 +154,23 @@ pub fn render_text(findings: &[Finding]) -> String {
             "{}:{}: {} [{}] {}\n",
             f.path, f.line, f.severity, f.rule, f.message
         ));
+        if !f.chain.is_empty() {
+            out.push_str(&format!("    chain: {}\n", f.chain.join(" -> ")));
+        }
+        if !f.cycle.is_empty() {
+            out.push_str(&format!("    cycle: {}\n", f.cycle.join(" -> ")));
+        }
     }
     out
 }
 
 /// Renders the full report (findings + gate outcome) as one JSON
-/// document, schema `aqo-analyze/v1`.
+/// document, schema `aqo-analyze/v2`: v1 plus per-finding `chain` /
+/// `cycle` witness arrays (present only when non-empty).
 pub fn render_json(findings: &[Finding], gate: &baseline::Gate) -> String {
     use aqo_obs::json::escape_into;
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"aqo-analyze/v1\",\n  \"findings\": [");
+    out.push_str("{\n  \"schema\": \"aqo-analyze/v2\",\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\"rule\": ");
@@ -164,6 +181,18 @@ pub fn render_json(findings: &[Finding], gate: &baseline::Gate) -> String {
         escape_into(&mut out, &f.path);
         out.push_str(&format!(", \"line\": {}, \"message\": ", f.line));
         escape_into(&mut out, &f.message);
+        for (key, list) in [("chain", &f.chain), ("cycle", &f.cycle)] {
+            if !list.is_empty() {
+                out.push_str(&format!(", \"{key}\": ["));
+                for (j, hop) in list.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    escape_into(&mut out, hop);
+                }
+                out.push(']');
+            }
+        }
         out.push('}');
     }
     out.push_str("\n  ],\n  \"regressions\": [");
@@ -191,6 +220,7 @@ struct Options {
     no_baseline: bool,
     write_baseline: bool,
     rule: Option<String>,
+    explain: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, AnalyzeError> {
@@ -201,6 +231,7 @@ fn parse_options(args: &[String]) -> Result<Options, AnalyzeError> {
         no_baseline: false,
         write_baseline: false,
         rule: None,
+        explain: None,
     };
     let mut i = 0usize;
     while i < args.len() {
@@ -232,10 +263,22 @@ fn parse_options(args: &[String]) -> Result<Options, AnalyzeError> {
                 opts.rule = Some(r);
                 i += 1;
             }
+            "--explain" => {
+                let r = value(i)?;
+                if !rules::RULE_IDS.contains(&r.as_str()) {
+                    return Err(AnalyzeError::Invalid(format!(
+                        "unknown rule `{r}` (rules: {})",
+                        rules::RULE_IDS.join(", ")
+                    )));
+                }
+                opts.explain = Some(r);
+                i += 1;
+            }
             other => {
                 return Err(AnalyzeError::Invalid(format!(
                     "analyze: unknown flag `{other}` (flags: --json --root <dir> \
-                     --baseline <file> --no-baseline --write-baseline --rule <id>)"
+                     --baseline <file> --no-baseline --write-baseline --rule <id> \
+                     --explain <id>)"
                 )))
             }
         }
@@ -257,8 +300,24 @@ pub fn cli_main(args: &[String]) -> i32 {
     }
 }
 
+/// Renders one rule's catalog entry — the `--explain <rule>` output,
+/// from the same [`rules::RULE_DOCS`] table docs/ANALYSIS.md is kept in
+/// sync with.
+pub fn explain_rule(id: &str) -> Option<String> {
+    let doc = rules::RULE_DOCS.iter().find(|d| d.id == id)?;
+    Some(format!(
+        "{} ({})\n\n{}\n\n{}\n\nSee docs/ANALYSIS.md for the full catalog.\n",
+        doc.id, doc.severity, doc.summary, doc.detail
+    ))
+}
+
 fn cli_inner(args: &[String]) -> Result<i32, AnalyzeError> {
     let opts = parse_options(args)?;
+    if let Some(id) = &opts.explain {
+        // Validated by parse_options, so the lookup cannot miss.
+        print!("{}", explain_rule(id).unwrap_or_default());
+        return Ok(0);
+    }
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => {
@@ -344,20 +403,28 @@ mod tests {
 
     #[test]
     fn json_report_parses() {
-        let findings = vec![rules::Finding {
-            rule: "no-unwrap-in-lib",
-            severity: Severity::Error,
-            path: "crates/core/src/x.rs".into(),
-            line: 7,
-            message: "a \"quoted\" message".into(),
-        }];
+        let mut finding = rules::Finding::new(
+            "no-unwrap-in-lib",
+            Severity::Error,
+            "crates/core/src/x.rs",
+            7,
+            "a \"quoted\" message",
+        );
+        finding.chain = vec!["server.rs:Server::handle".into(), "engine.rs:solve".into()];
+        let findings = vec![finding];
         let gate = Baseline::empty().gate(&findings);
         let doc = render_json(&findings, &gate);
         let parsed = aqo_obs::json::parse(&doc).expect("report is valid JSON");
         assert_eq!(
             parsed.get("schema").and_then(aqo_obs::json::JsonValue::as_str),
-            Some("aqo-analyze/v1")
+            Some("aqo-analyze/v2")
         );
+        let f0 = &parsed.get("findings").and_then(aqo_obs::json::JsonValue::as_arr).unwrap()[0];
+        assert_eq!(
+            f0.get("chain").and_then(aqo_obs::json::JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(f0.get("cycle").is_none(), "empty witnesses are omitted");
         assert_eq!(
             parsed.get("findings").and_then(aqo_obs::json::JsonValue::as_arr).map(<[_]>::len),
             Some(1)

@@ -36,15 +36,155 @@ pub struct Finding {
     pub line: usize,
     /// What tripped, with enough context to act on.
     pub message: String,
+    /// Witness call chain for graph rules (`panic-path`,
+    /// `blocking-under-lock`): entry → … → offending item.
+    pub chain: Vec<String>,
+    /// Witness lock cycle for `lock-order`: the lock labels in
+    /// acquisition order, with the first repeated implicitly.
+    pub cycle: Vec<String>,
+}
+
+impl Finding {
+    /// A plain finding with empty witnesses.
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        path: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            rule,
+            severity,
+            path: path.into(),
+            line,
+            message: message.into(),
+            chain: Vec::new(),
+            cycle: Vec::new(),
+        }
+    }
 }
 
 /// Rule ids in catalog order.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 9] = [
     "no-unwrap-in-lib",
     "ordering-audit",
     "no-float-in-exact",
     "counter-catalog-sync",
     "budget-hook-coverage",
+    "panic-path",
+    "lock-order",
+    "blocking-under-lock",
+    "error-kind-sync",
+];
+
+/// One row of the rule catalog: the same table renders
+/// `aqo analyze --explain <rule>` and anchors docs/ANALYSIS.md.
+pub struct RuleDoc {
+    /// Rule id.
+    pub id: &'static str,
+    /// Severity the rule's findings carry.
+    pub severity: Severity,
+    /// One-line summary (shown in `--explain` and the doc catalog).
+    pub summary: &'static str,
+    /// Paragraph-length rationale + how to fix or allow.
+    pub detail: &'static str,
+}
+
+/// The rule catalog, one entry per id in [`RULE_IDS`] order.
+pub const RULE_DOCS: [RuleDoc; 9] = [
+    RuleDoc {
+        id: "no-unwrap-in-lib",
+        severity: Severity::Error,
+        summary: "no unwrap/expect/panic!/todo! in non-test code of the panic-free crates",
+        detail: "The driver's catch_unwind tier isolation and the paper's cost-semantics \
+                 claims both assume library code reports failure as values, not unwinds. \
+                 Return a Result, or add `// analyze:allow(no-unwrap-in-lib) -- <why>` \
+                 when the panic is provably unreachable.",
+    },
+    RuleDoc {
+        id: "ordering-audit",
+        severity: Severity::Error,
+        summary: "every Ordering::Relaxed needs an `// ordering: <why>` justification; \
+                  SeqCst is flagged as a perf smell",
+        detail: "Relaxed atomics are correct only under an argument about independence or \
+                 external synchronization; the rule makes that argument part of the code. \
+                 SeqCst is a full fence nothing in this workspace needs — use \
+                 Acquire/Release or a justified Relaxed.",
+    },
+    RuleDoc {
+        id: "no-float-in-exact",
+        severity: Severity::Error,
+        summary: "no f64/f32 tokens in the exact-cost modules (qon.rs, qoh.rs, bignum)",
+        detail: "The paper's certified inequalities are only meaningful under exact \
+                 arithmetic. The one sanctioned float domain is LogNum pruning, which \
+                 lives in lognum.rs and is excluded from the rule's scope.",
+    },
+    RuleDoc {
+        id: "counter-catalog-sync",
+        severity: Severity::Error,
+        summary: "every metric/span/event registered in code appears in \
+                  docs/OBSERVABILITY.md and vice versa",
+        detail: "An undocumented counter is invisible operationally; a stale catalog row \
+                 is a lie. Registration sites are matched against the catalog tables with \
+                 `{placeholder}` / `<placeholder>` wildcards normalized.",
+    },
+    RuleDoc {
+        id: "budget-hook-coverage",
+        severity: Severity::Warning,
+        summary: "every public optimize* entry point is cancellable (takes a Budget or \
+                  has a _with_budget sibling)",
+        detail: "The driver's tiered fallback can only isolate what it can cancel; an \
+                 unbudgeted entry point is a tier that can wedge the ladder.",
+    },
+    RuleDoc {
+        id: "panic-path",
+        severity: Severity::Error,
+        summary: "no panic token (unwrap/expect/panic!/indexing) reachable from a serve \
+                  entry point through the call graph",
+        detail: "A panic mid-request voids the approximation-ratio contract the response \
+                 claims and can poison locks. The pass walks the workspace call graph \
+                 from the serve entry points (request/connection/worker/writer fns), \
+                 stops at catch_unwind containment, and prints the full offending call \
+                 chain. Fix by returning an error, containing the unwind, or \
+                 `// analyze:allow(panic-path) -- <why>` at the panic site (an existing \
+                 no-unwrap-in-lib allow carries over).",
+    },
+    RuleDoc {
+        id: "lock-order",
+        severity: Severity::Error,
+        summary: "the nested lock-acquisition graph (propagated through calls) must be \
+                  acyclic, and every nesting lock must appear in the canonical order in \
+                  docs/ANALYSIS.md",
+        detail: "Two threads taking the same locks in different orders is a deadlock \
+                 waiting for load. The pass extracts every Mutex/RwLock field and \
+                 static, tracks guard liveness per function (let-bound guards live to \
+                 end of block or drop(); temporaries to end of statement), propagates \
+                 acquisitions through the call graph, and fails on any cycle with a \
+                 witness. Never baseline a cycle — fix the order or restructure.",
+    },
+    RuleDoc {
+        id: "blocking-under-lock",
+        severity: Severity::Error,
+        summary: "no blocking call (write/flush/read/sleep/recv/…) while a lock guard is \
+                  live, directly or one call deep",
+        detail: "A blocking syscall under a lock turns one slow peer into a stalled \
+                 server. Condvar::wait is exempt (it releases the lock). Where the block \
+                 is intentional and bounded (e.g. socket writes under the per-connection \
+                 writer lock with a write timeout), allow it with the justification \
+                 spelled out: `// analyze:allow(blocking-under-lock) -- <why>`.",
+    },
+    RuleDoc {
+        id: "error-kind-sync",
+        severity: Severity::Error,
+        summary: "every wire error kind emitted by crates/serve is classified by the \
+                  client and documented in docs/SERVING.md",
+        detail: "The retry loop is only as complete as its classification table: an \
+                 unclassified kind falls into a default arm that may retry a fatal error \
+                 or give up on a retriable one. Wire kinds are read from \
+                 ErrorKind::name(); each must appear in ErrorKind::from_wire, in \
+                 crates/serve/src/client.rs, and backticked in docs/SERVING.md.",
+    },
 ];
 
 /// Crates whose `src/` trees must stay panic-free (`no-unwrap-in-lib`).
@@ -55,10 +195,21 @@ const PANIC_FREE_CRATES: [&str; 5] = ["core", "bignum", "optimizer", "obs", "dri
 /// representation — floats are its whole point — so it is out of scope.
 const EXACT_MODULES: [&str; 2] = ["crates/core/src/qon.rs", "crates/core/src/qoh.rs"];
 
-/// Runs every rule over the scanned workspace. `doc` is the
-/// `docs/OBSERVABILITY.md` text for `counter-catalog-sync` (`None` skips
-/// that rule, e.g. in single-file fixture tests).
-pub fn run_all(models: &[SourceModel], doc: Option<&str>) -> Vec<Finding> {
+/// Docs the doc-sync rules check against. A `None` skips that rule's
+/// doc-side checks (e.g. in fixture workspaces without the doc).
+#[derive(Default)]
+pub struct RuleContext {
+    /// `docs/OBSERVABILITY.md` for `counter-catalog-sync`.
+    pub observability_doc: Option<String>,
+    /// `docs/SERVING.md` for `error-kind-sync`.
+    pub serving_doc: Option<String>,
+    /// `docs/ANALYSIS.md` for `lock-order`'s canonical-order check.
+    pub analysis_doc: Option<String>,
+}
+
+/// Runs every rule — the five lexical ones and the four graph passes —
+/// over the scanned workspace.
+pub fn run_all(models: &[SourceModel], ctx: &RuleContext) -> Vec<Finding> {
     let mut findings = Vec::new();
     for m in models {
         findings.extend(no_unwrap_in_lib(m));
@@ -66,9 +217,22 @@ pub fn run_all(models: &[SourceModel], doc: Option<&str>) -> Vec<Finding> {
         findings.extend(no_float_in_exact(m));
         findings.extend(budget_hook_coverage(m));
     }
-    if let Some(doc) = doc {
+    if let Some(doc) = ctx.observability_doc.as_deref() {
         findings.extend(counter_catalog_sync(models, doc));
     }
+    let ws = crate::symbols::extract(models);
+    let graph = crate::callgraph::CallGraph::build(&ws);
+    findings.extend(crate::callgraph::panic_path(&graph));
+    findings.extend(crate::locks::lock_rules(
+        &graph,
+        models,
+        ctx.analysis_doc.as_deref(),
+    ));
+    findings.extend(crate::error_kinds::error_kind_sync(
+        &ws,
+        models,
+        ctx.serving_doc.as_deref(),
+    ));
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     findings
 }
@@ -91,7 +255,7 @@ fn token_at(code: &str, idx: usize) -> bool {
 }
 
 /// Every identifier-boundary occurrence of `pat` in `code`.
-fn token_matches<'a>(code: &'a str, pat: &str) -> impl Iterator<Item = usize> + 'a {
+pub(crate) fn token_matches<'a>(code: &'a str, pat: &str) -> impl Iterator<Item = usize> + 'a {
     let pat = pat.to_string();
     let mut from = 0usize;
     std::iter::from_fn(move || loop {
@@ -135,17 +299,17 @@ pub fn no_unwrap_in_lib(m: &SourceModel) -> Vec<Finding> {
                 token_matches(&line.code, needle).next().is_some()
             };
             if hit {
-                out.push(Finding {
-                    rule: RULE,
-                    severity: Severity::Error,
-                    path: m.rel_path.clone(),
-                    line: idx + 1,
-                    message: format!(
+                out.push(Finding::new(
+                    RULE,
+                    Severity::Error,
+                    m.rel_path.clone(),
+                    idx + 1,
+                    format!(
                         "{label} in library code can unwind across the driver's \
                          isolation boundary; return a Result or add \
                          `// analyze:allow({RULE}) -- <why>`"
                     ),
-                });
+                ));
                 break; // one finding per line is enough
             }
         }
@@ -176,27 +340,25 @@ pub fn ordering_audit(m: &SourceModel) -> Vec<Finding> {
             && !line.code.contains("use ")
             && !m.comment_context(idx + 1).contains("ordering:")
         {
-            out.push(Finding {
-                rule: RULE,
-                severity: Severity::Error,
-                path: m.rel_path.clone(),
-                line: idx + 1,
-                message: "`Ordering::Relaxed` without an `// ordering: <why>` \
-                          justification in the same-line or preceding comment"
-                    .to_string(),
-            });
+            out.push(Finding::new(
+                RULE,
+                Severity::Error,
+                m.rel_path.clone(),
+                idx + 1,
+                "`Ordering::Relaxed` without an `// ordering: <why>` \
+                 justification in the same-line or preceding comment",
+            ));
         }
         if line.code.contains("Ordering::SeqCst") && !line.code.contains("use ") {
-            out.push(Finding {
-                rule: RULE,
-                severity: Severity::Warning,
-                path: m.rel_path.clone(),
-                line: idx + 1,
-                message: "`Ordering::SeqCst` is a full-fence perf smell on hot \
-                          paths; Acquire/Release (or justified Relaxed) is \
-                          almost always what is meant"
-                    .to_string(),
-            });
+            out.push(Finding::new(
+                RULE,
+                Severity::Warning,
+                m.rel_path.clone(),
+                idx + 1,
+                "`Ordering::SeqCst` is a full-fence perf smell on hot \
+                 paths; Acquire/Release (or justified Relaxed) is \
+                 almost always what is meant",
+            ));
         }
     }
     out
@@ -222,17 +384,17 @@ pub fn no_float_in_exact(m: &SourceModel) -> Vec<Finding> {
         }
         for ty in ["f64", "f32"] {
             if token_matches(&line.code, ty).next().is_some() {
-                out.push(Finding {
-                    rule: RULE,
-                    severity: Severity::Error,
-                    path: m.rel_path.clone(),
-                    line: idx + 1,
-                    message: format!(
+                out.push(Finding::new(
+                    RULE,
+                    Severity::Error,
+                    m.rel_path.clone(),
+                    idx + 1,
+                    format!(
                         "`{ty}` in an exact-cost module; exact paths must stay \
                          in integer/rational arithmetic (LogNum bridging \
                          belongs in lognum.rs or behind an allow)"
                     ),
-                });
+                ));
                 break;
             }
         }
@@ -438,16 +600,13 @@ pub fn counter_catalog_sync(models: &[SourceModel], doc: &str) -> Vec<Finding> {
             if model.is_some_and(|m| m.is_allowed(RULE, u.line)) {
                 continue;
             }
-            out.push(Finding {
-                rule: RULE,
-                severity: Severity::Error,
-                path: u.path.clone(),
-                line: u.line,
-                message: format!(
-                    "metric `{}` is registered here but missing from {DOC_PATH}",
-                    u.name
-                ),
-            });
+            out.push(Finding::new(
+                RULE,
+                Severity::Error,
+                u.path.clone(),
+                u.line,
+                format!("metric `{}` is registered here but missing from {DOC_PATH}", u.name),
+            ));
         }
     }
 
@@ -464,16 +623,16 @@ pub fn counter_catalog_sync(models: &[SourceModel], doc: &str) -> Vec<Finding> {
             .iter()
             .any(|u| u.kind == *kind && metric_matches(&n, &normalize_metric(&u.name)));
         if !registered {
-            out.push(Finding {
-                rule: RULE,
-                severity: Severity::Error,
-                path: DOC_PATH.to_string(),
-                line: *line,
-                message: format!(
+            out.push(Finding::new(
+                RULE,
+                Severity::Error,
+                DOC_PATH,
+                *line,
+                format!(
                     "catalog lists `{d}` but no registration site in the \
                      workspace emits it"
                 ),
-            });
+            ));
         }
     }
     out
@@ -533,16 +692,16 @@ pub fn budget_hook_coverage(m: &SourceModel) -> Vec<Finding> {
         let has_variant = fns.iter().any(|(n, _, _)| n == &format!("{name}_with_budget"));
         let takes_budget = sig.contains("Budget");
         if !has_variant && !takes_budget {
-            out.push(Finding {
-                rule: RULE,
-                severity: Severity::Warning,
-                path: m.rel_path.clone(),
-                line: *line,
-                message: format!(
+            out.push(Finding::new(
+                RULE,
+                Severity::Warning,
+                m.rel_path.clone(),
+                *line,
+                format!(
                     "public entry point `{name}` has no `{name}_with_budget` \
                      sibling and takes no `Budget`; the driver cannot cancel it"
                 ),
-            });
+            ));
         }
     }
     out

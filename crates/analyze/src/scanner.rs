@@ -151,20 +151,27 @@ fn lex(text: &str) -> Vec<ScanLine> {
         match mode {
             Mode::Code => {
                 let next = chars.get(i + 1).copied();
+                // A string/byte/raw prefix is only a prefix at a token
+                // boundary: in `var"s"` rustc lexes the identifier `var`
+                // and then a *normal* string — the trailing `r` must not
+                // open raw-string mode (same for `abr"…"` and `b"…"`).
+                let at_boundary = i == 0 || !is_ident_char(chars[i - 1]);
                 if c == '/' && next == Some('/') {
                     mode = Mode::LineComment;
                     i += 2;
                 } else if c == '/' && next == Some('*') {
                     mode = Mode::BlockComment(1);
                     i += 2;
-                } else if let Some(consumed) = raw_string_prefix(&chars[i..]) {
+                } else if let Some(consumed) =
+                    raw_string_prefix(&chars[i..]).filter(|_| at_boundary)
+                {
                     // r"…", r#"…"#, br"…" — enter raw-string mode.
                     let hashes = consumed - 1 - usize::from(chars[i] == 'b') - 1;
                     cur.code.push('"');
                     cur_string.clear();
                     mode = Mode::RawStr(hashes as u32);
                     i += consumed;
-                } else if c == '"' || (c == 'b' && next == Some('"')) {
+                } else if c == '"' || (c == 'b' && next == Some('"') && at_boundary) {
                     if c == 'b' {
                         i += 1;
                     }
@@ -182,14 +189,16 @@ fn lex(text: &str) -> Vec<ScanLine> {
                     if is_char_lit {
                         cur.code.push('\'');
                         i += 1;
-                        // Skip contents up to the closing quote.
-                        while i < chars.len() && chars[i] != '\'' {
-                            if chars[i] == '\\' {
+                        // Skip contents up to the closing quote. Char
+                        // literals never span lines; stopping at `\n`
+                        // keeps line counting aligned on malformed input.
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            if chars[i] == '\\' && chars.get(i + 1).is_some_and(|&n| n != '\n') {
                                 i += 1;
                             }
                             i += 1;
                         }
-                        if i < chars.len() {
+                        if chars.get(i) == Some(&'\'') {
                             cur.code.push('\'');
                             i += 1;
                         }
@@ -257,6 +266,12 @@ fn lex(text: &str) -> Vec<ScanLine> {
     }
     lines.push(cur);
     lines
+}
+
+/// Whether `c` can appear inside an identifier (used for token-boundary
+/// checks when deciding if `r"`/`b"` opens a prefixed string literal).
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
 }
 
 /// If `rest` starts a raw string (`r"`, `r#"`, `br##"` …), the number of
@@ -372,8 +387,9 @@ fn parse_directives(comment: &str) -> Vec<(Vec<String>, bool)> {
 
 /// The extent of the statement beginning at 1-based line `from`: through
 /// the matching close brace when it opens a block, else through the
-/// terminating `;` (or the single line).
-fn statement_extent(lines: &[ScanLine], from: usize) -> (usize, usize) {
+/// terminating `;` (or the single line). Shared with the symbol layer,
+/// which uses it to scope `catch_unwind` containment.
+pub(crate) fn statement_extent(lines: &[ScanLine], from: usize) -> (usize, usize) {
     // Skip to the next line that has code.
     let mut start = from;
     while start <= lines.len() && lines[start - 1].code.trim().is_empty() {
@@ -438,6 +454,54 @@ mod tests {
         let m = SourceModel::scan("x.rs", "/* a /* b */ still comment */ let x = 1;\n");
         assert!(m.lines[0].code.contains("let x = 1;"));
         assert!(m.lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines_and_ignore_quotes() {
+        // Quotes have no meaning inside a comment, but `/*` still nests
+        // (rustc semantics) — everything here is one comment.
+        let src = "/* \"/*\" */ let eaten = 1;\n/* /* deep */ still */ let eaten2 = 2;\n*/ let code = 3;\n";
+        let m = SourceModel::scan("x.rs", src);
+        assert!(m.lines[0].code.trim().is_empty(), "{:?}", m.lines[0]);
+        assert!(m.lines[1].code.trim().is_empty(), "{:?}", m.lines[1]);
+        assert!(m.lines[2].code.contains("let code = 3;"), "{:?}", m.lines[2]);
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_code_and_comment_views_clean() {
+        let src = "let s = r##\"line \"# one\n// not a comment\n*/ not a close\n\"##;\nlet after = 1;\n";
+        let m = SourceModel::scan("x.rs", src);
+        assert!(m.lines[1].comment.is_empty());
+        assert!(m.lines[1].code.trim().is_empty());
+        assert!(m.lines[2].code.trim().is_empty());
+        assert_eq!(
+            m.lines[3].strings,
+            vec!["line \"# one\n// not a comment\n*/ not a close\n".to_string()]
+        );
+        assert!(m.lines[4].code.contains("let after"));
+    }
+
+    #[test]
+    fn raw_prefix_needs_a_token_boundary() {
+        // `var"s"` is the identifier `var` followed by a *normal* string;
+        // the trailing `r` must not be taken as a raw-string prefix.
+        let m = SourceModel::scan("x.rs", "mac!(var\"s\"); let x = 1;\n");
+        assert!(m.lines[0].code.contains("var\"\""), "{:?}", m.lines[0]);
+        assert!(m.lines[0].code.contains("let x = 1;"));
+        assert_eq!(m.lines[0].strings, vec!["s".to_string()]);
+        // Same for `abr"…"` (`abr` + string) vs a real `br"…"`.
+        let m = SourceModel::scan("x.rs", "mac!(abr\"t\"); let y = br\"raw\";\n");
+        assert!(m.lines[0].code.contains("abr\"\""), "{:?}", m.lines[0]);
+        assert_eq!(m.lines[0].strings, vec!["t".to_string(), "raw".to_string()]);
+    }
+
+    #[test]
+    fn unterminated_char_literal_does_not_eat_lines() {
+        // `'\` at end of line is malformed; the scanner must not skip the
+        // newline looking for a closing quote.
+        let m = SourceModel::scan("x.rs", "mac!('\\\nlet next = 1;\n");
+        assert_eq!(m.lines.len(), 3); // two source lines + trailing empty
+        assert!(m.lines[1].code.contains("let next = 1;"), "{:?}", m.lines[1]);
     }
 
     #[test]

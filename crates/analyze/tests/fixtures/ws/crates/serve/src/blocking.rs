@@ -1,0 +1,25 @@
+//! Fixture: blocking I/O while a lock guard is live — `append` must be a
+//! `blocking-under-lock` finding; the allow-annotated twin stays clean.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct Journal {
+    seq: Mutex<u64>,
+}
+
+impl Journal {
+    pub fn append(&self, out: &mut dyn Write, line: &[u8]) {
+        let mut g = self.seq.lock().unwrap();
+        *g += 1;
+        out.write_all(line).ok();
+    }
+
+    pub fn append_bounded(&self, out: &mut dyn Write, line: &[u8]) {
+        let mut g = self.seq.lock().unwrap();
+        *g += 1;
+        // analyze:allow(blocking-under-lock) -- fixture: the hold is
+        // bounded by a write timeout on the sink
+        out.write_all(line).ok();
+    }
+}

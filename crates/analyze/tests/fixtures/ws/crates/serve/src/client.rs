@@ -1,0 +1,6 @@
+//! Fixture: the retriable/fatal classification table — deliberately
+//! missing `mystery` so the sync rule has something to find.
+
+pub fn is_retriable(kind: &str) -> bool {
+    matches!(kind, "parse")
+}

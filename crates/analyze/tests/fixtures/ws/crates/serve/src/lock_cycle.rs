@@ -1,0 +1,23 @@
+//! Fixture: a two-lock acquisition cycle — `ab` nests `a → b`, `ba`
+//! nests `b → a`; the `lock-order` pass must fail with the witness cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let h = self.b.lock().unwrap();
+        *g + *h
+    }
+
+    pub fn ba(&self) -> u32 {
+        let h = self.b.lock().unwrap();
+        let g = self.a.lock().unwrap();
+        *g + *h
+    }
+}

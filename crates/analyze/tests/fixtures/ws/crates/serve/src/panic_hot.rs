@@ -1,0 +1,28 @@
+//! Fixture: a panic token reachable from a serve entry point — the
+//! `panic-path` pass must report it with the full call chain, and the
+//! allow-annotated twin must stay clean.
+
+pub struct Hot {
+    tail: Option<u32>,
+}
+
+impl Hot {
+    pub fn handle(&self) {
+        self.step();
+    }
+
+    fn step(&self) {
+        boom();
+    }
+
+    pub fn handle_quietly(&self) -> u32 {
+        // analyze:allow(panic-path) -- fixture: the justified allow keeps
+        // this entry clean
+        self.tail.unwrap()
+    }
+}
+
+fn boom() {
+    let v: Option<u32> = None;
+    v.unwrap();
+}

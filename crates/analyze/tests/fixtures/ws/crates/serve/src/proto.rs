@@ -1,0 +1,24 @@
+//! Fixture: wire error kinds — `mystery` is emitted but never named in
+//! the client classification, so `error-kind-sync` must flag it.
+
+pub enum ErrorKind {
+    Parse,
+    Mystery,
+}
+
+impl ErrorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Mystery => "mystery",
+        }
+    }
+
+    pub fn from_wire(s: &str) -> ErrorKind {
+        match s {
+            "mystery" => ErrorKind::Mystery,
+            "parse" => ErrorKind::Parse,
+            _ => ErrorKind::Parse,
+        }
+    }
+}

@@ -38,6 +38,12 @@ fn fixture_findings_hit_every_rule_and_respect_allows() {
         ("no-float-in-exact", "crates/core/src/qon.rs", 4),
         ("budget-hook-coverage", "crates/optimizer/src/lib.rs", 6),
         ("counter-catalog-sync", "docs/OBSERVABILITY.md", 11),
+        // The seeded known-bad serve crates, one finding each (their
+        // allow-annotated twins stay clean).
+        ("blocking-under-lock", "crates/serve/src/blocking.rs", 15),
+        ("lock-order", "crates/serve/src/lock_cycle.rs", 14),
+        ("panic-path", "crates/serve/src/panic_hot.rs", 27),
+        ("error-kind-sync", "crates/serve/src/proto.rs", 13),
     ]
     .into_iter()
     .map(|(r, p, l)| (r.to_string(), p.to_string(), l))
@@ -51,6 +57,40 @@ fn fixture_findings_hit_every_rule_and_respect_allows() {
     let warnings: Vec<_> =
         findings.iter().filter(|f| f.severity == Severity::Warning).collect();
     assert_eq!(warnings.len(), 2, "{warnings:?}");
+}
+
+/// The seeded lock cycle fails with its witness cycle printed, and the
+/// reachable panic carries the full entry→site call chain.
+#[test]
+fn fixture_witnesses_name_the_cycle_and_the_chain() {
+    let findings = aqo_analyze::analyze(&fixture_root()).expect("fixture scan");
+
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == "lock-order" && !f.cycle.is_empty())
+        .expect("seeded lock cycle");
+    assert_eq!(cycle.cycle, vec!["Pair.a", "Pair.b", "Pair.a"]);
+    assert!(cycle.message.contains("witnesses:"), "{cycle:?}");
+    assert!(cycle.message.contains("lock_cycle.rs:14"), "{cycle:?}");
+    assert!(cycle.message.contains("lock_cycle.rs:20"), "{cycle:?}");
+
+    let panic = findings
+        .iter()
+        .find(|f| f.rule == "panic-path")
+        .expect("seeded reachable panic");
+    assert_eq!(
+        panic.chain,
+        vec![
+            "panic_hot.rs:Hot::handle",
+            "panic_hot.rs:Hot::step",
+            "panic_hot.rs:boom"
+        ]
+    );
+
+    // Both witnesses survive the text rendering (what CI logs show).
+    let text = aqo_analyze::render_text(&findings);
+    assert!(text.contains("cycle: Pair.a -> Pair.b -> Pair.a"), "{text}");
+    assert!(text.contains("chain: panic_hot.rs:Hot::handle ->"), "{text}");
 }
 
 #[test]
@@ -68,7 +108,7 @@ fn fixture_baseline_gates_legacy_but_not_new_findings() {
         gate.regressions
     );
     // Everything else is new relative to the baseline.
-    assert_eq!(gate.regressions.len(), 6, "{:?}", gate.regressions);
+    assert_eq!(gate.regressions.len(), 10, "{:?}", gate.regressions);
     // The baseline's gone.rs entry no longer matches anything: stale.
     assert_eq!(gate.stale.len(), 1, "{:?}", gate.stale);
     assert!(gate.stale[0].1.contains("gone.rs"));
@@ -94,6 +134,28 @@ fn cli_exit_codes() {
         ]),
         1
     );
+    // --explain needs no workspace at all: exit 0 for a known rule,
+    // exit 2 for an unknown one.
+    assert_eq!(aqo_analyze::cli_main(&[s("--explain"), s("lock-order")]), 0);
+    assert_eq!(aqo_analyze::cli_main(&[s("--explain"), s("nope")]), 2);
+}
+
+/// `--explain` output comes from the same table as the doc catalog, and
+/// docs/ANALYSIS.md carries a `### `rule`` heading for every rule id —
+/// the sync that keeps findings self-serve debuggable.
+#[test]
+fn explain_and_analysis_doc_cover_every_rule() {
+    let doc = std::fs::read_to_string(real_root().join("docs/ANALYSIS.md"))
+        .expect("docs/ANALYSIS.md");
+    for id in aqo_analyze::rules::RULE_IDS {
+        let text = aqo_analyze::explain_rule(id).expect("every rule id has a doc entry");
+        assert!(text.starts_with(id), "{id}: {text}");
+        assert!(text.contains("docs/ANALYSIS.md"), "{id}: {text}");
+        assert!(
+            doc.contains(&format!("### `{id}`")),
+            "docs/ANALYSIS.md is missing the `### `{id}`` catalog heading"
+        );
+    }
 }
 
 #[test]

@@ -336,7 +336,7 @@ fn analyze_subcommand_gates_clean_and_emits_json() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(out.status.success(), "analyze regressed: {stderr}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"schema\": \"aqo-analyze/v1\""), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"aqo-analyze/v2\""), "{stdout}");
     assert!(stderr.contains("0 regressions"), "{stderr}");
 
     // Linter usage errors exit 2 and do NOT print the aqo usage banner

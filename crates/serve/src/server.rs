@@ -378,6 +378,10 @@ impl Server {
             }
             drop(st);
             self.work_cv.notify_all();
+            // analyze:allow(panic-path) -- worker panics are contained
+            // per-job by catch_unwind inside the pool; a join error here
+            // means the pool scaffolding itself broke, which is a bug
+            // worth crashing the (already-draining) server on.
             pool.join().expect("worker pool panicked");
             match accept_err {
                 Some(e) => Err(e),
@@ -493,17 +497,25 @@ impl Server {
     /// Closes admission and wakes everyone. Idempotent; the first caller
     /// decides the recorded reason.
     fn begin_shutdown(&self, reason: &'static str) {
-        let _guard = self.lock_state();
-        // ordering: Relaxed — the flags are only ever set under the state
-        // lock and every reader either holds that lock or re-checks it
-        // before acting on queue contents.
-        if !self.shutdown.swap(true, Ordering::Relaxed) {
-            *self.reason.lock().unwrap_or_else(PoisonError::into_inner) = reason;
-            // ordering: Relaxed — see above.
-            self.accepting.store(false, Ordering::Relaxed);
-            if aqo_obs::enabled() {
-                aqo_obs::journal::event("serve_shutdown", vec![("reason", reason.into())]);
+        let claimed = {
+            let _guard = self.lock_state();
+            // ordering: Relaxed — the flags are only ever set under the
+            // state lock and every reader either holds that lock or
+            // re-checks it before acting on queue contents.
+            if self.shutdown.swap(true, Ordering::Relaxed) {
+                false
+            } else {
+                *self.reason.lock().unwrap_or_else(PoisonError::into_inner) = reason;
+                // ordering: Relaxed — see above.
+                self.accepting.store(false, Ordering::Relaxed);
+                true
             }
+        };
+        // The journal takes the obs events lock; emit only after the
+        // state guard is gone so `Server.state` stays a near-leaf lock
+        // (its only nesting is the `Server.reason` claim above).
+        if claimed && aqo_obs::enabled() {
+            aqo_obs::journal::event("serve_shutdown", vec![("reason", reason.into())]);
         }
         self.work_cv.notify_all();
     }
@@ -515,8 +527,7 @@ impl Server {
                 loop {
                     if let Some(job) = st.queue.pop_front() {
                         st.executing += 1;
-                        self.publish_gauges(&st);
-                        break Some(job);
+                        break Some((job, st.queue.len(), st.executing));
                     }
                     // ordering: Relaxed — read under the state lock that
                     // `begin_shutdown` holds while setting the flag.
@@ -526,7 +537,8 @@ impl Server {
                     st = self.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
             };
-            let Some(job) = job else { return };
+            let Some((job, queued, executing)) = job else { return };
+            self.publish_gauges(queued, executing);
             // Rejoin the request's trace across the queue hop: handling
             // spans and events share the trace id minted at intake.
             let _trace = (job.trace_id != 0).then(|| {
@@ -545,17 +557,22 @@ impl Server {
             write_reply(&job.out, &reply);
             let mut st = self.lock_state();
             st.executing -= 1;
-            self.publish_gauges(&st);
+            let (queued, executing) = (st.queue.len(), st.executing);
             drop(st);
+            self.publish_gauges(queued, executing);
             // Wake the drain waiter (and any idle workers).
             self.work_cv.notify_all();
         }
     }
 
-    fn publish_gauges(&self, st: &QueueState) {
+    /// Publishes queue gauges from values captured under the state lock.
+    /// Takes values, not the guard: the registry lookup inside
+    /// [`aqo_obs::gauge`] acquires the obs registry lock, and the queue
+    /// lock must never nest over obs locks.
+    fn publish_gauges(&self, queued: usize, executing: usize) {
         if aqo_obs::enabled() {
-            aqo_obs::gauge("serve.queue_depth").set(st.queue.len() as u64);
-            aqo_obs::gauge("serve.inflight").set((st.queue.len() + st.executing) as u64);
+            aqo_obs::gauge("serve.queue_depth").set(queued as u64);
+            aqo_obs::gauge("serve.inflight").set((queued + executing) as u64);
         }
     }
 
@@ -700,6 +717,11 @@ impl Server {
         }
         let inflight = st.queue.len() + st.executing;
         if inflight >= self.max_inflight {
+            // The rejection enqueues nothing, so the exact-cap guarantee
+            // does not need the lock past this point; drop it before the
+            // obs emission (journal = obs events lock) so the queue lock
+            // never nests over obs locks.
+            drop(st);
             // ordering: Relaxed — statistics counter only.
             self.overloaded.fetch_add(1, Ordering::Relaxed);
             if aqo_obs::enabled() {
@@ -721,8 +743,9 @@ impl Server {
         }
         let degrade = self.ladder_level(inflight);
         st.queue.push_back(Job { req, out: Arc::clone(out), degrade, trace_id });
-        self.publish_gauges(&st);
+        let (queued, executing) = (st.queue.len(), st.executing);
         drop(st);
+        self.publish_gauges(queued, executing);
         self.work_cv.notify_one();
         None
     }
@@ -928,6 +951,10 @@ fn write_reply_inner(out: &SharedWriter, reply: &Reply) {
     let bytes = &line.as_bytes()[..cut.unwrap_or(line.len())];
     let failed = {
         let mut w = out.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // analyze:allow(blocking-under-lock) -- the writer mutex exists
+        // precisely to serialize whole frames onto the socket; the hold
+        // is bounded by WRITE_TIMEOUT on the stream and no other lock is
+        // ever taken while it is held (leaf lock by canonical order).
         w.write_all(bytes).and_then(|()| w.flush()).is_err()
     };
     // A torn write is a dead connection; a partial frame deliberately
@@ -1031,6 +1058,8 @@ impl LineReader {
             match self.stream.read(&mut buf) {
                 Ok(0) => return Ok(LineEvent::Closed),
                 Ok(n) => {
+                    // analyze:allow(panic-path) -- n <= buf.len() by the
+                    // io::Read contract, so the slice is in range.
                     self.pending.extend_from_slice(&buf[..n]);
                     if self.partial_since.is_none() && !self.pending.is_empty() {
                         self.partial_since = Some(Instant::now());
