@@ -137,7 +137,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|ccp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>] [--obs-interval-ms <n>]\n            [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|metrics|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo trace view <trace.jsonl>                         # render per-request span trees\n  aqo top [--addr <host:port>] [--once] [--json] [--interval-ms <n>]\n                                                       # live dashboard from the `metrics` op\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
+    "usage:\n  aqo gen <chain|star|snowflake|cycle|clique|grid> <n> [seed]\n  aqo optimize <file.qon> [--method dp|ccp|bnb|exhaustive|greedy|ikkbz|sa|ga] [--no-cartesian] [--explain]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo optimize-qoh <file.qoh> [--method exhaustive|greedy]\n               [--threads <n>] [--timeout-ms <n>] [--max-expansions <n>] [--fallback <tier,tier,...>]\n               [--metrics] [--trace-json <path>] [--report-json <path>]\n  aqo serve [--addr <host:port>] [--stdio] [--threads <n>] [--max-inflight <n>]\n            [--cache-cap <n>] [--idle-timeout-ms <n>] [--default-timeout-ms <n>]\n            [--conn-timeout-ms <n>] [--read-deadline-ms <n>] [--max-line-bytes <n>]\n            [--no-degrade] [--cache-snapshot <path>] [--obs-interval-ms <n>]\n            [--record <path>] [--metrics] [--trace-json <path>] [--report-json <path>]\n                                                       # JSONL optimization service (docs/SERVING.md)\n  aqo request <addr> <optimize|explain|optimize-qoh|explain-qoh|clique|status|metrics|shutdown> [file]\n              [--id <n>] [--method <tier>] [--fallback <tier,tier,...>] [--timeout-ms <n>]\n              [--max-expansions <n>] [--threads <n>] [--no-cartesian] [--no-cache]\n  aqo loadgen [--addr <host:port>] [--requests <n>] [--concurrency <c1,c2,...>]\n              [--mix qon|qoh|mixed] [--pool <n>] [--seed <n>] [--record <path>] [--out <path>]\n                                                       # writes BENCH_serve.json\n  aqo chaos [--quick] [--requests <n>] [--fault-count <n>] [--seed <n>] [--out <path>]\n                                                       # fault campaign, writes CHAOS.json (docs/ROBUSTNESS.md)\n  aqo replay extract <journal.jsonl> [--out <path>]    # journal -> aqo-workload/v1\n  aqo replay run <workload.jsonl> [--addr <host:port>] [--strip-timing] [--out <path>]\n                                                       # re-drive + diff, exit 1 on regression\n  aqo replay validate [<workload.jsonl>] [--quick] [--instance <file.qon>] [--trials <n>]\n              [--tolerance <f>] [--min-gap-log2 <f>] [--seed <n>] [--max-rows <n>]\n              [--json] [--out <path>]                  # execution-backed ordering gate (docs/REPLAY.md)\n  aqo exec validate <file.qon> [--trials <n>] [--seed <n>] [--json] [--out <path>]\n                                                       # model-vs-measured calibration\n  aqo bench [--quick] [--threads <n>] [--out <path>]   # writes BENCH_optimizer.json\n  aqo trace-check <trace.jsonl>                        # validate a --trace-json journal\n  aqo trace view <trace.jsonl>                         # render per-request span trees\n  aqo top [--addr <host:port>] [--once] [--json] [--interval-ms <n>]\n                                                       # live dashboard from the `metrics` op\n  aqo analyze [--json] [--root <dir>] [--rule <id>] [--baseline <file>]\n              [--no-baseline] [--write-baseline]      # invariant linter (docs/ANALYSIS.md)\n  aqo reduce-3sat <file.cnf> [--a <int>] [--e <int>]\n  aqo clique <file.dimacs>\n  aqo --version | -V                                   # print version and exit\n\n--threads: 1 = sequential (default), 0 = one worker per hardware thread,\nk > 1 routes the exact tiers through the parallel engines (same optimum).\n--metrics prints a metrics summary to stderr; --trace-json writes the\nstructured event journal as JSON Lines; --report-json writes the driver\nreport as JSON (and routes through the driver)."
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -246,6 +246,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("exec") => cmd_exec(&args[1..]),
         Some("reduce-3sat") => cmd_reduce_3sat(&args[1..]),
         Some("clique") => cmd_clique(&args[1..]),
         Some(other) => Err(CliError::usage(format!("unknown subcommand `{other}`"))),
@@ -840,6 +842,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let addr = required_flag_value(args, "--addr")?.unwrap_or("127.0.0.1:7878");
     let stdio = args.iter().any(|a| a == "--stdio");
     let obs = obs_flags(args)?;
+    let record_path = required_flag_value(args, "--record")?.map(str::to_string);
+    let record_sink = record_path.as_ref().map(|_| aqo_serve::record::new_sink());
     let defaults = aqo_serve::ServeConfig::default();
     let cfg = aqo_serve::ServeConfig {
         threads: u64_flag(args, "--threads")?.map_or(4, |v| v as usize),
@@ -867,6 +871,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             Some(ms) => Some(Duration::from_millis(ms)),
             None => defaults.obs_interval,
         },
+        record: record_sink.clone(),
     };
     // A server always keeps the metric registry live so the `metrics` op
     // and `aqo top` have data; the journal (which grows without bound) is
@@ -890,6 +895,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             .map_err(|source| CliError::Io { path: addr.to_string(), source })?
     };
     eprintln!("serve: {report}");
+    if let (Some(path), Some(sink)) = (&record_path, &record_sink) {
+        let entries = aqo_serve::record::drain(sink);
+        let workload = aqo_replay::Workload::new("serve", None, entries);
+        std::fs::write(path, workload.to_jsonl())
+            .map_err(|source| CliError::Io { path: path.clone(), source })?;
+        eprintln!("serve: recorded {} request(s) to {path}", workload.entries.len());
+    }
     if let Some(path) = &obs.report_json {
         std::fs::write(path, report.to_json())
             .map_err(|source| CliError::Io { path: path.clone(), source })?;
@@ -1031,6 +1043,8 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     if let Some(s) = u64_flag(args, "--seed")? {
         cfg.seed = s;
     }
+    let record_path = required_flag_value(args, "--record")?.map(str::to_string);
+    cfg.record = record_path.is_some();
     let out = required_flag_value(args, "--out")?.unwrap_or("BENCH_serve.json");
     eprintln!(
         "loadgen: {} request(s) per level, levels {:?}, mix {}, against {}",
@@ -1042,6 +1056,13 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     let report = aqo_serve::loadgen::run(&cfg).map_err(CliError::Remote)?;
     std::fs::write(out, report.to_json())
         .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+    if let Some(path) = &record_path {
+        let workload =
+            aqo_replay::Workload::new("loadgen", Some(cfg.seed), report.recorded.clone());
+        std::fs::write(path, workload.to_jsonl())
+            .map_err(|source| CliError::Io { path: path.clone(), source })?;
+        println!("recorded {} request(s) to {path}", workload.entries.len());
+    }
     for l in &report.levels {
         println!(
             "c={:<2} requests={} errors={} wrong_cost={} p50={}us p99={}us \
@@ -1064,6 +1085,309 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
             "loadgen: {} wrong-cost response(s)",
             report.total_wrong_cost()
         )));
+    }
+    Ok(())
+}
+
+/// Parses an optional `--flag <f64>` into `Ok(None)` / `Ok(Some(v))`.
+fn f64_flag(args: &[String], name: &str) -> Result<Option<f64>, CliError> {
+    required_flag_value(args, name)?
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| CliError::usage(format!("bad {name} value `{s}`")))
+        })
+        .transpose()
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("extract") => cmd_replay_extract(&args[1..]),
+        Some("run") => cmd_replay_run(&args[1..]),
+        Some("validate") => cmd_replay_validate(&args[1..]),
+        Some(other) => Err(CliError::usage(format!("replay: unknown subcommand `{other}`"))),
+        None => Err(CliError::usage("replay: missing subcommand (extract|run|validate)")),
+    }
+}
+
+fn cmd_replay_extract(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage("replay extract: missing journal file"))?;
+    let out = required_flag_value(args, "--out")?.unwrap_or("workload.jsonl");
+    let journal = read_file(path)?;
+    let (workload, stats) = aqo_replay::extract::extract(&journal)
+        .map_err(|message| CliError::Parse { path: path.clone(), message })?;
+    std::fs::write(out, workload.to_jsonl())
+        .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+    println!(
+        "extracted {} request(s) to {out} (skipped: {} error, {} degraded, {} unreplayable, \
+         {} unpaired)",
+        stats.extracted,
+        stats.skipped_errors,
+        stats.skipped_degraded,
+        stats.skipped_unreplayable,
+        stats.skipped_unpaired
+    );
+    Ok(())
+}
+
+fn cmd_replay_run(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage("replay run: missing workload file"))?;
+    let addr = required_flag_value(args, "--addr")?;
+    let out = required_flag_value(args, "--out")?;
+    let rcfg = aqo_replay::ReplayConfig {
+        strip_timing: args.iter().any(|a| a == "--strip-timing"),
+    };
+    let obs = obs_flags(args)?;
+    let workload = aqo_replay::Workload::parse(&read_file(path)?)
+        .map_err(|message| CliError::Parse { path: path.clone(), message })?;
+    // Counters/spans are always live for a replay run (it is a gate, and
+    // its `replay.*` counters are its audit trail); the journal is only
+    // captured when `--trace-json` asks.
+    aqo_obs::set_enabled(true);
+    aqo_obs::journal::set_capture(obs.trace_json.is_some());
+    let report = match addr {
+        Some(addr) => {
+            let backend = aqo_replay::run::live_backend(addr).map_err(CliError::Remote)?;
+            aqo_replay::run::run(&workload, &rcfg, backend)
+        }
+        None => aqo_replay::run::run(&workload, &rcfg, aqo_replay::run::driver_backend()),
+    };
+    for d in &report.diffs {
+        eprintln!(
+            "replay: {} id={} {} (baseline {} [{}], new {} [{}])",
+            d.kind.name(),
+            d.id,
+            d.detail,
+            d.baseline_cost,
+            d.baseline_tier,
+            d.new_cost,
+            d.new_tier
+        );
+    }
+    let json = report.to_json();
+    match out {
+        Some(out) => {
+            std::fs::write(out, &json)
+                .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+            println!(
+                "replayed {} request(s): {} regression(s), {} improvement(s), {} plan change(s), \
+                 {} tier change(s), {} error(s); wrote {out}",
+                report.replayed,
+                report.cost_regressions,
+                report.cost_improvements,
+                report.plan_changes,
+                report.tier_changes,
+                report.errors
+            );
+        }
+        None => print!("{json}"),
+    }
+    finish_obs(&obs)?;
+    if report.gate_failures() > 0 {
+        return Err(CliError::Remote(format!(
+            "replay: {} gate failure(s)",
+            report.gate_failures()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_replay_validate(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = aqo_replay::ValidateConfig::default();
+    if let Some(t) = u64_flag(args, "--trials")? {
+        cfg.trials = (t as usize).max(1);
+    }
+    if let Some(t) = f64_flag(args, "--tolerance")? {
+        cfg.tolerance = t;
+    }
+    if let Some(g) = f64_flag(args, "--min-gap-log2")? {
+        cfg.min_gap_log2 = g;
+    }
+    if let Some(s) = u64_flag(args, "--seed")? {
+        cfg.seed = s;
+    }
+    if let Some(r) = u64_flag(args, "--max-rows")? {
+        cfg.max_rows = r;
+    }
+    cfg.quick = args.iter().any(|a| a == "--quick");
+    let workload_path = args.first().filter(|a| !a.starts_with("--"));
+    let instance_path = required_flag_value(args, "--instance")?;
+    if workload_path.is_some() && instance_path.is_some() {
+        return Err(CliError::usage(
+            "replay validate: a workload file and --instance are mutually exclusive",
+        ));
+    }
+    let report = if let Some(path) = instance_path {
+        let inst = textio::qon_from_text(&read_file(path)?)
+            .map_err(|e| CliError::Parse { path: path.to_string(), message: e.to_string() })?;
+        if !aqo_replay::validate::executable(&inst, cfg.max_rows) {
+            return Err(CliError::Unsupported(format!(
+                "replay validate: {path} is too large to materialize (max {} rows)",
+                cfg.max_rows
+            )));
+        }
+        let mut report = aqo_replay::validate::validate_builtin(&aqo_replay::ValidateConfig {
+            quick: true,
+            ..cfg
+        });
+        // The built-in families anchor the report; the named instance is
+        // validated alongside them under the same knobs.
+        aqo_replay::validate::validate_instance(path, &inst, &cfg, &mut report);
+        report
+    } else if let Some(path) = workload_path {
+        let workload = aqo_replay::Workload::parse(&read_file(path)?)
+            .map_err(|message| CliError::Parse { path: path.clone(), message })?;
+        aqo_replay::validate::validate_workload(&workload, &cfg)
+            .map_err(|message| CliError::Parse { path: path.clone(), message })?
+    } else {
+        aqo_replay::validate::validate_builtin(&cfg)
+    };
+    let json_mode = args.iter().any(|a| a == "--json");
+    if json_mode {
+        print!("{}", report.to_json());
+    } else {
+        for inst in &report.instances {
+            println!(
+                "validate {:<16} n={} plans={} capped={} pairs={} violations={}",
+                inst.name,
+                inst.n,
+                inst.plans.len(),
+                inst.plans_capped,
+                inst.pairs_checked,
+                inst.violations
+            );
+        }
+        for v in &report.violations {
+            println!(
+                "VIOLATION {}: model prefers {:?} ({:.2} bits) over {:?} ({:.2} bits) but it \
+                 measured {:.1}x the work ({:.1} vs {:.1})",
+                v.instance,
+                v.cheaper.order,
+                v.cheaper.model_log2,
+                v.dearer.order,
+                v.dearer.model_log2,
+                v.ratio,
+                v.cheaper.measured_work,
+                v.dearer.measured_work
+            );
+        }
+        println!(
+            "checked {} pair(s) across {} instance(s), {} skipped: {}",
+            report.pairs_checked,
+            report.instances.len(),
+            report.skipped,
+            if report.passed() { "pass" } else { "FAIL" }
+        );
+    }
+    if let Some(out) = required_flag_value(args, "--out")? {
+        std::fs::write(out, report.to_json())
+            .map_err(|source| CliError::Io { path: out.to_string(), source })?;
+        println!("wrote {out}");
+    }
+    if !report.passed() {
+        return Err(CliError::Remote(format!(
+            "replay validate: {} ordering violation(s) over {} pair(s)",
+            report.violations.len(),
+            report.pairs_checked
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_exec(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("validate") => cmd_exec_validate(&args[1..]),
+        Some(other) => Err(CliError::usage(format!("exec: unknown subcommand `{other}`"))),
+        None => Err(CliError::usage("exec: missing subcommand (validate)")),
+    }
+}
+
+fn cmd_exec_validate(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::usage("exec validate: missing instance file"))?;
+    let trials = u64_flag(args, "--trials")?.map_or(3, |t| (t as usize).max(1));
+    let seed = u64_flag(args, "--seed")?.unwrap_or(42);
+    let inst = textio::qon_from_text(&read_file(path)?)
+        .map_err(|e| CliError::Parse { path: path.clone(), message: e.to_string() })?;
+    if !aqo_replay::validate::executable(&inst, aqo_exec::data::MAX_TUPLES as u64) {
+        return Err(CliError::Unsupported(format!(
+            "exec validate: {path} is too large to materialize (max {} rows per relation)",
+            aqo_exec::data::MAX_TUPLES
+        )));
+    }
+    // Calibrate the plan the optimizer would actually pick.
+    let outcome = aqo_driver::optimize_qon(&inst, &QonDriverConfig::default())
+        .map_err(CliError::Driver)?;
+    let z = outcome.optimum.sequence;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cal = aqo_exec::validate::calibrate(&inst, &z, trials, &mut rng);
+    if args.iter().any(|a| a == "--json") {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"aqo-exec-validate/v1\",\n  \"file\": ");
+        aqo_obs::json::escape_into(&mut out, path);
+        out.push_str(",\n  \"order\": [");
+        for (i, v) in z.order().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str(&format!(
+            "],\n  \"tier\": \"{}\",\n  \"trials\": {},\n  \"predicted_cost\": {:.3},\n  \
+             \"measured_work\": {:.3},\n  \"cost_error\": {:.4},\n  \
+             \"worst_intermediate_error\": {:.4},\n  \"predicted_intermediates\": [",
+            outcome.report.tier,
+            cal.trials,
+            cal.predicted_cost,
+            cal.measured_work,
+            cal.cost_error(),
+            cal.worst_intermediate_error(1.0),
+        ));
+        for (i, v) in cal.predicted_intermediates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{v:.3}"));
+        }
+        out.push_str("],\n  \"measured_intermediates\": [");
+        for (i, v) in cal.measured_intermediates.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{v:.3}"));
+        }
+        out.push_str("]\n}\n");
+        match required_flag_value(args, "--out")? {
+            Some(file) => {
+                std::fs::write(file, &out)
+                    .map_err(|source| CliError::Io { path: file.to_string(), source })?;
+                println!("wrote {file}");
+            }
+            None => print!("{out}"),
+        }
+    } else {
+        println!("plan {:?} (tier {}, {} trial(s))", z.order(), outcome.report.tier, cal.trials);
+        println!(
+            "predicted cost {:.1}, measured work {:.1} (relative error {:.3})",
+            cal.predicted_cost,
+            cal.measured_work,
+            cal.cost_error()
+        );
+        for (i, (p, m)) in
+            cal.predicted_intermediates.iter().zip(&cal.measured_intermediates).enumerate()
+        {
+            println!("N_{i}: predicted {p:.1}, measured {m:.1}");
+        }
+        println!("worst intermediate error {:.3}", cal.worst_intermediate_error(1.0));
     }
     Ok(())
 }

@@ -1,0 +1,594 @@
+//! `aqo replay run`: re-drives a recorded workload against the current
+//! build and diffs every answer against the recorded baseline.
+//!
+//! Costs are compared *exactly* — both sides parse to `aqo_bignum`
+//! rationals, so a regression of one part in 10^40 is still a regression
+//! and float formatting can neither hide nor invent one. Plan shape
+//! (order, QO_H decomposition) is compared only between equal-cost
+//! answers: a cheaper plan with a different shape is an improvement, an
+//! equal-cost shape change is still a diff (same build + same request
+//! must be deterministic). Tier changes at equal cost/shape are
+//! informational — fallback-chain tuning legitimately moves them.
+//!
+//! Two backends re-drive requests: the in-process sequential driver
+//! ([`driver_backend`], the default — hermetic, what CI gates on) and a
+//! live server over the existing client ([`live_backend`], `--addr`).
+
+use crate::workload::Workload;
+use aqo_bignum::{BigInt, BigRational, BigUint};
+use aqo_core::{textio, CostScalar};
+use aqo_driver::{BudgetSpec, QohDriverConfig, QohTier, QonDriverConfig, QonTier};
+use aqo_serve::client::{Client, RetryConfig};
+use aqo_serve::proto::Problem;
+use aqo_serve::record::{capture_from_json, RecordedRequest};
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// What one re-driven request produced.
+#[derive(Clone, Debug)]
+pub struct Observed {
+    /// Tier that produced the plan.
+    pub tier: String,
+    /// Whether the plan is exact.
+    pub exact: bool,
+    /// Exact cost string (decimal or `num/den`).
+    pub cost: String,
+    /// The join sequence.
+    pub order: Vec<usize>,
+    /// QO_H pipeline fragments.
+    pub decomposition: Option<Vec<(usize, usize)>>,
+    /// Wall-clock for the re-drive, microseconds.
+    pub latency_us: u64,
+}
+
+/// How a replayed request diverged from its baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffKind {
+    /// New cost strictly greater than baseline — the gate's reason to be.
+    CostRegression,
+    /// New cost strictly smaller than baseline (reported, not failing).
+    CostImprovement,
+    /// Equal cost, different plan shape (order or decomposition).
+    PlanChange,
+    /// Equal cost and shape, different producing tier (informational).
+    TierChange,
+    /// The re-drive failed (driver error, transport error, bad baseline).
+    Error,
+}
+
+impl DiffKind {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiffKind::CostRegression => "cost_regression",
+            DiffKind::CostImprovement => "cost_improvement",
+            DiffKind::PlanChange => "plan_change",
+            DiffKind::TierChange => "tier_change",
+            DiffKind::Error => "error",
+        }
+    }
+
+    /// Whether this diff fails the regression gate.
+    pub fn is_regression(self) -> bool {
+        matches!(self, DiffKind::CostRegression | DiffKind::PlanChange | DiffKind::Error)
+    }
+}
+
+/// One divergent request in the report.
+#[derive(Clone, Debug)]
+pub struct RequestDiff {
+    /// Recorded request id.
+    pub id: u64,
+    /// Canonical instance fingerprint.
+    pub fingerprint: u64,
+    /// Divergence class.
+    pub kind: DiffKind,
+    /// Baseline cost string.
+    pub baseline_cost: String,
+    /// Re-driven cost string (empty on errors).
+    pub new_cost: String,
+    /// Baseline tier.
+    pub baseline_tier: String,
+    /// Re-driven tier (empty on errors).
+    pub new_tier: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Latency quantiles, baseline vs re-driven (omitted from the report
+/// under `strip_timing`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Baseline (recorded) median, microseconds.
+    pub baseline_p50_us: u64,
+    /// Baseline 99th percentile.
+    pub baseline_p99_us: u64,
+    /// Re-driven median.
+    pub current_p50_us: u64,
+    /// Re-driven 99th percentile.
+    pub current_p99_us: u64,
+}
+
+/// Replay knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayConfig {
+    /// Drop latency numbers from the report so committed artifacts are
+    /// byte-identical across runs (solver output is deterministic; wall
+    /// clocks are not).
+    pub strip_timing: bool,
+}
+
+/// The `aqo-replay/v1` report.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Workload provenance (header `source`).
+    pub source: String,
+    /// Entries in the workload.
+    pub requests: usize,
+    /// Entries re-driven (always equal to `requests` in v1).
+    pub replayed: usize,
+    /// Count per [`DiffKind::CostRegression`].
+    pub cost_regressions: usize,
+    /// Count per [`DiffKind::CostImprovement`].
+    pub cost_improvements: usize,
+    /// Count per [`DiffKind::PlanChange`].
+    pub plan_changes: usize,
+    /// Count per [`DiffKind::TierChange`].
+    pub tier_changes: usize,
+    /// Count per [`DiffKind::Error`].
+    pub errors: usize,
+    /// Every divergent request, in workload order.
+    pub diffs: Vec<RequestDiff>,
+    /// Latency quantiles (`None` under `strip_timing`).
+    pub latency: Option<LatencySummary>,
+}
+
+impl ReplayReport {
+    /// Diffs that fail the gate (`exit 1` in the CLI).
+    pub fn gate_failures(&self) -> usize {
+        self.cost_regressions + self.plan_changes + self.errors
+    }
+
+    /// Renders the report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"schema\": \"aqo-replay/v1\",\n");
+        out.push_str("  \"source\": ");
+        aqo_obs::json::escape_into(&mut out, &self.source);
+        let _ = write!(
+            out,
+            ",\n  \"requests\": {},\n  \"replayed\": {},\n  \"cost_regressions\": {},\n  \
+             \"cost_improvements\": {},\n  \"plan_changes\": {},\n  \"tier_changes\": {},\n  \
+             \"errors\": {},\n  \"gate_failures\": {},\n  \"diffs\": [",
+            self.requests,
+            self.replayed,
+            self.cost_regressions,
+            self.cost_improvements,
+            self.plan_changes,
+            self.tier_changes,
+            self.errors,
+            self.gate_failures(),
+        );
+        for (i, d) in self.diffs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"id\": {}, \"fingerprint\": \"{:#018x}\", \"kind\": \"{}\", \
+                 \"baseline_cost\": ",
+                d.id,
+                d.fingerprint,
+                d.kind.name()
+            );
+            aqo_obs::json::escape_into(&mut out, &d.baseline_cost);
+            out.push_str(", \"new_cost\": ");
+            aqo_obs::json::escape_into(&mut out, &d.new_cost);
+            out.push_str(", \"baseline_tier\": ");
+            aqo_obs::json::escape_into(&mut out, &d.baseline_tier);
+            out.push_str(", \"new_tier\": ");
+            aqo_obs::json::escape_into(&mut out, &d.new_tier);
+            out.push_str(", \"detail\": ");
+            aqo_obs::json::escape_into(&mut out, &d.detail);
+            out.push('}');
+        }
+        out.push_str(if self.diffs.is_empty() { "]" } else { "\n  ]" });
+        if let Some(l) = &self.latency {
+            let _ = write!(
+                out,
+                ",\n  \"latency\": {{\"baseline_p50_us\": {}, \"baseline_p99_us\": {}, \
+                 \"current_p50_us\": {}, \"current_p99_us\": {}}}",
+                l.baseline_p50_us, l.baseline_p99_us, l.current_p50_us, l.current_p99_us,
+            );
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Parses a cost string (`"123"` or `"123/7"`, always positive) to an
+/// exact rational.
+pub fn parse_cost(s: &str) -> Result<BigRational, String> {
+    let (num, den) = match s.split_once('/') {
+        Some((n, d)) => (n, d),
+        None => (s, "1"),
+    };
+    let n = BigUint::from_decimal(num.trim()).map_err(|_| format!("bad cost numerator `{num}`"))?;
+    let d =
+        BigUint::from_decimal(den.trim()).map_err(|_| format!("bad cost denominator `{den}`"))?;
+    if d.is_zero() {
+        return Err(format!("zero cost denominator in `{s}`"));
+    }
+    Ok(BigRational::new(BigInt::from(n), d))
+}
+
+/// Re-drives every workload entry through `backend` and classifies the
+/// divergences. Each replayed request gets its own trace + `replay.request`
+/// span; every diff bumps `replay.diffs` and journals a `replay_diff`
+/// event.
+pub fn run<F>(workload: &Workload, cfg: &ReplayConfig, mut backend: F) -> ReplayReport
+where
+    F: FnMut(&RecordedRequest) -> Result<Observed, String>,
+{
+    let mut report = ReplayReport {
+        source: workload.source.clone(),
+        requests: workload.entries.len(),
+        replayed: 0,
+        cost_regressions: 0,
+        cost_improvements: 0,
+        plan_changes: 0,
+        tier_changes: 0,
+        errors: 0,
+        diffs: Vec::new(),
+        latency: None,
+    };
+    let baseline_hist = aqo_obs::Histogram::detached();
+    let current_hist = aqo_obs::Histogram::detached();
+    for entry in &workload.entries {
+        let traced = aqo_obs::enabled();
+        let _trace = traced.then(|| {
+            aqo_obs::trace::install(aqo_obs::trace::TraceHandle::root(
+                aqo_obs::trace::next_trace_id(),
+            ))
+        });
+        let _span = aqo_obs::span("replay.request");
+        if traced {
+            aqo_obs::counter_handle!("replay.requests").inc();
+        }
+        report.replayed += 1;
+        let outcome = backend(entry);
+        if let Ok(obs) = &outcome {
+            baseline_hist.record_always(entry.latency_us);
+            current_hist.record_always(obs.latency_us);
+        }
+        let Some(diff) = classify(entry, &outcome) else { continue };
+        match diff.kind {
+            DiffKind::CostRegression => report.cost_regressions += 1,
+            DiffKind::CostImprovement => report.cost_improvements += 1,
+            DiffKind::PlanChange => report.plan_changes += 1,
+            DiffKind::TierChange => report.tier_changes += 1,
+            DiffKind::Error => report.errors += 1,
+        }
+        if traced {
+            aqo_obs::counter_handle!("replay.diffs").inc();
+            aqo_obs::journal::event(
+                "replay_diff",
+                vec![
+                    ("id", diff.id.into()),
+                    ("kind", diff.kind.name().into()),
+                    ("baseline_cost", diff.baseline_cost.clone().into()),
+                    ("new_cost", diff.new_cost.clone().into()),
+                    ("detail", diff.detail.clone().into()),
+                ],
+            );
+        }
+        report.diffs.push(diff);
+    }
+    if !cfg.strip_timing {
+        report.latency = Some(LatencySummary {
+            baseline_p50_us: baseline_hist.quantile(0.50),
+            baseline_p99_us: baseline_hist.quantile(0.99),
+            current_p50_us: current_hist.quantile(0.50),
+            current_p99_us: current_hist.quantile(0.99),
+        });
+    }
+    report
+}
+
+/// Diffs one re-driven answer against its baseline; `None` = no diff.
+fn classify(entry: &RecordedRequest, outcome: &Result<Observed, String>) -> Option<RequestDiff> {
+    let diff = |kind: DiffKind, new_cost: &str, new_tier: &str, detail: String| RequestDiff {
+        id: entry.id,
+        fingerprint: entry.fingerprint,
+        kind,
+        baseline_cost: entry.cost.clone(),
+        new_cost: new_cost.to_string(),
+        baseline_tier: entry.tier.clone(),
+        new_tier: new_tier.to_string(),
+        detail,
+    };
+    let obs = match outcome {
+        Ok(o) => o,
+        Err(e) => return Some(diff(DiffKind::Error, "", "", format!("re-drive failed: {e}"))),
+    };
+    let base_cost = match parse_cost(&entry.cost) {
+        Ok(c) => c,
+        Err(e) => {
+            return Some(diff(DiffKind::Error, &obs.cost, &obs.tier, format!("baseline: {e}")))
+        }
+    };
+    let new_cost = match parse_cost(&obs.cost) {
+        Ok(c) => c,
+        Err(e) => {
+            return Some(diff(DiffKind::Error, &obs.cost, &obs.tier, format!("re-driven: {e}")))
+        }
+    };
+    match new_cost.cmp(&base_cost) {
+        Ordering::Greater => {
+            let delta = CostScalar::log2(&new_cost) - CostScalar::log2(&base_cost);
+            Some(diff(
+                DiffKind::CostRegression,
+                &obs.cost,
+                &obs.tier,
+                format!("cost regressed by {delta:.3} bits"),
+            ))
+        }
+        Ordering::Less => {
+            let delta = CostScalar::log2(&base_cost) - CostScalar::log2(&new_cost);
+            Some(diff(
+                DiffKind::CostImprovement,
+                &obs.cost,
+                &obs.tier,
+                format!("cost improved by {delta:.3} bits"),
+            ))
+        }
+        Ordering::Equal => {
+            if obs.order != entry.order || obs.decomposition != entry.decomposition {
+                return Some(diff(
+                    DiffKind::PlanChange,
+                    &obs.cost,
+                    &obs.tier,
+                    format!(
+                        "equal cost, different plan: {:?} vs baseline {:?}",
+                        obs.order, entry.order
+                    ),
+                ));
+            }
+            if obs.tier != entry.tier {
+                return Some(diff(
+                    DiffKind::TierChange,
+                    &obs.cost,
+                    &obs.tier,
+                    format!("tier {} now answers (was {})", obs.tier, entry.tier),
+                ));
+            }
+            None
+        }
+    }
+}
+
+/// The in-process backend: rebuilds the driver configuration a request's
+/// knobs describe and runs the sequential driver directly — no server,
+/// no transport, fully hermetic.
+pub fn driver_backend() -> impl FnMut(&RecordedRequest) -> Result<Observed, String> {
+    |entry: &RecordedRequest| {
+        let t0 = Instant::now();
+        let spec = entry.method.as_deref().or(entry.fallback.as_deref());
+        let budget = BudgetSpec {
+            timeout: entry.timeout_ms.map(std::time::Duration::from_millis),
+            max_expansions: entry.max_expansions,
+            max_memory_bytes: None,
+        };
+        match entry.problem {
+            Problem::Qon => {
+                let inst =
+                    textio::qon_from_text(&entry.instance).map_err(|e| format!("instance: {e}"))?;
+                let chain = match spec {
+                    Some(s) => QonTier::parse_chain(s)?,
+                    None => QonTier::default_chain(),
+                };
+                let cfg = QonDriverConfig {
+                    budget,
+                    chain,
+                    allow_cartesian: entry.allow_cartesian,
+                    threads: entry.threads,
+                    ..QonDriverConfig::default()
+                };
+                let outcome =
+                    aqo_driver::optimize_qon(&inst, &cfg).map_err(|e| e.to_string())?;
+                Ok(Observed {
+                    tier: outcome.report.tier.to_string(),
+                    exact: outcome.report.exact,
+                    cost: outcome.optimum.cost.to_string(),
+                    order: outcome.optimum.sequence.order().to_vec(),
+                    decomposition: None,
+                    latency_us: t0.elapsed().as_micros() as u64,
+                })
+            }
+            Problem::Qoh => {
+                let inst =
+                    textio::qoh_from_text(&entry.instance).map_err(|e| format!("instance: {e}"))?;
+                let chain = match spec {
+                    Some(s) => QohTier::parse_chain(s)?,
+                    None => QohTier::default_chain(),
+                };
+                let cfg = QohDriverConfig {
+                    budget,
+                    chain,
+                    threads: entry.threads,
+                    ..QohDriverConfig::default()
+                };
+                let outcome =
+                    aqo_driver::optimize_qoh(&inst, &cfg).map_err(|e| e.to_string())?;
+                Ok(Observed {
+                    tier: outcome.report.tier.to_string(),
+                    exact: outcome.report.exact,
+                    cost: outcome.plan.cost.to_string(),
+                    order: outcome.plan.sequence.order().to_vec(),
+                    decomposition: Some(outcome.plan.decomposition.fragments().to_vec()),
+                    latency_us: t0.elapsed().as_micros() as u64,
+                })
+            }
+            Problem::Clique => Err("clique entries are not replayable".into()),
+        }
+    }
+}
+
+/// The live backend: re-drives requests through an `aqo-serve` endpoint
+/// with the existing retrying client. Latency is the client-observed
+/// round trip.
+pub fn live_backend(
+    addr: &str,
+) -> Result<impl FnMut(&RecordedRequest) -> Result<Observed, String>, String> {
+    let retry = RetryConfig::default();
+    let mut client = Client::connect_with_timeout(addr, retry.read_timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    Ok(move |entry: &RecordedRequest| {
+        let req = Workload::request_for(entry);
+        let t0 = Instant::now();
+        let line = client.roundtrip_retry(&req, &retry).map_err(|e| {
+            let _ = client.reconnect();
+            format!("roundtrip: {e}")
+        })?;
+        let latency_us = t0.elapsed().as_micros() as u64;
+        let doc = aqo_obs::json::parse(&line).map_err(|e| format!("reply: {e}"))?;
+        if !matches!(doc.get("ok"), Some(aqo_obs::json::JsonValue::Bool(true))) {
+            return Err(format!("server error: {line}"));
+        }
+        let rec = capture_from_json(&req, &doc, latency_us)
+            .ok_or_else(|| format!("unreplayable reply: {line}"))?;
+        Ok(Observed {
+            tier: rec.tier,
+            exact: rec.exact,
+            cost: rec.cost,
+            order: rec.order,
+            decomposition: rec.decomposition,
+            latency_us,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cost: &str, order: Vec<usize>, tier: &str) -> RecordedRequest {
+        RecordedRequest {
+            id: 1,
+            problem: Problem::Qon,
+            instance: "qon\nvertices 1\nsize 0 5\n".into(),
+            method: None,
+            fallback: None,
+            timeout_ms: None,
+            max_expansions: None,
+            threads: 1,
+            allow_cartesian: true,
+            fingerprint: 0xab,
+            tier: tier.into(),
+            exact: true,
+            cached: false,
+            cost: cost.into(),
+            cost_log2: 0.0,
+            order,
+            decomposition: None,
+            latency_us: 50,
+        }
+    }
+
+    fn observed(cost: &str, order: Vec<usize>, tier: &str) -> Observed {
+        Observed {
+            tier: tier.into(),
+            exact: true,
+            cost: cost.into(),
+            order,
+            decomposition: None,
+            latency_us: 10,
+        }
+    }
+
+    #[test]
+    fn exact_cost_comparison_classifies_diffs() {
+        // 10/4 == 5/2: different strings, same rational — no diff.
+        let e = entry("10/4", vec![0, 1], "dp");
+        assert!(classify(&e, &Ok(observed("5/2", vec![0, 1], "dp"))).is_none());
+        // Strictly larger — regression.
+        let d = classify(&e, &Ok(observed("11/4", vec![0, 1], "dp"))).unwrap();
+        assert_eq!(d.kind, DiffKind::CostRegression);
+        assert!(d.kind.is_regression());
+        // Strictly smaller — improvement, not a gate failure.
+        let d = classify(&e, &Ok(observed("9/4", vec![0, 1], "dp"))).unwrap();
+        assert_eq!(d.kind, DiffKind::CostImprovement);
+        assert!(!d.kind.is_regression());
+        // Equal cost, different order — plan change (gate failure).
+        let d = classify(&e, &Ok(observed("5/2", vec![1, 0], "dp"))).unwrap();
+        assert_eq!(d.kind, DiffKind::PlanChange);
+        assert!(d.kind.is_regression());
+        // Equal everything, different tier — informational.
+        let d = classify(&e, &Ok(observed("5/2", vec![0, 1], "ccp"))).unwrap();
+        assert_eq!(d.kind, DiffKind::TierChange);
+        assert!(!d.kind.is_regression());
+        // Backend failure — error (gate failure).
+        let d = classify(&e, &Err("boom".into())).unwrap();
+        assert_eq!(d.kind, DiffKind::Error);
+        assert!(d.kind.is_regression());
+    }
+
+    #[test]
+    fn report_counts_and_json_shape() {
+        let w = Workload::new(
+            "test",
+            None,
+            vec![
+                entry("4", vec![0], "dp"),
+                entry("4", vec![0], "dp"),
+                entry("4", vec![0], "dp"),
+            ],
+        );
+        let mut answers = vec![
+            Ok(observed("4", vec![0], "dp")),   // match
+            Ok(observed("5", vec![0], "dp")),   // regression
+            Err("transport down".to_string()),  // error
+        ]
+        .into_iter();
+        let report = run(&w, &ReplayConfig { strip_timing: true }, |_| answers.next().unwrap());
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.cost_regressions, 1);
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.gate_failures(), 2);
+        assert!(report.latency.is_none(), "strip_timing drops latency");
+        let json = report.to_json();
+        let doc = aqo_obs::json::parse(&json).expect("report is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(aqo_obs::json::JsonValue::as_str),
+            Some("aqo-replay/v1")
+        );
+        assert_eq!(doc.get("gate_failures").and_then(aqo_obs::json::JsonValue::as_num), Some(2.0));
+        assert_eq!(
+            doc.get("diffs").and_then(aqo_obs::json::JsonValue::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(doc.get("latency").is_none());
+    }
+
+    #[test]
+    fn driver_backend_reproduces_recorded_baselines() {
+        // Drive a real instance through the driver twice: the second run
+        // must replay the first with zero diffs.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let params = aqo_core::workloads::WorkloadParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = aqo_core::workloads::chain(6, &params, &mut rng);
+        let text = textio::qon_to_text(&inst);
+        let mut backend = driver_backend();
+        let mut e = entry("0", vec![], "dp");
+        e.instance = text;
+        let first = backend(&e).expect("first drive");
+        e.cost = first.cost.clone();
+        e.order = first.order.clone();
+        e.tier = first.tier.clone();
+        let w = Workload::new("test", None, vec![e]);
+        let report = run(&w, &ReplayConfig { strip_timing: true }, backend);
+        assert_eq!(report.gate_failures(), 0, "diffs: {:?}", report.diffs);
+        assert!(report.diffs.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the execution-backed ordering gate: across seeded
+//! chain, star, and random-sparse instances, whenever the cost model
+//! prices one candidate plan at least half a bit below another, the
+//! model-cheaper plan must not do more measured work than the default
+//! tolerance allows. The workload generators pin `w` at the model's
+//! index lower bound `⌈t·s⌉`, the regime where model cost and touched
+//! tuples are the same quantity — so ordering agreement here is the
+//! executor and the cost recurrences auditing each other.
+
+use aqo_bignum::{BigRational, BigUint};
+use aqo_core::qon::QoNInstance;
+use aqo_core::workloads::{self, WorkloadParams};
+use aqo_core::{AccessCostMatrix, SelectivityMatrix};
+use aqo_graph::generators;
+use aqo_replay::validate::{validate_instance, ValidateConfig, ValidateReport};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cardinalities large enough that Poisson noise on per-join counts stays
+/// well inside the gate's tolerance, small enough to execute instantly.
+fn params() -> WorkloadParams {
+    WorkloadParams { min_rows: 40, max_rows: 120, min_sel_den: 20, max_sel_den: 60 }
+}
+
+/// A random connected sparse instance: a random connected graph with one
+/// extra edge beyond a tree, sizes/selectivities from `params`, and `w`
+/// at the index lower bound like the workload generators.
+fn random_sparse(n: usize, rng: &mut StdRng) -> QoNInstance {
+    let p = params();
+    let g = generators::random_connected(n, n, rng);
+    let sizes: Vec<BigUint> =
+        (0..n).map(|_| BigUint::from(rng.gen_range(p.min_rows..=p.max_rows))).collect();
+    let mut s = SelectivityMatrix::new();
+    let mut w = AccessCostMatrix::new();
+    for (u, v) in g.edges() {
+        let den = rng.gen_range(p.min_sel_den..=p.max_sel_den);
+        let sel = BigRational::recip_of(BigUint::from(den));
+        s.set(u, v, sel.clone());
+        for (j, k) in [(u, v), (v, u)] {
+            let lower = (BigRational::from(sizes[j].clone()) * &sel).ceil();
+            w.set(j, k, lower.magnitude().clone().max(BigUint::one()));
+        }
+    }
+    QoNInstance::new(g, sizes, s, w)
+}
+
+fn check(name: &str, inst: &QoNInstance, seed: u64) -> Result<(), TestCaseError> {
+    let cfg = ValidateConfig { trials: 2, seed, ..ValidateConfig::default() };
+    let mut report = ValidateReport::new(cfg);
+    validate_instance(name, inst, &cfg, &mut report);
+    prop_assert!(
+        report.violations.is_empty(),
+        "{name}: ordering violations at default tolerance: {:?}",
+        report.violations
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn chain_instances_respect_model_ordering(seed in any::<u64>(), n in 4usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = workloads::chain(n, &params(), &mut rng);
+        check("chain", &inst, seed)?;
+    }
+
+    #[test]
+    fn star_instances_respect_model_ordering(seed in any::<u64>(), n in 4usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = workloads::star(n, &params(), &mut rng);
+        check("star", &inst, seed)?;
+    }
+
+    #[test]
+    fn random_sparse_instances_respect_model_ordering(seed in any::<u64>(), n in 4usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_sparse(n, &mut rng);
+        check("random-sparse", &inst, seed)?;
+    }
+}

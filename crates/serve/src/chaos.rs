@@ -730,6 +730,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         // Chaos runs sample aggressively so the series rings exercise
         // wraparound under fault churn.
         obs_interval: Some(Duration::from_millis(50)),
+        record: None,
     };
     let read_deadline = Duration::from_millis(400);
     let server = Server::new(&serve_cfg);

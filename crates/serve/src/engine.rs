@@ -121,16 +121,31 @@ impl Engine {
             } else {
                 aqo_obs::counter_handle!("serve.responses.error").inc();
             }
-            aqo_obs::journal::event(
-                "serve_response",
-                vec![
-                    ("id", req.id.into()),
-                    ("op", req.op.name().into()),
-                    ("ok", reply.is_ok().into()),
-                    ("cached", matches!(&reply, Reply::Ok(r) if r.cached).into()),
-                    ("us", us.into()),
-                ],
-            );
+            // Successful optimize/explain responses journal the full plan
+            // observation so `aqo replay extract` can rebuild a workload
+            // baseline from the journal alone (`order`/`decomposition` are
+            // comma-joined strings — journal values carry no arrays).
+            let mut fields = vec![
+                ("id", req.id.into()),
+                ("op", req.op.name().into()),
+                ("problem", req.problem.name().into()),
+                ("ok", reply.is_ok().into()),
+                ("cached", matches!(&reply, Reply::Ok(r) if r.cached).into()),
+                ("us", us.into()),
+            ];
+            if let Reply::Ok(ok) = &reply {
+                fields.push(("fingerprint", format!("{:#018x}", ok.fingerprint).into()));
+                fields.push(("tier", ok.tier.clone().into()));
+                fields.push(("exact", ok.exact.into()));
+                fields.push(("degraded", ok.degraded.into()));
+                fields.push(("cost", ok.cost.clone().into()));
+                fields.push(("cost_log2", ok.cost_log2.into()));
+                fields.push(("order", join_indices(&ok.order).into()));
+                if let Some(frags) = &ok.decomposition {
+                    fields.push(("decomposition", join_fragments(frags).into()));
+                }
+            }
+            aqo_obs::journal::event("serve_response", fields);
         }
         reply
     }
@@ -437,6 +452,30 @@ fn ok_from_cache(req: &Request, fingerprint: u64, hit: CachedPlan) -> Reply {
         explain: None,
         elapsed_us: 0,
     }))
+}
+
+/// `[2, 0, 1]` → `"2,0,1"` for journal fields (no array values).
+pub(crate) fn join_indices(order: &[usize]) -> String {
+    let mut out = String::with_capacity(order.len() * 3);
+    for (i, v) in order.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+    }
+    out
+}
+
+/// `[(1, 1), (2, 3)]` → `"1-1,2-3"` for journal fields.
+pub(crate) fn join_fragments(frags: &[(usize, usize)]) -> String {
+    let mut out = String::with_capacity(frags.len() * 5);
+    for (i, (lo, hi)) in frags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{lo}-{hi}"));
+    }
+    out
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

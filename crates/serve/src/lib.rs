@@ -34,6 +34,7 @@ pub mod client;
 pub mod engine;
 pub mod loadgen;
 pub mod proto;
+pub mod record;
 pub mod server;
 pub mod snapshot;
 
@@ -41,4 +42,5 @@ pub use cache::PlanCache;
 pub use client::Client;
 pub use engine::{Degrade, Engine};
 pub use proto::{ErrorKind, Op, Problem, Reply, Request};
+pub use record::{RecordSink, RecordedRequest};
 pub use server::{ServeConfig, Server, ServiceReport};

@@ -66,6 +66,12 @@ pub struct LoadgenConfig {
     pub pool: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Retain per-request detail (tier/cost/plan/latency) from the
+    /// *first* concurrency level as [`crate::record::RecordedRequest`]s
+    /// on the report — the `--record` path. Only the first level is
+    /// captured so every request id appears exactly once in the recorded
+    /// workload; later levels re-send the same ids for throughput.
+    pub record: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -77,6 +83,7 @@ impl Default for LoadgenConfig {
             mix: Mix::Mixed,
             pool: 6,
             seed: 42,
+            record: false,
         }
     }
 }
@@ -132,6 +139,11 @@ pub struct LoadgenReport {
     pub requests_per_level: usize,
     /// Per-level measurements.
     pub levels: Vec<LevelResult>,
+    /// Per-request observations from the first concurrency level, sorted
+    /// by request id ([`LoadgenConfig::record`]; empty otherwise). Not
+    /// part of the `aqo-bench-serve/v2` JSON — the CLI writes them as an
+    /// `aqo-workload/v1` file instead.
+    pub recorded: Vec<crate::record::RecordedRequest>,
 }
 
 impl LoadgenReport {
@@ -294,6 +306,9 @@ struct WorkerTally {
     wrong_cost: usize,
     degraded: usize,
     cached: usize,
+    /// Per-request observations (recording levels only) — the detail the
+    /// aggregation below used to discard.
+    recorded: Vec<crate::record::RecordedRequest>,
 }
 
 /// Runs the full loadgen: every concurrency level in sequence against
@@ -302,8 +317,10 @@ struct WorkerTally {
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let (prepared, pool_qon, pool_qoh) = prepare(cfg)?;
     let mut levels = Vec::new();
-    for &c in &cfg.concurrency {
+    let mut recorded = Vec::new();
+    for (level_idx, &c) in cfg.concurrency.iter().enumerate() {
         let c = c.max(1);
+        let recording = cfg.record && level_idx == 0;
         let (hits0, misses0) = cache_counters(&cfg.addr)?;
         let t0 = std::time::Instant::now();
         let retry = RetryConfig::default();
@@ -331,12 +348,20 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                         continue;
                     }
                 };
-                tally.latencies_us.push(r0.elapsed().as_micros() as u64);
+                let latency_us = r0.elapsed().as_micros() as u64;
+                tally.latencies_us.push(latency_us);
                 match json::parse(&line) {
                     Ok(doc) => {
                         if !matches!(doc.get("ok"), Some(JsonValue::Bool(true))) {
                             tally.errors += 1;
                             continue;
+                        }
+                        if recording {
+                            if let Some(rec) =
+                                crate::record::capture_from_json(&p.req, &doc, latency_us)
+                            {
+                                tally.recorded.push(rec);
+                            }
                         }
                         if matches!(doc.get("cached"), Some(JsonValue::Bool(true))) {
                             tally.cached += 1;
@@ -359,6 +384,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         });
         let elapsed_us = t0.elapsed().as_micros().max(1) as u64;
         let (hits1, misses1) = cache_counters(&cfg.addr)?;
+        if recording {
+            for t in &tallies {
+                recorded.extend(t.recorded.iter().cloned());
+            }
+            recorded.sort_by_key(|r| r.id);
+        }
         // Quantiles come from the same log-bucketed histogram the live
         // `metrics` op uses, so offline BENCH numbers and online `aqo top`
         // numbers share one definition (half-octave resolution).
@@ -400,5 +431,6 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         pool_qoh,
         requests_per_level: cfg.requests,
         levels,
+        recorded,
     })
 }

@@ -1,0 +1,278 @@
+//! Request-time workload recording: the serve-side half of the
+//! record/replay loop.
+//!
+//! When a [`RecordSink`](crate::record::RecordSink) is installed in
+//! [`ServeConfig`](crate::ServeConfig), every successful, non-degraded
+//! `optimize` reply for a QO_N/QO_H instance is captured as a
+//! [`RecordedRequest`] — the request knobs plus the observed plan — and
+//! buffered in memory. The sink is shared with the caller (the CLI), who
+//! drains it after the server stops and writes the `aqo-workload/v1` file
+//! through `aqo-replay` (this crate deliberately does not know the file
+//! format; the dependency points the other way).
+//!
+//! The same capture rules serve the loadgen `--record` path, so journaled,
+//! served, and load-generated workloads agree on what is replayable:
+//! optimize only (explain replies are about the walkthrough text), never
+//! degraded (the baseline would reflect overload, not the build), and
+//! never clique (there is no execution story for clique plans).
+
+use crate::proto::{Op, Problem, Reply, Request};
+use aqo_obs::json::JsonValue;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One replayable observation: what was asked, and what the build
+/// answered. Field names mirror the wire protocol; `latency_us` is the
+/// server-side handling time (`elapsed_us`) for serve-recorded entries
+/// and the client-observed round trip for loadgen-recorded ones.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordedRequest {
+    /// Request id as seen on the wire.
+    pub id: u64,
+    /// Problem family (`Qon` or `Qoh`; clique is never recorded).
+    pub problem: Problem,
+    /// Inline instance text.
+    pub instance: String,
+    /// Single-tier method pin, if the request carried one.
+    pub method: Option<String>,
+    /// Fallback-chain pin, if the request carried one.
+    pub fallback: Option<String>,
+    /// Per-request wall-clock budget.
+    pub timeout_ms: Option<u64>,
+    /// Per-request expansion budget.
+    pub max_expansions: Option<u64>,
+    /// Worker threads for exact tiers.
+    pub threads: usize,
+    /// Whether cartesian sequences were admissible.
+    pub allow_cartesian: bool,
+    /// Canonical instance fingerprint from the reply.
+    pub fingerprint: u64,
+    /// Tier that produced the plan.
+    pub tier: String,
+    /// Whether the plan is exact.
+    pub exact: bool,
+    /// Whether the reply came from the plan cache.
+    pub cached: bool,
+    /// Exact cost as a decimal/rational string.
+    pub cost: String,
+    /// `log2` of the cost.
+    pub cost_log2: f64,
+    /// The join sequence.
+    pub order: Vec<usize>,
+    /// QO_H pipeline fragments.
+    pub decomposition: Option<Vec<(usize, usize)>>,
+    /// Observed latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Shared buffer of recorded observations. A leaf lock: nothing — obs
+/// registry included — is ever acquired while it is held.
+pub type RecordSink = Arc<Mutex<Vec<RecordedRequest>>>;
+
+/// A fresh, empty sink to hand to [`ServeConfig`](crate::ServeConfig) or
+/// the loadgen.
+pub fn new_sink() -> RecordSink {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Takes everything recorded so far out of the sink.
+pub fn drain(sink: &RecordSink) -> Vec<RecordedRequest> {
+    std::mem::take(&mut *sink.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// Builds the recorded observation for one request/reply pair, or `None`
+/// when the pair is not replayable: errors (nothing to diff against),
+/// explain/status/control ops, degraded replies (the chain that ran was
+/// overload-chosen, not request-chosen), and clique (no execution story).
+pub fn capture(req: &Request, reply: &Reply) -> Option<RecordedRequest> {
+    let Reply::Ok(ok) = reply else { return None };
+    if req.op != Op::Optimize || ok.degraded {
+        return None;
+    }
+    if !matches!(req.problem, Problem::Qon | Problem::Qoh) {
+        return None;
+    }
+    let instance = req.instance.clone()?;
+    Some(RecordedRequest {
+        id: req.id,
+        problem: req.problem,
+        instance,
+        method: req.method.clone(),
+        fallback: req.fallback.clone(),
+        timeout_ms: req.timeout_ms,
+        max_expansions: req.max_expansions,
+        threads: req.threads,
+        allow_cartesian: req.allow_cartesian,
+        fingerprint: ok.fingerprint,
+        tier: ok.tier.clone(),
+        exact: ok.exact,
+        cached: ok.cached,
+        cost: ok.cost.clone(),
+        cost_log2: ok.cost_log2,
+        order: ok.order.clone(),
+        decomposition: ok.decomposition.clone(),
+        latency_us: ok.elapsed_us,
+    })
+}
+
+/// As [`capture`], from a parsed client-side reply document instead of a
+/// server-side [`Reply`] — the loadgen path, where `latency_us` is the
+/// client-observed round trip. Applies the same skip rules (non-optimize,
+/// non-ok, degraded, clique) and additionally skips replies missing any
+/// plan field (a newer/older server this build cannot baseline against).
+pub fn capture_from_json(
+    req: &Request,
+    doc: &JsonValue,
+    latency_us: u64,
+) -> Option<RecordedRequest> {
+    if req.op != Op::Optimize || !matches!(req.problem, Problem::Qon | Problem::Qoh) {
+        return None;
+    }
+    if !matches!(doc.get("ok"), Some(JsonValue::Bool(true))) {
+        return None;
+    }
+    if matches!(doc.get("degraded"), Some(JsonValue::Bool(true))) {
+        return None;
+    }
+    let instance = req.instance.clone()?;
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .and_then(|s| u64::from_str_radix(s.strip_prefix("0x")?, 16).ok())?;
+    let tier = doc.get("tier").and_then(JsonValue::as_str)?.to_string();
+    let exact = matches!(doc.get("exact"), Some(JsonValue::Bool(true)));
+    let cached = matches!(doc.get("cached"), Some(JsonValue::Bool(true)));
+    let cost = doc.get("cost").and_then(JsonValue::as_str)?.to_string();
+    let cost_log2 = doc.get("cost_log2").and_then(JsonValue::as_num)?;
+    let order = doc
+        .get("order")
+        .and_then(JsonValue::as_arr)?
+        .iter()
+        .map(|v| v.as_num().filter(|n| *n >= 0.0 && n.fract() == 0.0).map(|n| n as usize))
+        .collect::<Option<Vec<usize>>>()?;
+    let decomposition = match doc.get("decomposition").and_then(JsonValue::as_arr) {
+        None => None,
+        Some(frags) => Some(
+            frags
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().filter(|p| p.len() == 2)?;
+                    let lo = pair[0].as_num().filter(|n| n.fract() == 0.0)? as usize;
+                    let hi = pair[1].as_num().filter(|n| n.fract() == 0.0)? as usize;
+                    Some((lo, hi))
+                })
+                .collect::<Option<Vec<(usize, usize)>>>()?,
+        ),
+    };
+    Some(RecordedRequest {
+        id: req.id,
+        problem: req.problem,
+        instance,
+        method: req.method.clone(),
+        fallback: req.fallback.clone(),
+        timeout_ms: req.timeout_ms,
+        max_expansions: req.max_expansions,
+        threads: req.threads,
+        allow_cartesian: req.allow_cartesian,
+        fingerprint,
+        tier,
+        exact,
+        cached,
+        cost,
+        cost_log2,
+        order,
+        decomposition,
+        latency_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{ErrReply, ErrorKind, OkReply};
+
+    fn ok_reply(req: &Request) -> Reply {
+        Reply::Ok(Box::new(OkReply {
+            id: req.id,
+            op: req.op,
+            problem: req.problem,
+            fingerprint: 0xfeed,
+            cached: false,
+            tier: "dp".into(),
+            exact: true,
+            degraded: false,
+            order: vec![1, 0],
+            cost: "42".into(),
+            cost_log2: 5.39,
+            decomposition: None,
+            explain: None,
+            elapsed_us: 17,
+        }))
+    }
+
+    #[test]
+    fn captures_successful_optimize() {
+        let mut req = Request::new(Op::Optimize, Problem::Qon);
+        req.id = 3;
+        req.instance = Some("qon\nvertices 1\nsize 0 5\n".into());
+        req.method = Some("dp".into());
+        let rec = capture(&req, &ok_reply(&req)).expect("captured");
+        assert_eq!(rec.id, 3);
+        assert_eq!(rec.method.as_deref(), Some("dp"));
+        assert_eq!(rec.cost, "42");
+        assert_eq!(rec.order, vec![1, 0]);
+        assert_eq!(rec.latency_us, 17);
+    }
+
+    #[test]
+    fn skips_unreplayable_pairs() {
+        let mut req = Request::new(Op::Optimize, Problem::Qon);
+        req.instance = Some("qon\nvertices 1\nsize 0 5\n".into());
+
+        let err = Reply::Err(ErrReply::new(0, ErrorKind::Driver, "boom".into()));
+        assert!(capture(&req, &err).is_none(), "errors are not replayable");
+
+        let mut degraded = ok_reply(&req);
+        if let Reply::Ok(ok) = &mut degraded {
+            ok.degraded = true;
+        }
+        assert!(capture(&req, &degraded).is_none(), "degraded replies skipped");
+
+        let mut explain = req.clone();
+        explain.op = Op::Explain;
+        assert!(capture(&explain, &ok_reply(&explain)).is_none(), "explain skipped");
+
+        let mut clique = req.clone();
+        clique.problem = Problem::Clique;
+        assert!(capture(&clique, &ok_reply(&clique)).is_none(), "clique skipped");
+    }
+
+    #[test]
+    fn json_capture_matches_reply_capture() {
+        let mut req = Request::new(Op::Optimize, Problem::Qoh);
+        req.id = 11;
+        req.instance = Some("qoh\nvertices 1\nmemory 9\nsize 0 5\n".into());
+        let mut reply = ok_reply(&req);
+        if let Reply::Ok(ok) = &mut reply {
+            ok.decomposition = Some(vec![(1, 1), (2, 3)]);
+        }
+        let direct = capture(&req, &reply).expect("direct capture");
+        let doc = aqo_obs::json::parse(&reply.to_json_line()).expect("reply parses");
+        let via_json = capture_from_json(&req, &doc, direct.latency_us).expect("json capture");
+        assert_eq!(via_json, direct);
+    }
+
+    #[test]
+    fn sink_drains_in_push_order() {
+        let sink = new_sink();
+        let mut req = Request::new(Op::Optimize, Problem::Qon);
+        req.instance = Some("qon\nvertices 1\nsize 0 5\n".into());
+        for id in 0..3 {
+            req.id = id;
+            let rec = capture(&req, &ok_reply(&req)).unwrap();
+            sink.lock().unwrap().push(rec);
+        }
+        let drained = drain(&sink);
+        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(drain(&sink).is_empty(), "drain empties the sink");
+    }
+}

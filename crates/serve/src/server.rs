@@ -91,6 +91,11 @@ pub struct ServeConfig {
     /// histogram quantiles into the [`aqo_obs::series`] rings. `None`
     /// disables the sampler (TCP transport only; stdio never samples).
     pub obs_interval: Option<Duration>,
+    /// Workload recording sink (`--record`): every successful,
+    /// non-degraded optimize reply is captured into it (see
+    /// [`crate::record`]); the caller drains it after the server stops
+    /// and writes the `aqo-workload/v1` file.
+    pub record: Option<crate::record::RecordSink>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +112,7 @@ impl Default for ServeConfig {
             degrade: true,
             snapshot_path: None,
             obs_interval: Some(Duration::from_secs(1)),
+            record: None,
         }
     }
 }
@@ -243,6 +249,7 @@ pub struct Server {
     degrade: bool,
     snapshot_path: Option<std::path::PathBuf>,
     obs_interval: Option<Duration>,
+    record: Option<crate::record::RecordSink>,
     state: Mutex<QueueState>,
     work_cv: Condvar,
     accepting: AtomicBool,
@@ -294,6 +301,7 @@ impl Server {
             degrade: cfg.degrade,
             snapshot_path: cfg.snapshot_path.clone(),
             obs_interval: cfg.obs_interval,
+            record: cfg.record.clone(),
             state: Mutex::new(QueueState { queue: VecDeque::new(), executing: 0 }),
             work_cv: Condvar::new(),
             accepting: AtomicBool::new(true),
@@ -554,6 +562,7 @@ impl Server {
                 // ordering: Relaxed — statistics counter only.
                 self.degraded.fetch_add(1, Ordering::Relaxed);
             }
+            self.record_reply(&job.req, &reply);
             write_reply(&job.out, &reply);
             let mut st = self.lock_state();
             st.executing -= 1;
@@ -692,6 +701,7 @@ impl Server {
                         true => self.ok.fetch_add(1, Ordering::Relaxed), // ordering: stats only
                         false => self.errors.fetch_add(1, Ordering::Relaxed), // ordering: stats only
                     };
+                    self.record_reply(&req, &reply);
                     write_reply(out, &reply);
                 } else if let Some(rejection) = self.submit(req, out, trace_id) {
                     write_reply(out, &rejection);
@@ -768,19 +778,55 @@ impl Server {
         }
     }
 
+    /// Captures a replayable observation when recording is on. The sink
+    /// mutex is a leaf lock: nothing (the obs registry included) is ever
+    /// acquired while it is held, so it cannot join a lock cycle.
+    fn record_reply(&self, req: &Request, reply: &Reply) {
+        if let Some(sink) = &self.record {
+            if let Some(entry) = crate::record::capture(req, reply) {
+                sink.lock().unwrap_or_else(PoisonError::into_inner).push(entry);
+            }
+        }
+    }
+
     fn note_request(&self, req: &Request) {
         // ordering: Relaxed — statistics counter only.
         self.requests.fetch_add(1, Ordering::Relaxed);
         if aqo_obs::enabled() {
             aqo_obs::counter(&format!("serve.requests.{}", req.op.name())).inc();
-            aqo_obs::journal::event(
-                "serve_request",
-                vec![
-                    ("id", req.id.into()),
-                    ("op", req.op.name().into()),
-                    ("problem", req.problem.name().into()),
-                ],
-            );
+            let mut fields = vec![
+                ("id", req.id.into()),
+                ("op", req.op.name().into()),
+                ("problem", req.problem.name().into()),
+            ];
+            // Optimize requests journal the instance and any non-default
+            // knobs so `aqo replay extract` can rebuild the request side
+            // of a workload from the journal alone (the reply side rides
+            // on the matching `serve_response` event via the trace id).
+            if req.op == Op::Optimize {
+                if let Some(inst) = &req.instance {
+                    fields.push(("instance", inst.clone().into()));
+                }
+                if let Some(m) = &req.method {
+                    fields.push(("method", m.clone().into()));
+                }
+                if let Some(f) = &req.fallback {
+                    fields.push(("fallback", f.clone().into()));
+                }
+                if let Some(t) = req.timeout_ms {
+                    fields.push(("timeout_ms", t.into()));
+                }
+                if let Some(e) = req.max_expansions {
+                    fields.push(("max_expansions", e.into()));
+                }
+                if req.threads != 1 {
+                    fields.push(("threads", req.threads.into()));
+                }
+                if !req.allow_cartesian {
+                    fields.push(("allow_cartesian", false.into()));
+                }
+            }
+            aqo_obs::journal::event("serve_request", fields);
         }
     }
 
